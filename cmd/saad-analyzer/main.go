@@ -1,0 +1,174 @@
+// Command saad-analyzer is the standalone centralized statistical analyzer
+// (paper Section 3.1): it accepts task-synopsis streams over TCP from the
+// per-node task execution trackers, and either records a training trace
+// into a model file or detects anomalies online against a trained model.
+//
+// Train a model from the first N synopses received:
+//
+//	saad-analyzer -listen :7077 -train 100000 -model model.json
+//
+// Detect in real time (with an optional dictionary for readable reports):
+//
+//	saad-analyzer -listen :7077 -model model.json -dict dict.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"saad/internal/analyzer"
+	"saad/internal/logpoint"
+	"saad/internal/report"
+	"saad/internal/stream"
+	"saad/internal/synopsis"
+	"saad/internal/tracker"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "saad-analyzer:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("saad-analyzer", flag.ContinueOnError)
+	var (
+		listen    = fs.String("listen", "127.0.0.1:7077", "address to accept synopsis streams on")
+		modelPath = fs.String("model", "saad-model.json", "model file (output when -train, input otherwise)")
+		dictPath  = fs.String("dict", "", "optional log template dictionary for readable reports")
+		trainN    = fs.Int("train", 0, "train on the first N synopses and exit (0 = detect mode)")
+		window    = fs.Duration("window", time.Minute, "detection window")
+		alpha     = fs.Float64("alpha", 0.001, "significance level")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	dict := logpoint.NewDictionary()
+	if *dictPath != "" {
+		f, err := os.Open(*dictPath)
+		if err != nil {
+			return err
+		}
+		loaded, err := logpoint.ReadDictionary(f)
+		closeErr := f.Close()
+		if err != nil {
+			return err
+		}
+		if closeErr != nil {
+			return closeErr
+		}
+		dict = loaded
+	}
+
+	if *trainN > 0 {
+		return trainMode(*listen, *modelPath, *trainN, *window, *alpha)
+	}
+	return detectMode(*listen, *modelPath, dict)
+}
+
+// trainMode collects synopses and writes the trained model.
+func trainMode(listen, modelPath string, n int, window time.Duration, alpha float64) error {
+	cfg := analyzer.DefaultConfig()
+	cfg.Window = window
+	cfg.Alpha = alpha
+	trainer, err := analyzer.NewTrainer(cfg)
+	if err != nil {
+		return err
+	}
+	done := make(chan struct{})
+	var sinkClosed bool
+	sink := tracker.SinkFunc(func(s *synopsis.Synopsis) {
+		if sinkClosed {
+			return
+		}
+		trainer.Add(s)
+		if trainer.Count() >= n {
+			sinkClosed = true
+			close(done)
+		}
+	})
+	// The TCP server serializes Emit per connection; a single training
+	// producer is the expected deployment. For multi-producer training,
+	// synopses interleave and the trainer handles them identically.
+	srv, err := stream.Listen(listen, sink)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("training: listening on %s for %d synopses\n", srv.Addr(), n)
+	interrupt := make(chan os.Signal, 1)
+	signal.Notify(interrupt, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-done:
+	case <-interrupt:
+		fmt.Println("interrupted; training on what arrived")
+	}
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	model, err := trainer.Train()
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(modelPath)
+	if err != nil {
+		return err
+	}
+	if _, err := model.WriteTo(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("model over %d synopses written to %s\n", model.TrainedOn, modelPath)
+	return nil
+}
+
+// detectMode loads the model and prints anomalies as they are detected.
+func detectMode(listen, modelPath string, dict *logpoint.Dictionary) error {
+	f, err := os.Open(modelPath)
+	if err != nil {
+		return err
+	}
+	model, err := analyzer.ReadModel(f)
+	closeErr := f.Close()
+	if err != nil {
+		return err
+	}
+	if closeErr != nil {
+		return closeErr
+	}
+
+	ch := stream.NewChannel(1 << 16)
+	srv, err := stream.Listen(listen, ch)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("detecting: listening on %s (model trained on %d synopses)\n", srv.Addr(), model.TrainedOn)
+
+	det := analyzer.NewDetector(model)
+	interrupt := make(chan os.Signal, 1)
+	signal.Notify(interrupt, os.Interrupt, syscall.SIGTERM)
+	processed := 0
+	for {
+		select {
+		case s := <-ch.C():
+			processed++
+			for _, a := range det.Feed(s) {
+				fmt.Println(report.FormatAnomaly(a, dict))
+			}
+		case <-interrupt:
+			for _, a := range det.Flush() {
+				fmt.Println(report.FormatAnomaly(a, dict))
+			}
+			fmt.Printf("processed %d synopses (%d dropped)\n", processed, ch.Dropped())
+			return srv.Close()
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"saad/internal/analyzer"
+	"saad/internal/logpoint"
+	"saad/internal/stream"
+	"saad/internal/synopsis"
+	"saad/internal/tracker"
+)
+
+var epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// emit streams n healthy synopses to addr.
+func emit(t *testing.T, addr string, n int) {
+	t.Helper()
+	cli, err := stream.Dial(addr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := tracker.New(1, cli)
+	for i := 0; i < n; i++ {
+		at := epoch.Add(time.Duration(i) * time.Millisecond)
+		task := tr.Begin(1, at)
+		task.Hit(1, at.Add(time.Millisecond))
+		task.Hit(2, at.Add(2*time.Millisecond))
+		task.End(at.Add(2 * time.Millisecond))
+	}
+	if err := cli.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainAndDetectOnFixedPort(t *testing.T) {
+	// Pick a free port by listening and closing.
+	probe, err := stream.Listen("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.Addr()
+	if err := probe.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	modelPath := filepath.Join(t.TempDir(), "model.json")
+	trainDone := make(chan error, 1)
+	go func() {
+		trainDone <- trainMode(addr, modelPath, 500, time.Minute, 0.001)
+	}()
+	// Retry until the trainer is listening.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		cli, err := stream.Dial(addr, 0)
+		if err == nil {
+			_ = cli.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("trainer never listened")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	emit(t, addr, 600)
+	select {
+	case err := <-trainDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("training never finished")
+	}
+
+	f, err := os.Open(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := analyzer.ReadModel(f)
+	if cerr := f.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.TrainedOn < 500 {
+		t.Fatalf("TrainedOn = %d", model.TrainedOn)
+	}
+	sig := synopsis.Compute([]logpoint.ID{1, 2})
+	if !model.Knows(1, sig) {
+		t.Fatal("model missing the trained signature")
+	}
+}
+
+func TestDetectModeRejectsMissingModel(t *testing.T) {
+	if err := detectMode("127.0.0.1:0", filepath.Join(t.TempDir(), "nope.json"), logpoint.NewDictionary()); err == nil {
+		t.Fatal("missing model accepted")
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if err := run([]string{"-dict", "/nonexistent.json", "-train", "1"}); err == nil {
+		t.Fatal("missing dictionary accepted")
+	}
+}

@@ -1,0 +1,162 @@
+// Command saad-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	saad-bench [flags] <experiment>
+//
+// Experiments: fig6 fig7 fig8 sec533 table1 table2 table3 fig9a fig9b
+// fig9c fig9d fig10 fig11 all
+//
+// Each experiment prints the rows/series the paper reports; timelines
+// render as per-stage ASCII grids with one column per paper minute.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"saad/internal/analyzer"
+	"saad/internal/experiments"
+	"saad/internal/logpoint"
+	"saad/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "saad-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("saad-bench", flag.ContinueOnError)
+	var (
+		scale   = fs.Duration("scale", 5*time.Second, "virtual duration of one paper minute")
+		clients = fs.Int("clients", 40, "emulated YCSB clients")
+		think   = fs.Duration("think", 150*time.Millisecond, "client think time")
+		seed    = fs.Uint64("seed", 20141208, "random seed")
+		runs    = fs.Int("runs", 5, "repetitions for fig11")
+		csvDir  = fs.String("csv", "", "directory to write throughput/anomaly CSVs for fig9*/fig10 (optional)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("need exactly one experiment, got %d args (fig6 fig7 fig8 sec533 table1 table2 table3 fig9a fig9b fig9c fig9d fig10 fig11 model all)", fs.NArg())
+	}
+	cfg := experiments.Config{
+		MinuteScale: *scale,
+		Clients:     *clients,
+		Think:       *think,
+		Seed:        *seed,
+		Runs:        *runs,
+	}
+
+	name := fs.Arg(0)
+	if name == "all" {
+		for _, exp := range []string{"fig6", "fig7", "fig8", "sec533", "table1", "fig9a", "fig9b", "fig9c", "fig9d", "fig10", "fig11"} {
+			if err := runOne(cfg, exp, *csvDir); err != nil {
+				return fmt.Errorf("%s: %w", exp, err)
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	return runOne(cfg, name, *csvDir)
+}
+
+func runOne(cfg experiments.Config, name, csvDir string) error {
+	started := time.Now()
+	var out fmt.Stringer
+	var err error
+	switch name {
+	case "fig6":
+		out, err = experiments.Fig6(cfg)
+	case "fig7":
+		out, err = experiments.Fig7(cfg)
+	case "fig8":
+		out, err = experiments.Fig8(cfg)
+	case "sec533":
+		out, err = experiments.Sec533(cfg)
+	case "table1":
+		out, err = experiments.Table1(cfg)
+	case "table2":
+		fmt.Print(experiments.Table2String())
+		return nil
+	case "table3":
+		fmt.Print(experiments.Table3String())
+		return nil
+	case "fig9a", "fig9b", "fig9c", "fig9d":
+		variant := map[string]experiments.Fig9Variant{
+			"fig9a": experiments.Fig9ErrorWAL,
+			"fig9b": experiments.Fig9ErrorFlush,
+			"fig9c": experiments.Fig9DelayWAL,
+			"fig9d": experiments.Fig9DelayFlush,
+		}[name]
+		var res experiments.Fig9Result
+		var dict *logpoint.Dictionary
+		res, dict, err = experiments.Fig9(cfg, variant)
+		out = res
+		if err == nil && csvDir != "" {
+			err = writeCSVs(csvDir, name, cfg, res.Throughput, res.Anomalies, dict)
+		}
+	case "fig10":
+		var res experiments.Fig10Result
+		var dict *logpoint.Dictionary
+		res, dict, err = experiments.Fig10(cfg)
+		out = res
+		if err == nil && csvDir != "" {
+			err = writeCSVs(csvDir, name, cfg, res.Throughput, res.Anomalies, dict)
+		}
+	case "fig11":
+		out, err = experiments.Fig11(cfg)
+	case "model":
+		// Not a paper artifact: train on a fault-free Cassandra run and
+		// print the learned per-stage signature tables for inspection.
+		var text string
+		text, err = experiments.ModelSummary(cfg)
+		if err == nil {
+			fmt.Print(text)
+			return nil
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Print(out.String())
+	fmt.Printf("[%s completed in %v]\n", name, time.Since(started).Round(time.Millisecond))
+	return nil
+}
+
+// writeCSVs emits <dir>/<exp>-throughput.csv and <dir>/<exp>-anomalies.csv.
+func writeCSVs(dir, exp string, cfg experiments.Config, throughput []int, anomalies []analyzer.Anomaly, dict *logpoint.Dictionary) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tf, err := os.Create(filepath.Join(dir, exp+"-throughput.csv"))
+	if err != nil {
+		return err
+	}
+	if err := report.SeriesCSV(tf, []string{"ops"}, throughput); err != nil {
+		_ = tf.Close()
+		return err
+	}
+	if err := tf.Close(); err != nil {
+		return err
+	}
+	af, err := os.Create(filepath.Join(dir, exp+"-anomalies.csv"))
+	if err != nil {
+		return err
+	}
+	if err := report.AnomaliesCSV(af, anomalies, dict, experiments.Epoch, cfg.MinuteScale); err != nil {
+		_ = af.Close()
+		return err
+	}
+	return af.Close()
+}

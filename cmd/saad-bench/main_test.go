@@ -1,0 +1,54 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"saad/internal/experiments"
+)
+
+func fastConfig() experiments.Config {
+	return experiments.Config{
+		MinuteScale: time.Second,
+		Clients:     8,
+		Think:       80 * time.Millisecond,
+		Seed:        1,
+		Runs:        1,
+	}
+}
+
+func TestRunArgErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Fatal("no experiment accepted")
+	}
+	if err := run([]string{"fig6", "fig7"}); err == nil {
+		t.Fatal("two experiments accepted")
+	}
+	if err := run([]string{"-scale", "1s", "nope"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if err := run([]string{"-bogusflag"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestRunOneStaticTables(t *testing.T) {
+	for _, name := range []string{"table2", "table3"} {
+		if err := runOne(fastConfig(), name, ""); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestRunOneFig7Fast(t *testing.T) {
+	if err := runOne(fastConfig(), "fig7", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOneFig9CSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := runOne(fastConfig(), "fig9c", dir); err != nil {
+		t.Fatal(err)
+	}
+}

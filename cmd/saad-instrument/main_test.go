@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `package server
+
+import "log"
+
+type Worker struct{}
+
+func (w *Worker) Run() {
+	log.Printf("starting task %d", 1)
+	log.Println("task done")
+}
+`
+
+func writeSample(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "worker.go"), []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Non-Go and test files must be ignored.
+	if err := os.WriteFile(filepath.Join(dir, "README.md"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "worker_test.go"), []byte("package server"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestRunDictionaryOnly(t *testing.T) {
+	dir := writeSample(t)
+	dictPath := filepath.Join(t.TempDir(), "dict.json")
+	if err := run([]string{"-dict", dictPath, dir}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dictPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "starting task") {
+		t.Fatalf("dictionary missing template: %s", data)
+	}
+	// Source untouched without -write.
+	src, err := os.ReadFile(filepath.Join(dir, "worker.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(src), "saadlog") {
+		t.Fatal("source rewritten without -write")
+	}
+}
+
+func TestRunRewriteInPlace(t *testing.T) {
+	dir := writeSample(t)
+	dictPath := filepath.Join(t.TempDir(), "dict.json")
+	if err := run([]string{"-dict", dictPath, "-hitpkg", "saadlog", "-write", dir}); err != nil {
+		t.Fatal(err)
+	}
+	src, err := os.ReadFile(filepath.Join(dir, "worker.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(src), "saadlog.Hit("); got != 2 {
+		t.Fatalf("Hit calls = %d:\n%s", got, src)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Fatal("missing directory accepted")
+	}
+	if err := run([]string{t.TempDir()}); err == nil {
+		t.Fatal("empty directory accepted")
+	}
+	if err := run([]string{"/nonexistent-dir-xyz"}); err == nil {
+		t.Fatal("bad directory accepted")
+	}
+}

@@ -1,0 +1,65 @@
+// Cassandra fault injection — the paper's Section 5.4 headline scenario.
+//
+// A 4-node Cassandra cluster serves a write-heavy YCSB-style workload. At
+// minute 10 an error fault hits 1% of WAL appends on host 4; at minute 30
+// it hits 100% of them. The fault leaves a writer stuck holding the
+// memtable freeze: tasks in stage Table terminate prematurely with the
+// signature of Table 1, which log-grep monitoring cannot see (the frozen
+// message is not an error). SAAD pinpoints the stage in real time; the node
+// finally dies of memory pressure around minute 44.
+//
+// Run with: go run ./examples/cassandrafaults
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"saad/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cassandrafaults:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	cfg := experiments.Config{} // paper defaults, compressed timeline
+
+	fmt.Println("=== Table 1: the frozen-MemTable flow ===")
+	t1, err := experiments.Table1(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(t1.String())
+
+	fmt.Println("=== Figure 9(a): error on appending to WAL, host 4 ===")
+	res, dict, err := experiments.Fig9(cfg, experiments.Fig9ErrorWAL)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.String())
+
+	// The paper's contrast: conventional monitoring vs SAAD.
+	fmt.Printf("log-grep alerting saw %d error messages (first at minute %d of 50);\n",
+		res.ErrorLogCount, firstMinute(res.ErrorLogMinutes))
+	fmt.Printf("SAAD raised %d flow + %d performance anomalies, starting with the fault at minute 10.\n",
+		res.FlowCount, res.PerfCount)
+	_ = dict
+	return nil
+}
+
+func firstMinute(minutes []int) int {
+	if len(minutes) == 0 {
+		return -1
+	}
+	first := minutes[0]
+	for _, m := range minutes {
+		if m < first {
+			first = m
+		}
+	}
+	return first
+}

@@ -1,0 +1,71 @@
+// Instrumentation demo — the static pass of paper Section 4.1.1.
+//
+// The instrumenter parses Go source, assigns every log statement a unique
+// log-point id, derives the stage from the enclosing method's receiver
+// (the Go analogue of the paper's Runnable.run stage entry points), builds
+// the log template dictionary, and rewrites the source so each log call is
+// preceded by a tracker hit.
+//
+// Run with: go run ./examples/instrument
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"saad/internal/instrument"
+)
+
+// sampleSource is the simplified HDFS DataXceiver of the paper's Figure 3.
+const sampleSource = `package datanode
+
+import "log"
+
+type DataXceiver struct{ blockID int64 }
+
+func (d *DataXceiver) Run(packets [][]byte) {
+	log.Printf("Receiving block blk_%d", d.blockID)
+	for _, pkt := range packets {
+		log.Printf("Receiving one packet for blk_%d", d.blockID)
+		if len(pkt) == 0 {
+			log.Printf("Receiving empty packet for blk_%d", d.blockID)
+			continue
+		}
+		log.Printf("WriteTo blockfile of size %d", len(pkt))
+	}
+	log.Println("Closing down.")
+}
+`
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "instrument:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	res, err := instrument.Run(
+		[]instrument.File{{Name: "dataxceiver.go", Src: []byte(sampleSource)}},
+		instrument.Options{HitPackage: "saadlog"},
+	)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("found %d log points in %d stages\n\n", len(res.Sites), res.Dictionary.NumStages())
+	fmt.Println("log template dictionary:")
+	for _, site := range res.Sites {
+		fmt.Printf("  L%d  stage=%-12s level=%-5s template=%q (%s:%d)\n",
+			site.ID, site.Stage, site.Level, site.Template, site.File, site.Line)
+	}
+
+	fmt.Println("\nrewritten source (saadlog.Hit(id) precedes each log call):")
+	fmt.Println(string(res.Rewritten["dataxceiver.go"]))
+
+	fmt.Println("dictionary JSON (for cmd/saad-analyzer -dict):")
+	if _, err := res.Dictionary.WriteTo(os.Stdout); err != nil {
+		return err
+	}
+	return nil
+}

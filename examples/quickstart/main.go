@@ -1,0 +1,129 @@
+// Quickstart: instrument a tiny staged server with SAAD, train on healthy
+// traffic, then watch SAAD flag a fault that never logs an error.
+//
+// The server has one producer-consumer stage ("Checkout") whose handler
+// hits three log points. After training, a "bug" makes tasks terminate
+// prematurely — they stop hitting the later log points. No ERROR is ever
+// logged, yet SAAD reports a flow anomaly with the offending execution
+// flow, because the task signature {received} was never seen in training.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"saad"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+// clock is a deterministic virtual clock so the demo behaves identically on
+// any machine.
+type clock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(200 * time.Microsecond)
+	return c.now
+}
+
+func (c *clock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+func run() error {
+	cfg := saad.DefaultAnalyzerConfig()
+	cfg.Window = time.Second
+	mon, err := saad.NewMonitor(saad.WithAnalyzerConfig(cfg))
+	if err != nil {
+		return err
+	}
+	clk := &clock{now: time.Date(2026, 1, 1, 9, 0, 0, 0, time.UTC)}
+
+	// Instrumentation pass: register the stage's log points (in a real
+	// project cmd/saad-instrument does this from your sources).
+	dict := mon.Dictionary()
+	stage, err := dict.RegisterStage("Checkout", saad.ProducerConsumer)
+	if err != nil {
+		return err
+	}
+	var pts [3]saad.LogPointID
+	for i, tpl := range []string{
+		"order received",
+		"payment authorized",
+		"order confirmed. sending receipt",
+	} {
+		if pts[i], err = dict.RegisterPoint(stage, saad.LevelDebug, tpl); err != nil {
+			return err
+		}
+	}
+
+	// The healthy handler: every task hits all three points.
+	healthy, err := mon.NewExecutor("Checkout", 4, 64, clk.Now, func(ctx *saad.StageCtx, _ any) {
+		ctx.Log(pts[0])
+		ctx.Log(pts[1])
+		ctx.Log(pts[2])
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("training on 5000 healthy checkouts...")
+	for i := 0; i < 5000; i++ {
+		if err := healthy.Submit(i); err != nil {
+			return err
+		}
+	}
+	healthy.Close()
+	model, err := mon.Train()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("model trained on %d task synopses\n\n", model.TrainedOn)
+
+	// The buggy handler: payment hangs, tasks die after the first point.
+	// Note: nothing here logs an error.
+	clk.Advance(2 * time.Second)
+	buggy, err := mon.NewExecutor("Checkout", 4, 64, clk.Now, func(ctx *saad.StageCtx, _ any) {
+		ctx.Log(pts[0])
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("serving 200 checkouts through the buggy build...")
+	for i := 0; i < 200; i++ {
+		if err := buggy.Submit(i); err != nil {
+			return err
+		}
+	}
+	buggy.Close()
+	clk.Advance(3 * time.Second) // let the detection window close
+
+	anomalies, err := mon.Flush()
+	if err != nil {
+		return err
+	}
+	if len(anomalies) == 0 {
+		return fmt.Errorf("no anomaly detected (unexpected)")
+	}
+	fmt.Printf("\nSAAD detected %d anomalies:\n\n", len(anomalies))
+	for _, a := range anomalies {
+		fmt.Println(saad.FormatAnomaly(a, dict))
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module saad
+
+go 1.22

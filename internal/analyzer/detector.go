@@ -1,0 +1,362 @@
+package analyzer
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"saad/internal/logpoint"
+	"saad/internal/stats"
+	"saad/internal/synopsis"
+)
+
+// AnomalyKind distinguishes the two anomaly classes of Section 3.3.3.
+type AnomalyKind int
+
+// Anomaly kinds.
+const (
+	FlowAnomaly AnomalyKind = iota + 1
+	PerformanceAnomaly
+)
+
+// String implements fmt.Stringer.
+func (k AnomalyKind) String() string {
+	switch k {
+	case FlowAnomaly:
+		return "flow"
+	case PerformanceAnomaly:
+		return "performance"
+	default:
+		return fmt.Sprintf("AnomalyKind(%d)", int(k))
+	}
+}
+
+// Anomaly is one detected anomaly: a statistically significant increase of
+// outlier tasks in one stage on one host during one window.
+type Anomaly struct {
+	// Kind is flow or performance.
+	Kind AnomalyKind
+	// Stage and Host locate the anomaly.
+	Stage logpoint.StageID
+	Host  uint16
+	// Window is the start of the detection window.
+	Window time.Time
+	// Signature is the offending signature for performance anomalies and
+	// for new-signature flow anomalies; empty for proportion-driven flow
+	// anomalies spanning several rare signatures.
+	Signature synopsis.Signature
+	// NewSignature marks flow anomalies triggered by a signature never seen
+	// in training (condition (ii) of Section 3.3.3).
+	NewSignature bool
+	// Test carries the proportion-test outcome that triggered the anomaly
+	// (zero-valued for new-signature anomalies, which need no test).
+	Test stats.ProportionTestResult
+	// Outliers and Tasks are the window's outlier and total task counts for
+	// the tested group.
+	Outliers, Tasks int
+	// Examples holds up to Config.MaxExamples sample outlier synopses for
+	// root-cause inspection.
+	Examples []*synopsis.Synopsis
+}
+
+// String implements fmt.Stringer with a single-line report.
+func (a Anomaly) String() string {
+	tag := ""
+	if a.NewSignature {
+		tag = " NEW-SIGNATURE"
+	}
+	return fmt.Sprintf("[%s] stage=%d host=%d window=%s outliers=%d/%d%s",
+		a.Kind, a.Stage, a.Host, a.Window.Format("15:04:05"), a.Outliers, a.Tasks, tag)
+}
+
+// WindowStats summarizes one closed (host, stage) window regardless of
+// whether it was anomalous; the report renderer uses it for timelines.
+type WindowStats struct {
+	Stage        logpoint.StageID
+	Host         uint16
+	Window       time.Time
+	Tasks        int
+	FlowOutliers int
+	PerfOutliers int
+}
+
+// Detector consumes a time-ordered stream of synopses and emits anomalies
+// at window boundaries. It is the runtime half of the analyzer: per task it
+// performs only hash-map lookups and floating point comparisons; the
+// proportion tests run once per stage per window (paper Section 4.2).
+// Detector is not safe for concurrent use; feed it from one goroutine.
+type Detector struct {
+	model *Model
+	cfg   Config
+
+	open map[groupKey]*windowState
+	// closedStats accumulates per-window statistics for reporting.
+	stats []WindowStats
+}
+
+type groupKey struct {
+	host  uint16
+	stage logpoint.StageID
+}
+
+type windowState struct {
+	start        time.Time
+	tasks        int
+	flowOutliers int
+	newSigs      map[synopsis.Signature]*sigEvidence
+	flowExamples []*synopsis.Synopsis
+	perSig       map[synopsis.Signature]*sigWindow
+}
+
+type sigEvidence struct {
+	count    int
+	examples []*synopsis.Synopsis
+}
+
+type sigWindow struct {
+	tasks        int
+	perfOutliers int
+	examples     []*synopsis.Synopsis
+}
+
+// NewDetector returns a detector for the trained model. The model's
+// configuration governs windows and significance.
+func NewDetector(model *Model) *Detector {
+	return &Detector{
+		model: model,
+		cfg:   model.Config,
+		open:  make(map[groupKey]*windowState),
+	}
+}
+
+// Feed processes one synopsis and returns the anomalies from any window the
+// synopsis's timestamp closed. Synopses should arrive in roughly increasing
+// Start order per (host, stage); SAAD's single analyzer consuming per-node
+// FIFO streams guarantees that in practice.
+func (d *Detector) Feed(s *synopsis.Synopsis) []Anomaly {
+	key := groupKey{host: s.Host, stage: s.Stage}
+	w := d.open[key]
+	var out []Anomaly
+	if w != nil && !s.Start.Before(w.start.Add(d.cfg.Window)) {
+		out = d.closeWindow(key, w)
+		w = nil
+	}
+	if w == nil {
+		w = &windowState{
+			start:   s.Start.Truncate(d.cfg.Window),
+			perSig:  make(map[synopsis.Signature]*sigWindow),
+			newSigs: make(map[synopsis.Signature]*sigEvidence),
+		}
+		d.open[key] = w
+	}
+	d.observe(w, s)
+	return out
+}
+
+// observe classifies one synopsis against the model inside window w.
+func (d *Detector) observe(w *windowState, s *synopsis.Synopsis) {
+	w.tasks++
+	sig := s.Signature()
+	sm := d.model.Stage(s.Stage)
+	var sigModel *SignatureModel
+	if sm != nil {
+		sigModel = sm.Signatures[sig]
+	}
+	switch {
+	case sigModel == nil:
+		// Never seen in training: a new execution flow.
+		ev := w.newSigs[sig]
+		if ev == nil {
+			ev = &sigEvidence{}
+			w.newSigs[sig] = ev
+		}
+		ev.count++
+		if len(ev.examples) < cap1(d.cfg.MaxExamples) {
+			ev.examples = append(ev.examples, s)
+		}
+		w.flowOutliers++
+	case sigModel.FlowOutlier:
+		w.flowOutliers++
+		if len(w.flowExamples) < d.cfg.MaxExamples {
+			w.flowExamples = append(w.flowExamples, s)
+		}
+	default:
+		// Normal flow: eligible for performance-outlier classification.
+		sw := w.perSig[sig]
+		if sw == nil {
+			sw = &sigWindow{}
+			w.perSig[sig] = sw
+		}
+		sw.tasks++
+		if sigModel.PerfEligible && s.Duration > sigModel.DurationThreshold {
+			sw.perfOutliers++
+			if len(sw.examples) < d.cfg.MaxExamples {
+				sw.examples = append(sw.examples, s)
+			}
+		}
+	}
+}
+
+// cap1 returns at least 1 so new-signature evidence is retained even with
+// MaxExamples = 0 disabled example collection elsewhere.
+func cap1(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// Flush closes all open windows and returns their anomalies. Call at end of
+// stream.
+func (d *Detector) Flush() []Anomaly {
+	keys := make([]groupKey, 0, len(d.open))
+	for k := range d.open {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].host != keys[j].host {
+			return keys[i].host < keys[j].host
+		}
+		return keys[i].stage < keys[j].stage
+	})
+	var out []Anomaly
+	for _, k := range keys {
+		out = append(out, d.closeWindow(k, d.open[k])...)
+	}
+	return out
+}
+
+// WindowHistory returns per-window statistics for all closed windows in
+// close order.
+func (d *Detector) WindowHistory() []WindowStats {
+	return append([]WindowStats(nil), d.stats...)
+}
+
+func (d *Detector) closeWindow(key groupKey, w *windowState) []Anomaly {
+	delete(d.open, key)
+	perf := 0
+	var anomalies []Anomaly
+
+	sm := d.model.Stage(key.stage)
+
+	// Flow condition (ii): any signature unseen in training.
+	newSigs := make([]synopsis.Signature, 0, len(w.newSigs))
+	for sig := range w.newSigs {
+		newSigs = append(newSigs, sig)
+	}
+	sort.Slice(newSigs, func(i, j int) bool { return newSigs[i] < newSigs[j] })
+	for _, sig := range newSigs {
+		ev := w.newSigs[sig]
+		anomalies = append(anomalies, Anomaly{
+			Kind:         FlowAnomaly,
+			Stage:        key.stage,
+			Host:         key.host,
+			Window:       w.start,
+			Signature:    sig,
+			NewSignature: true,
+			Outliers:     ev.count,
+			Tasks:        w.tasks,
+			Examples:     clipExamples(ev.examples, d.cfg.MaxExamples),
+		})
+	}
+
+	// Flow condition (i): proportion test against the training share.
+	if sm != nil && w.tasks > 0 {
+		res, err := d.propTest(w.flowOutliers, w.tasks, sm.FlowOutlierShare)
+		if err == nil && res.Reject && len(newSigs) == 0 {
+			// Known-but-rare signatures spiked. (When new signatures are
+			// present they already produced anomalies above; avoid double
+			// reporting the same evidence.)
+			anomalies = append(anomalies, Anomaly{
+				Kind:     FlowAnomaly,
+				Stage:    key.stage,
+				Host:     key.host,
+				Window:   w.start,
+				Test:     res,
+				Outliers: w.flowOutliers,
+				Tasks:    w.tasks,
+				Examples: clipExamples(w.flowExamples, d.cfg.MaxExamples),
+			})
+		}
+	}
+
+	// Performance anomalies: per signature group (Section 3.3.3).
+	sigs := make([]synopsis.Signature, 0, len(w.perSig))
+	for sig := range w.perSig {
+		sigs = append(sigs, sig)
+	}
+	sort.Slice(sigs, func(i, j int) bool { return sigs[i] < sigs[j] })
+	for _, sig := range sigs {
+		sw := w.perSig[sig]
+		perf += sw.perfOutliers
+		if sm == nil || sw.tasks == 0 {
+			continue
+		}
+		sigModel := sm.Signatures[sig]
+		if sigModel == nil || !sigModel.PerfEligible {
+			continue
+		}
+		// Training traces with duration ties at the percentile can report a
+		// near-zero empirical outlier share, which would make any single
+		// slow task "significant"; the baseline is floored at half the
+		// nominal share.
+		p0 := sigModel.PerfTrainShare
+		if floor := d.cfg.nominalPerfOutlierShare() / 2; p0 < floor {
+			p0 = floor
+		}
+		res, err := d.propTest(sw.perfOutliers, sw.tasks, p0)
+		if err != nil || !res.Reject {
+			continue
+		}
+		anomalies = append(anomalies, Anomaly{
+			Kind:      PerformanceAnomaly,
+			Stage:     key.stage,
+			Host:      key.host,
+			Window:    w.start,
+			Signature: sig,
+			Test:      res,
+			Outliers:  sw.perfOutliers,
+			Tasks:     sw.tasks,
+			Examples:  clipExamples(sw.examples, d.cfg.MaxExamples),
+		})
+	}
+
+	d.stats = append(d.stats, WindowStats{
+		Stage:        key.stage,
+		Host:         key.host,
+		Window:       w.start,
+		Tasks:        w.tasks,
+		FlowOutliers: w.flowOutliers,
+		PerfOutliers: perf,
+	})
+	return anomalies
+}
+
+func (d *Detector) propTest(successes, n int, p0 float64) (stats.ProportionTestResult, error) {
+	var (
+		res stats.ProportionTestResult
+		err error
+	)
+	if d.cfg.UseTTest {
+		res, err = stats.ProportionTTest(successes, n, p0, d.cfg.Alpha)
+	} else {
+		res, err = stats.ProportionZTest(successes, n, p0, d.cfg.Alpha)
+	}
+	if err != nil {
+		return res, err
+	}
+	// Gate on practical significance too: a rejection whose observed
+	// increase is under MinEffect is statistical noise at these window
+	// sizes.
+	if res.Reject && res.PHat < p0+d.cfg.MinEffect {
+		res.Reject = false
+	}
+	return res, nil
+}
+
+func clipExamples(in []*synopsis.Synopsis, max int) []*synopsis.Synopsis {
+	if len(in) <= max {
+		return in
+	}
+	return in[:max]
+}

@@ -1,0 +1,129 @@
+package analyzer
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"saad/internal/logpoint"
+	"saad/internal/synopsis"
+)
+
+// TestDetectorRobustnessProperty feeds the detector arbitrary synopsis
+// streams (random stages, hosts, points, durations, and timestamps,
+// including out-of-order ones) and checks the structural invariants: no
+// panics, window statistics account for every task exactly once, and
+// anomaly counts never exceed task counts.
+func TestDetectorRobustnessProperty(t *testing.T) {
+	model := trainedModel(t)
+	f := func(raw []struct {
+		Stage  uint8
+		Host   uint8
+		StartS uint16
+		DurUs  uint32
+		Pts    []uint8
+	}) bool {
+		det := NewDetector(model)
+		var anomalies []Anomaly
+		for i, r := range raw {
+			s := &synopsis.Synopsis{
+				Stage:    logpoint.StageID(r.Stage%4 + 1),
+				Host:     uint16(r.Host % 4),
+				TaskID:   uint64(i),
+				Start:    epoch.Add(time.Duration(r.StartS) * time.Second),
+				Duration: time.Duration(r.DurUs) * time.Microsecond,
+			}
+			for _, p := range r.Pts {
+				s.Points = append(s.Points, synopsis.PointCount{Point: logpoint.ID(p%8 + 1), Count: 1})
+			}
+			s.Normalize()
+			anomalies = append(anomalies, det.Feed(s)...)
+		}
+		anomalies = append(anomalies, det.Flush()...)
+
+		// Window stats must account for every fed task exactly once.
+		total := 0
+		for _, w := range det.WindowHistory() {
+			if w.Tasks < 0 || w.FlowOutliers < 0 || w.PerfOutliers < 0 {
+				return false
+			}
+			if w.FlowOutliers > w.Tasks || w.PerfOutliers > w.Tasks {
+				return false
+			}
+			total += w.Tasks
+		}
+		if total != len(raw) {
+			return false
+		}
+		// Anomaly evidence is bounded by its window's tasks.
+		for _, a := range anomalies {
+			if a.Outliers < 0 || a.Tasks < 0 || a.Outliers > a.Tasks && a.Tasks > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTrainerRobustnessProperty trains on arbitrary synopsis multisets and
+// checks model invariants: shares sum to 1 per stage, flow-outlier share in
+// [0, 1], thresholds non-negative.
+func TestTrainerRobustnessProperty(t *testing.T) {
+	f := func(raw []struct {
+		Stage uint8
+		DurUs uint32
+		Pts   []uint8
+	}) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		tr, err := NewTrainer(DefaultConfig())
+		if err != nil {
+			return false
+		}
+		for i, r := range raw {
+			s := &synopsis.Synopsis{
+				Stage:    logpoint.StageID(r.Stage%3 + 1),
+				TaskID:   uint64(i),
+				Start:    epoch,
+				Duration: time.Duration(r.DurUs) * time.Microsecond,
+			}
+			for _, p := range r.Pts {
+				s.Points = append(s.Points, synopsis.PointCount{Point: logpoint.ID(p%6 + 1), Count: 1})
+			}
+			s.Normalize()
+			tr.Add(s)
+		}
+		model, err := tr.Train()
+		if err != nil {
+			return false
+		}
+		for _, sm := range model.Stages {
+			if sm.FlowOutlierShare < 0 || sm.FlowOutlierShare > 1 {
+				return false
+			}
+			var shares float64
+			count := 0
+			for _, sig := range sm.Signatures {
+				if sig.Share < 0 || sig.Share > 1 || sig.DurationThreshold < 0 {
+					return false
+				}
+				shares += sig.Share
+				count += sig.Count
+			}
+			if count != sm.Total {
+				return false
+			}
+			if shares < 0.999 || shares > 1.001 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

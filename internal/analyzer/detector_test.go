@@ -1,0 +1,309 @@
+package analyzer
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"saad/internal/logpoint"
+	"saad/internal/synopsis"
+	"saad/internal/vtime"
+)
+
+// trainedModel returns a model trained on a healthy trace for stage 1:
+// signature {1,2,4,5} ~99%, {1,2,3,4,5} ~1% (rare but known), durations
+// around 10ms.
+func trainedModel(t *testing.T) *Model {
+	t.Helper()
+	rng := vtime.NewRNG(42)
+	var trace []*synopsis.Synopsis
+	ts := epoch
+	for i := 0; i < 20000; i++ {
+		dur := 9*time.Millisecond + time.Duration(rng.Intn(int(2*time.Millisecond)))
+		pts := []logpoint.ID{1, 2, 4, 5}
+		if i%250 == 0 { // 0.4% rare flow
+			pts = []logpoint.ID{1, 2, 3, 4, 5}
+		}
+		trace = append(trace, makeSyn(1, 1, ts, dur, pts...))
+		ts = ts.Add(time.Millisecond)
+	}
+	model, err := Train(DefaultConfig(), trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model
+}
+
+func feedAll(d *Detector, syns []*synopsis.Synopsis) []Anomaly {
+	var out []Anomaly
+	for _, s := range syns {
+		out = append(out, d.Feed(s)...)
+	}
+	out = append(out, d.Flush()...)
+	return out
+}
+
+func TestDetectorQuietOnHealthyTraffic(t *testing.T) {
+	model := trainedModel(t)
+	det := NewDetector(model)
+	rng := vtime.NewRNG(77)
+	var syns []*synopsis.Synopsis
+	ts := epoch
+	for i := 0; i < 5000; i++ {
+		dur := 9*time.Millisecond + time.Duration(rng.Intn(int(2*time.Millisecond)))
+		pts := []logpoint.ID{1, 2, 4, 5}
+		if i%250 == 0 {
+			pts = []logpoint.ID{1, 2, 3, 4, 5}
+		}
+		syns = append(syns, makeSyn(1, 1, ts, dur, pts...))
+		ts = ts.Add(time.Millisecond)
+	}
+	anomalies := feedAll(det, syns)
+	if len(anomalies) != 0 {
+		t.Fatalf("healthy traffic produced %d anomalies: %v", len(anomalies), anomalies[0])
+	}
+	hist := det.WindowHistory()
+	if len(hist) == 0 {
+		t.Fatal("no window history")
+	}
+	var tasks int
+	for _, w := range hist {
+		tasks += w.Tasks
+	}
+	if tasks != 5000 {
+		t.Fatalf("history tasks = %d", tasks)
+	}
+}
+
+func TestDetectorNewSignatureFlowAnomaly(t *testing.T) {
+	model := trainedModel(t)
+	det := NewDetector(model)
+	// A premature-termination flow: only point 1 — never seen in training.
+	syns := []*synopsis.Synopsis{
+		makeSyn(1, 1, epoch, 10*time.Millisecond, 1, 2, 4, 5),
+		makeSyn(1, 1, epoch.Add(time.Second), time.Millisecond, 1),
+	}
+	anomalies := feedAll(det, syns)
+	if len(anomalies) != 1 {
+		t.Fatalf("anomalies = %v", anomalies)
+	}
+	a := anomalies[0]
+	if a.Kind != FlowAnomaly || !a.NewSignature {
+		t.Fatalf("anomaly = %+v", a)
+	}
+	if a.Signature != synopsis.Compute([]logpoint.ID{1}) {
+		t.Fatalf("signature = %v", a.Signature)
+	}
+	if len(a.Examples) != 1 || a.Examples[0].Duration != time.Millisecond {
+		t.Fatalf("examples = %v", a.Examples)
+	}
+	if !strings.Contains(a.String(), "NEW-SIGNATURE") {
+		t.Fatalf("String() = %q", a.String())
+	}
+}
+
+func TestDetectorRareSignatureSpikeFlowAnomaly(t *testing.T) {
+	model := trainedModel(t)
+	det := NewDetector(model)
+	// One window where the known-rare signature jumps from 0.4% to 30%.
+	var syns []*synopsis.Synopsis
+	ts := epoch
+	for i := 0; i < 1000; i++ {
+		pts := []logpoint.ID{1, 2, 4, 5}
+		if i%3 == 0 {
+			pts = []logpoint.ID{1, 2, 3, 4, 5}
+		}
+		syns = append(syns, makeSyn(1, 1, ts, 10*time.Millisecond, pts...))
+		ts = ts.Add(time.Millisecond)
+	}
+	anomalies := feedAll(det, syns)
+	var flow int
+	for _, a := range anomalies {
+		if a.Kind == FlowAnomaly {
+			flow++
+			if a.NewSignature {
+				t.Fatalf("rare known signature flagged as new: %+v", a)
+			}
+			if !a.Test.Reject {
+				t.Fatalf("flow anomaly without rejecting test: %+v", a)
+			}
+		}
+	}
+	if flow == 0 {
+		t.Fatal("rare-signature spike not detected")
+	}
+}
+
+func TestDetectorPerformanceAnomaly(t *testing.T) {
+	model := trainedModel(t)
+	det := NewDetector(model)
+	// Normal signature, but 30% of tasks take 3x the usual duration.
+	var syns []*synopsis.Synopsis
+	ts := epoch
+	rng := vtime.NewRNG(5)
+	for i := 0; i < 2000; i++ {
+		dur := 9*time.Millisecond + time.Duration(rng.Intn(int(2*time.Millisecond)))
+		if i%3 == 0 {
+			dur = 30 * time.Millisecond
+		}
+		syns = append(syns, makeSyn(1, 1, ts, dur, 1, 2, 4, 5))
+		ts = ts.Add(time.Millisecond)
+	}
+	anomalies := feedAll(det, syns)
+	var perf int
+	for _, a := range anomalies {
+		if a.Kind == PerformanceAnomaly {
+			perf++
+			if a.Signature != synopsis.Compute([]logpoint.ID{1, 2, 4, 5}) {
+				t.Fatalf("perf anomaly signature = %v", a.Signature)
+			}
+			if a.Outliers == 0 || len(a.Examples) == 0 {
+				t.Fatalf("perf anomaly missing evidence: %+v", a)
+			}
+		}
+	}
+	if perf == 0 {
+		t.Fatal("performance anomaly not detected")
+	}
+}
+
+func TestDetectorSeparatesHosts(t *testing.T) {
+	model := trainedModel(t)
+	det := NewDetector(model)
+	// Host 2 is slow; host 1 is healthy. Only host 2 may alarm.
+	var syns []*synopsis.Synopsis
+	ts := epoch
+	rng := vtime.NewRNG(9)
+	for i := 0; i < 2000; i++ {
+		durOK := 9*time.Millisecond + time.Duration(rng.Intn(int(2*time.Millisecond)))
+		syns = append(syns, makeSyn(1, 1, ts, durOK, 1, 2, 4, 5))
+		syns = append(syns, makeSyn(1, 2, ts, 40*time.Millisecond, 1, 2, 4, 5))
+		ts = ts.Add(time.Millisecond)
+	}
+	anomalies := feedAll(det, syns)
+	if len(anomalies) == 0 {
+		t.Fatal("no anomalies detected")
+	}
+	for _, a := range anomalies {
+		if a.Host != 2 {
+			t.Fatalf("healthy host alarmed: %+v", a)
+		}
+	}
+}
+
+func TestDetectorWindowBoundaries(t *testing.T) {
+	model := trainedModel(t)
+	det := NewDetector(model)
+	// Anomalous tasks only in the second window.
+	w := model.Config.Window
+	var syns []*synopsis.Synopsis
+	for i := 0; i < 100; i++ {
+		syns = append(syns, makeSyn(1, 1, epoch.Add(time.Duration(i)*time.Millisecond), 10*time.Millisecond, 1, 2, 4, 5))
+	}
+	for i := 0; i < 100; i++ {
+		syns = append(syns, makeSyn(1, 1, epoch.Add(w).Add(time.Duration(i)*time.Millisecond), time.Millisecond, 1))
+	}
+	anomalies := feedAll(det, syns)
+	if len(anomalies) != 1 {
+		t.Fatalf("anomalies = %d, want 1", len(anomalies))
+	}
+	if !anomalies[0].Window.Equal(epoch.Add(w).Truncate(w)) {
+		t.Fatalf("anomaly window = %v", anomalies[0].Window)
+	}
+	hist := det.WindowHistory()
+	if len(hist) != 2 {
+		t.Fatalf("history windows = %d, want 2", len(hist))
+	}
+	if hist[0].FlowOutliers != 0 || hist[1].FlowOutliers != 100 {
+		t.Fatalf("history = %+v", hist)
+	}
+}
+
+func TestDetectorUnknownStage(t *testing.T) {
+	model := trainedModel(t)
+	det := NewDetector(model)
+	// A stage absent from training: every task is a new-signature flow
+	// anomaly (the model cannot vouch for it).
+	syns := []*synopsis.Synopsis{makeSyn(99, 1, epoch, time.Millisecond, 7)}
+	anomalies := feedAll(det, syns)
+	if len(anomalies) != 1 || !anomalies[0].NewSignature {
+		t.Fatalf("anomalies = %v", anomalies)
+	}
+}
+
+func TestDetectorNoDoubleReportingWithNewSigs(t *testing.T) {
+	model := trainedModel(t)
+	det := NewDetector(model)
+	// A window containing both new signatures and a rare-signature spike:
+	// the new-signature anomalies subsume the proportion evidence, so no
+	// additional proportion-driven flow anomaly may be emitted.
+	var syns []*synopsis.Synopsis
+	ts := epoch
+	for i := 0; i < 300; i++ {
+		pts := []logpoint.ID{1, 2, 4, 5}
+		if i%5 == 0 {
+			pts = []logpoint.ID{1} // new signature
+		}
+		syns = append(syns, makeSyn(1, 1, ts, 10*time.Millisecond, pts...))
+		ts = ts.Add(time.Millisecond)
+	}
+	anomalies := feedAll(det, syns)
+	for _, a := range anomalies {
+		if a.Kind == FlowAnomaly && !a.NewSignature {
+			t.Fatalf("proportion flow anomaly emitted alongside new-signature anomalies: %+v", a)
+		}
+	}
+	if len(anomalies) != 1 {
+		t.Fatalf("anomalies = %d, want 1 (single new signature)", len(anomalies))
+	}
+	if anomalies[0].Outliers != 60 {
+		t.Fatalf("new-signature count = %d, want 60", anomalies[0].Outliers)
+	}
+}
+
+func TestDetectorTTestVariant(t *testing.T) {
+	rng := vtime.NewRNG(42)
+	var trace []*synopsis.Synopsis
+	ts := epoch
+	for i := 0; i < 20000; i++ {
+		dur := 9*time.Millisecond + time.Duration(rng.Intn(int(2*time.Millisecond)))
+		trace = append(trace, makeSyn(1, 1, ts, dur, 1, 2, 4, 5))
+		ts = ts.Add(time.Millisecond)
+	}
+	cfg := DefaultConfig()
+	cfg.UseTTest = true
+	model, err := Train(cfg, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := NewDetector(model)
+	var syns []*synopsis.Synopsis
+	ts = epoch
+	for i := 0; i < 2000; i++ {
+		dur := 10 * time.Millisecond
+		if i%3 == 0 {
+			dur = 40 * time.Millisecond
+		}
+		syns = append(syns, makeSyn(1, 1, ts, dur, 1, 2, 4, 5))
+		ts = ts.Add(time.Millisecond)
+	}
+	anomalies := feedAll(det, syns)
+	found := false
+	for _, a := range anomalies {
+		if a.Kind == PerformanceAnomaly {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("t-test variant missed a blatant performance anomaly")
+	}
+}
+
+func TestAnomalyKindString(t *testing.T) {
+	if FlowAnomaly.String() != "flow" || PerformanceAnomaly.String() != "performance" {
+		t.Fatal("kind strings wrong")
+	}
+	if AnomalyKind(9).String() != "AnomalyKind(9)" {
+		t.Fatal("unknown kind string wrong")
+	}
+}

@@ -1,0 +1,105 @@
+package analyzer
+
+import (
+	"time"
+
+	"saad/internal/logpoint"
+)
+
+// AlarmFilter implements the de-bouncing extension the paper sketches in
+// its false-positive analysis (Section 5.6): because fault-driven anomalies
+// arrive in bursts an order of magnitude above the background rate,
+// "filtering out spurious false alarms can be easily added". The filter
+// passes an anomaly through only when the same (host, stage, kind) group
+// has alarmed in at least MinWindows of the last Span windows, suppressing
+// the isolated single-window alarms that natural variability produces.
+//
+// AlarmFilter is not safe for concurrent use; feed it from the detector's
+// goroutine.
+type AlarmFilter struct {
+	// MinWindows is the number of distinct alarming windows required
+	// within Span before anomalies pass. Default 2.
+	MinWindows int
+	// Span is the sliding range considered. Default 3 windows.
+	Span int
+	// Window is the detector's window length (used to compare window
+	// starts). Required.
+	Window time.Duration
+
+	recent map[filterKey][]time.Time
+	// held buffers the first anomalies of a burst so that, once the burst
+	// is confirmed, the initial evidence is not lost.
+	held map[filterKey][]Anomaly
+}
+
+type filterKey struct {
+	host  uint16
+	stage logpoint.StageID
+	kind  AnomalyKind
+}
+
+// NewAlarmFilter returns a filter with the given thresholds; minWindows
+// and span are clamped to at least 1 (a 1/1 filter passes everything).
+func NewAlarmFilter(minWindows, span int, window time.Duration) *AlarmFilter {
+	if minWindows < 1 {
+		minWindows = 1
+	}
+	if span < minWindows {
+		span = minWindows
+	}
+	if window <= 0 {
+		window = time.Minute
+	}
+	return &AlarmFilter{
+		MinWindows: minWindows,
+		Span:       span,
+		Window:     window,
+		recent:     make(map[filterKey][]time.Time),
+		held:       make(map[filterKey][]Anomaly),
+	}
+}
+
+// Filter consumes anomalies (typically a Detector.Feed return value) and
+// returns those that pass the persistence requirement, including any
+// previously held anomalies of a newly confirmed burst.
+func (f *AlarmFilter) Filter(anomalies []Anomaly) []Anomaly {
+	var out []Anomaly
+	for _, a := range anomalies {
+		key := filterKey{host: a.Host, stage: a.Stage, kind: a.Kind}
+
+		// Record this window (once) for the group.
+		windows := f.recent[key]
+		if len(windows) == 0 || !windows[len(windows)-1].Equal(a.Window) {
+			windows = append(windows, a.Window)
+		}
+		// Expire windows older than Span.
+		horizon := a.Window.Add(-time.Duration(f.Span-1) * f.Window)
+		keep := windows[:0]
+		for _, w := range windows {
+			if !w.Before(horizon) {
+				keep = append(keep, w)
+			}
+		}
+		f.recent[key] = keep
+
+		if len(keep) >= f.MinWindows {
+			// Burst confirmed: release held evidence first.
+			out = append(out, f.held[key]...)
+			delete(f.held, key)
+			out = append(out, a)
+		} else {
+			f.held[key] = append(f.held[key], a)
+		}
+	}
+	return out
+}
+
+// Suppressed returns the number of anomalies currently held back across all
+// groups (evidence of unconfirmed single-window alarms).
+func (f *AlarmFilter) Suppressed() int {
+	n := 0
+	for _, h := range f.held {
+		n += len(h)
+	}
+	return n
+}

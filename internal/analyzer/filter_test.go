@@ -1,0 +1,115 @@
+package analyzer
+
+import (
+	"testing"
+	"time"
+
+	"saad/internal/logpoint"
+)
+
+func anomAt(minute int, host uint16, stage uint16, kind AnomalyKind) Anomaly {
+	return Anomaly{
+		Kind:   kind,
+		Stage:  logpoint.StageID(stage),
+		Host:   host,
+		Window: epoch.Add(time.Duration(minute) * time.Minute),
+	}
+}
+
+func TestAlarmFilterSuppressesIsolatedAlarms(t *testing.T) {
+	f := NewAlarmFilter(2, 3, time.Minute)
+	// A single-window alarm: held back.
+	out := f.Filter([]Anomaly{anomAt(5, 1, 7, FlowAnomaly)})
+	if len(out) != 0 {
+		t.Fatalf("isolated alarm passed: %v", out)
+	}
+	if f.Suppressed() != 1 {
+		t.Fatalf("suppressed = %d", f.Suppressed())
+	}
+	// An alarm in the same group far later: the first has expired, still
+	// no confirmation.
+	out = f.Filter([]Anomaly{anomAt(30, 1, 7, FlowAnomaly)})
+	if len(out) != 0 {
+		t.Fatalf("distant alarm passed: %v", out)
+	}
+}
+
+func TestAlarmFilterPassesBursts(t *testing.T) {
+	f := NewAlarmFilter(2, 3, time.Minute)
+	if out := f.Filter([]Anomaly{anomAt(10, 4, 3, FlowAnomaly)}); len(out) != 0 {
+		t.Fatalf("first window passed: %v", out)
+	}
+	// Second consecutive window confirms the burst and releases the held
+	// first anomaly too.
+	out := f.Filter([]Anomaly{anomAt(11, 4, 3, FlowAnomaly)})
+	if len(out) != 2 {
+		t.Fatalf("burst confirmation released %d anomalies, want 2", len(out))
+	}
+	if f.Suppressed() != 0 {
+		t.Fatalf("suppressed = %d after release", f.Suppressed())
+	}
+	// Subsequent windows of the ongoing burst flow straight through.
+	out = f.Filter([]Anomaly{anomAt(12, 4, 3, FlowAnomaly)})
+	if len(out) != 1 {
+		t.Fatalf("ongoing burst emitted %d", len(out))
+	}
+}
+
+func TestAlarmFilterSeparatesGroups(t *testing.T) {
+	f := NewAlarmFilter(2, 3, time.Minute)
+	f.Filter([]Anomaly{anomAt(10, 1, 3, FlowAnomaly)})
+	// Different host, stage and kind must not confirm each other.
+	if out := f.Filter([]Anomaly{anomAt(11, 2, 3, FlowAnomaly)}); len(out) != 0 {
+		t.Fatalf("cross-host confirmation: %v", out)
+	}
+	if out := f.Filter([]Anomaly{anomAt(11, 1, 9, FlowAnomaly)}); len(out) != 0 {
+		t.Fatalf("cross-stage confirmation: %v", out)
+	}
+	if out := f.Filter([]Anomaly{anomAt(11, 1, 3, PerformanceAnomaly)}); len(out) != 0 {
+		t.Fatalf("cross-kind confirmation: %v", out)
+	}
+}
+
+func TestAlarmFilterGapWithinSpan(t *testing.T) {
+	f := NewAlarmFilter(2, 3, time.Minute)
+	f.Filter([]Anomaly{anomAt(10, 1, 1, FlowAnomaly)})
+	// Window 12 is within a 3-window span of window 10: confirm.
+	out := f.Filter([]Anomaly{anomAt(12, 1, 1, FlowAnomaly)})
+	if len(out) != 2 {
+		t.Fatalf("gap-within-span emitted %d", len(out))
+	}
+	// Window 15 onward: span has moved past 12, single alarm again held.
+	out = f.Filter([]Anomaly{anomAt(16, 1, 1, FlowAnomaly)})
+	if len(out) != 0 {
+		t.Fatalf("post-burst isolated alarm passed: %v", out)
+	}
+}
+
+func TestAlarmFilterPassthroughConfig(t *testing.T) {
+	f := NewAlarmFilter(0, 0, 0) // clamps to 1/1, 1-minute window
+	out := f.Filter([]Anomaly{anomAt(1, 1, 1, FlowAnomaly)})
+	if len(out) != 1 {
+		t.Fatalf("1/1 filter held an anomaly")
+	}
+}
+
+func TestAlarmFilterMultipleAnomaliesSameWindow(t *testing.T) {
+	f := NewAlarmFilter(2, 3, time.Minute)
+	// Three anomalies in one window count as ONE window toward
+	// confirmation.
+	out := f.Filter([]Anomaly{
+		anomAt(10, 1, 1, FlowAnomaly),
+		anomAt(10, 1, 1, FlowAnomaly),
+		anomAt(10, 1, 1, FlowAnomaly),
+	})
+	if len(out) != 0 {
+		t.Fatalf("same-window repeats confirmed a burst: %v", out)
+	}
+	if f.Suppressed() != 3 {
+		t.Fatalf("suppressed = %d", f.Suppressed())
+	}
+	out = f.Filter([]Anomaly{anomAt(11, 1, 1, FlowAnomaly)})
+	if len(out) != 4 {
+		t.Fatalf("confirmation released %d, want all 4", len(out))
+	}
+}

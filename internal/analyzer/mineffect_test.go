@@ -1,0 +1,120 @@
+package analyzer
+
+import (
+	"testing"
+	"time"
+
+	"saad/internal/logpoint"
+	"saad/internal/synopsis"
+	"saad/internal/vtime"
+)
+
+// driftTrace builds a detection trace adding `extra` forced perf outliers
+// on top of the signature's natural ~1% share.
+func driftTrace(t *testing.T, model *Model, extra float64, n int) []*synopsis.Synopsis {
+	t.Helper()
+	rng := vtime.NewRNG(31)
+	var out []*synopsis.Synopsis
+	ts := epoch
+	sig := synopsis.Compute([]logpoint.ID{1, 2, 4, 5})
+	threshold := model.Stage(1).Signatures[sig].DurationThreshold
+	for i := 0; i < n; i++ {
+		dur := 9*time.Millisecond + time.Duration(rng.Intn(int(2*time.Millisecond)))
+		if rng.Bool(extra) {
+			dur = threshold + time.Millisecond
+		}
+		out = append(out, makeSyn(1, 1, ts, dur, 1, 2, 4, 5))
+		ts = ts.Add(time.Millisecond)
+	}
+	return out
+}
+
+func TestMinEffectSuppressesTinyDrifts(t *testing.T) {
+	model := trainedModel(t)
+	// An extra outlier share of a quarter MinEffect: statistically
+	// significant at these window sizes, but below the practical-
+	// significance gate even on top of the natural ~1%.
+	small := driftTrace(t, model, model.Config.MinEffect/4, 5000)
+	det := NewDetector(model)
+	anoms := feedAll(det, small)
+	for _, a := range anoms {
+		if a.Kind == PerformanceAnomaly {
+			t.Fatalf("sub-MinEffect drift alarmed: %+v", a)
+		}
+	}
+
+	// A drift well above the gate must alarm.
+	big := driftTrace(t, model, 4*model.Config.MinEffect, 5000)
+	det = NewDetector(model)
+	found := false
+	for _, a := range feedAll(det, big) {
+		if a.Kind == PerformanceAnomaly {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("super-MinEffect drift not detected")
+	}
+}
+
+func TestSmallWindowsNeverAlarmOnPerf(t *testing.T) {
+	model := trainedModel(t)
+	det := NewDetector(model)
+	// One extremely slow task alone in its window: df = 0, no alarm.
+	syns := []*synopsis.Synopsis{
+		makeSyn(1, 1, epoch, time.Second, 1, 2, 4, 5),
+		makeSyn(1, 1, epoch.Add(5*model.Config.Window), 10*time.Millisecond, 1, 2, 4, 5),
+	}
+	for _, a := range feedAll(det, syns) {
+		if a.Kind == PerformanceAnomaly {
+			t.Fatalf("n=1 window alarmed: %+v", a)
+		}
+	}
+}
+
+func TestPerfBaselineFloored(t *testing.T) {
+	// A training set with tied durations: the empirical share above the
+	// p99 threshold is 0. A single slow task in a small window must not
+	// alarm thanks to the floored baseline + t-test.
+	var trace []*synopsis.Synopsis
+	ts := epoch
+	for i := 0; i < 1000; i++ {
+		trace = append(trace, makeSyn(1, 1, ts, 10*time.Millisecond, 1, 2))
+		ts = ts.Add(time.Millisecond)
+	}
+	model, err := Train(DefaultConfig(), trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := synopsis.Compute([]logpoint.ID{1, 2})
+	if got := model.Stage(1).Signatures[sig].PerfTrainShare; got != 0 {
+		t.Fatalf("tied durations PerfTrainShare = %v, want 0", got)
+	}
+	det := NewDetector(model)
+	syns := []*synopsis.Synopsis{
+		makeSyn(1, 1, epoch.Add(time.Hour), 50*time.Millisecond, 1, 2),
+		makeSyn(1, 1, epoch.Add(2*time.Hour), 10*time.Millisecond, 1, 2),
+	}
+	for _, a := range feedAll(det, syns) {
+		if a.Kind == PerformanceAnomaly {
+			t.Fatalf("single slow task over a zero baseline alarmed: %+v", a)
+		}
+	}
+	// A full window of slow tasks still alarms despite the floor.
+	var slow []*synopsis.Synopsis
+	ts = epoch.Add(24 * time.Hour)
+	for i := 0; i < 500; i++ {
+		slow = append(slow, makeSyn(1, 1, ts, 50*time.Millisecond, 1, 2))
+		ts = ts.Add(time.Millisecond)
+	}
+	det = NewDetector(model)
+	found := false
+	for _, a := range feedAll(det, slow) {
+		if a.Kind == PerformanceAnomaly {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("sustained slowdown over a zero baseline not detected")
+	}
+}

@@ -1,0 +1,172 @@
+package analyzer
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"saad/internal/logpoint"
+	"saad/internal/synopsis"
+)
+
+// JSON wire form of a trained model, with signatures hex-encoded (they are
+// arbitrary byte strings).
+type modelJSON struct {
+	Config    configJSON  `json:"config"`
+	TrainedOn int         `json:"trainedOn"`
+	Stages    []stageJSON `json:"stages"`
+}
+
+type configJSON struct {
+	FlowPercentile       float64 `json:"flowPercentile"`
+	DurationPercentile   float64 `json:"durationPercentile"`
+	Alpha                float64 `json:"alpha"`
+	KFolds               int     `json:"kFolds"`
+	DiscardFactor        float64 `json:"discardFactor"`
+	MinTasksPerSignature int     `json:"minTasksPerSignature"`
+	WindowMillis         int64   `json:"windowMillis"`
+	UseTTest             bool    `json:"useTTest"`
+	MaxExamples          int     `json:"maxExamples"`
+	MinEffect            float64 `json:"minEffect"`
+}
+
+type stageJSON struct {
+	Stage            logpoint.StageID `json:"stage"`
+	Total            int              `json:"total"`
+	FlowOutlierShare float64          `json:"flowOutlierShare"`
+	Signatures       []sigJSON        `json:"signatures"`
+}
+
+type sigJSON struct {
+	SignatureHex   string  `json:"signature"`
+	Count          int     `json:"count"`
+	Share          float64 `json:"share"`
+	FlowOutlier    bool    `json:"flowOutlier"`
+	DurThresholdUs int64   `json:"durationThresholdUs"`
+	PerfTrainShare float64 `json:"perfTrainShare"`
+	PerfEligible   bool    `json:"perfEligible"`
+	CVOutlierShare float64 `json:"cvOutlierShare"`
+	Skewness       float64 `json:"skewness"`
+}
+
+// WriteTo serializes the model as JSON; it implements io.WriterTo.
+func (m *Model) WriteTo(w io.Writer) (int64, error) {
+	out := modelJSON{
+		Config: configJSON{
+			FlowPercentile:       m.Config.FlowPercentile,
+			DurationPercentile:   m.Config.DurationPercentile,
+			Alpha:                m.Config.Alpha,
+			KFolds:               m.Config.KFolds,
+			DiscardFactor:        m.Config.DiscardFactor,
+			MinTasksPerSignature: m.Config.MinTasksPerSignature,
+			WindowMillis:         m.Config.Window.Milliseconds(),
+			UseTTest:             m.Config.UseTTest,
+			MaxExamples:          m.Config.MaxExamples,
+			MinEffect:            m.Config.MinEffect,
+		},
+		TrainedOn: m.TrainedOn,
+	}
+	for _, stageID := range sortedStageIDs(m.Stages) {
+		sm := m.Stages[stageID]
+		sj := stageJSON{Stage: sm.Stage, Total: sm.Total, FlowOutlierShare: sm.FlowOutlierShare}
+		for _, sig := range sm.SortedSignatures() {
+			sj.Signatures = append(sj.Signatures, sigJSON{
+				SignatureHex:   hex.EncodeToString([]byte(sig.Signature)),
+				Count:          sig.Count,
+				Share:          sig.Share,
+				FlowOutlier:    sig.FlowOutlier,
+				DurThresholdUs: sig.DurationThreshold.Microseconds(),
+				PerfTrainShare: sig.PerfTrainShare,
+				PerfEligible:   sig.PerfEligible,
+				CVOutlierShare: sig.CVOutlierShare,
+				Skewness:       sig.Skewness,
+			})
+		}
+		out.Stages = append(out.Stages, sj)
+	}
+	cw := &countingWriter{w: w}
+	enc := json.NewEncoder(cw)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return cw.n, fmt.Errorf("analyzer: encode model: %w", err)
+	}
+	return cw.n, nil
+}
+
+// ReadModel parses a model previously written with WriteTo.
+func ReadModel(r io.Reader) (*Model, error) {
+	var raw modelJSON
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
+		return nil, fmt.Errorf("analyzer: decode model: %w", err)
+	}
+	cfg := Config{
+		FlowPercentile:       raw.Config.FlowPercentile,
+		DurationPercentile:   raw.Config.DurationPercentile,
+		Alpha:                raw.Config.Alpha,
+		KFolds:               raw.Config.KFolds,
+		DiscardFactor:        raw.Config.DiscardFactor,
+		MinTasksPerSignature: raw.Config.MinTasksPerSignature,
+		Window:               time.Duration(raw.Config.WindowMillis) * time.Millisecond,
+		UseTTest:             raw.Config.UseTTest,
+		MaxExamples:          raw.Config.MaxExamples,
+		MinEffect:            raw.Config.MinEffect,
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Model{Config: cfg, TrainedOn: raw.TrainedOn, Stages: make(map[logpoint.StageID]*StageModel, len(raw.Stages))}
+	for _, sj := range raw.Stages {
+		sm := &StageModel{
+			Stage:            sj.Stage,
+			Total:            sj.Total,
+			FlowOutlierShare: sj.FlowOutlierShare,
+			Signatures:       make(map[synopsis.Signature]*SignatureModel, len(sj.Signatures)),
+		}
+		for _, gj := range sj.Signatures {
+			sigBytes, err := hex.DecodeString(gj.SignatureHex)
+			if err != nil {
+				return nil, fmt.Errorf("analyzer: stage %d signature %q: %w", sj.Stage, gj.SignatureHex, err)
+			}
+			sig := synopsis.Signature(sigBytes)
+			sm.Signatures[sig] = &SignatureModel{
+				Signature:         sig,
+				Count:             gj.Count,
+				Share:             gj.Share,
+				FlowOutlier:       gj.FlowOutlier,
+				DurationThreshold: time.Duration(gj.DurThresholdUs) * time.Microsecond,
+				PerfTrainShare:    gj.PerfTrainShare,
+				PerfEligible:      gj.PerfEligible,
+				CVOutlierShare:    gj.CVOutlierShare,
+				Skewness:          gj.Skewness,
+			}
+		}
+		m.Stages[sj.Stage] = sm
+	}
+	return m, nil
+}
+
+func sortedStageIDs(m map[logpoint.StageID]*StageModel) []logpoint.StageID {
+	out := make([]logpoint.StageID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	for i := 1; i < len(out); i++ { // insertion sort; stage counts are small
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,219 @@
+// Package cluster provides the simulated multi-node substrate the storage
+// systems run on: per-host resources (disk, network, CPU) with latency
+// models, fault-injection hooks, crash state, an error-log event collector
+// for the baseline comparison, and the shared virtual clock.
+//
+// The simulation is closed-loop and single-threaded per experiment: tasks
+// carry a vtime.Cursor, I/O operations add sampled virtual latency to the
+// cursor (inflated by disk hogs and delay faults), and error faults fail the
+// operation. This keeps multi-hour experiment timelines deterministic and
+// millisecond-fast while exercising exactly the code paths SAAD observes.
+package cluster
+
+import (
+	"time"
+
+	"saad/internal/faults"
+	"saad/internal/logpoint"
+	"saad/internal/tracker"
+	"saad/internal/vtime"
+)
+
+// Profile bundles the latency models of one host class.
+type Profile struct {
+	// DiskWrite and DiskRead model one disk I/O.
+	DiskWrite vtime.LatencyModel
+	DiskRead  vtime.LatencyModel
+	// Net models one network hop to a peer.
+	Net vtime.LatencyModel
+	// CPU models one unit of request-processing compute.
+	CPU vtime.LatencyModel
+}
+
+// DefaultProfile returns latency models loosely calibrated to the paper's
+// testbed (commodity disks, LAN).
+func DefaultProfile() Profile {
+	return Profile{
+		DiskWrite: vtime.LogNormal{Median: 2 * time.Millisecond, Sigma: 0.4, Max: 80 * time.Millisecond},
+		DiskRead:  vtime.LogNormal{Median: 1 * time.Millisecond, Sigma: 0.5, Max: 80 * time.Millisecond},
+		Net:       vtime.LogNormal{Median: 300 * time.Microsecond, Sigma: 0.3, Max: 10 * time.Millisecond},
+		CPU:       vtime.LogNormal{Median: 100 * time.Microsecond, Sigma: 0.3, Max: 5 * time.Millisecond},
+	}
+}
+
+// ErrorEvent records an ERROR/WARN log message a host emitted; the Figure
+// 9/10 overlays and the log-grep alerting baseline consume these.
+type ErrorEvent struct {
+	Host  uint16
+	Stage logpoint.StageID
+	At    time.Time
+	Point logpoint.ID
+}
+
+// Host is one simulated cluster node.
+type Host struct {
+	// ID is the host id (1-based in the paper's figures).
+	ID uint16
+	// Tracker is the host's task execution tracker.
+	Tracker *tracker.Tracker
+	// RNG is the host's deterministic random stream.
+	RNG *vtime.RNG
+
+	profile  Profile
+	injector *faults.Injector
+	hogs     *faults.HogSchedule
+
+	crashed   bool
+	crashedAt time.Time
+
+	errors []ErrorEvent
+}
+
+// Config configures a Cluster.
+type Config struct {
+	// Hosts is the number of nodes.
+	Hosts int
+	// Seed feeds the deterministic RNG tree.
+	Seed uint64
+	// Profile is the per-host latency profile; zero value uses
+	// DefaultProfile.
+	Profile *Profile
+	// Injector applies error/delay faults (may be nil).
+	Injector *faults.Injector
+	// Hogs applies disk-hog slowdowns (may be nil).
+	Hogs *faults.HogSchedule
+	// Sink receives task synopses from every host's tracker.
+	Sink tracker.Sink
+	// Epoch is the virtual start time.
+	Epoch time.Time
+}
+
+// Cluster owns the hosts, the shared dictionary and the virtual clock.
+type Cluster struct {
+	// Clock is the cluster-wide virtual clock.
+	Clock *vtime.Clock
+	// Dict is the shared log-point/stage dictionary.
+	Dict *logpoint.Dictionary
+
+	hosts []*Host
+}
+
+// New builds a cluster from cfg. Host ids are 1-based to match the paper's
+// figures.
+func New(cfg Config) *Cluster {
+	prof := DefaultProfile()
+	if cfg.Profile != nil {
+		prof = *cfg.Profile
+	}
+	root := vtime.NewRNG(cfg.Seed)
+	c := &Cluster{
+		Clock: vtime.NewClock(cfg.Epoch),
+		Dict:  logpoint.NewDictionary(),
+		hosts: make([]*Host, 0, cfg.Hosts),
+	}
+	for i := 0; i < cfg.Hosts; i++ {
+		id := uint16(i + 1)
+		c.hosts = append(c.hosts, &Host{
+			ID:       id,
+			Tracker:  tracker.New(id, cfg.Sink),
+			RNG:      root.Split(uint64(id)),
+			profile:  prof,
+			injector: cfg.Injector,
+			hogs:     cfg.Hogs,
+		})
+	}
+	return c
+}
+
+// Hosts returns the cluster's hosts (the slice is shared; hosts are the
+// unit of mutation in the single-threaded simulation).
+func (c *Cluster) Hosts() []*Host { return c.hosts }
+
+// Host returns the host with the given 1-based id, or nil.
+func (c *Cluster) Host(id uint16) *Host {
+	if id < 1 || int(id) > len(c.hosts) {
+		return nil
+	}
+	return c.hosts[id-1]
+}
+
+// Crashed reports whether the host has crashed.
+func (h *Host) Crashed() bool { return h.crashed }
+
+// CrashedAt returns the crash time (zero if alive).
+func (h *Host) CrashedAt() time.Time { return h.crashedAt }
+
+// Crash marks the host as crashed at now; subsequent I/O and task activity
+// on a crashed host should be skipped by the system simulators.
+func (h *Host) Crash(now time.Time) {
+	if !h.crashed {
+		h.crashed = true
+		h.crashedAt = now
+	}
+}
+
+// Restart clears the crash state (used between experiment runs).
+func (h *Host) Restart() {
+	h.crashed = false
+	h.crashedAt = time.Time{}
+}
+
+// LogError records an ERROR-level log message for the baseline log monitor.
+func (h *Host) LogError(stage logpoint.StageID, point logpoint.ID, at time.Time) {
+	h.errors = append(h.errors, ErrorEvent{Host: h.ID, Stage: stage, At: at, Point: point})
+}
+
+// Errors returns the host's recorded error-log events.
+func (h *Host) Errors() []ErrorEvent {
+	return append([]ErrorEvent(nil), h.errors...)
+}
+
+// DiskWrite performs one simulated disk write at the cursor's current time:
+// it samples the base latency, applies the hog slowdown, evaluates injected
+// faults for point, advances the cursor, and returns the injected error, if
+// any. Delay faults still consume the time before failing the request is
+// considered (delays and errors can stack across fault definitions).
+func (h *Host) DiskWrite(cur *vtime.Cursor, point faults.Point) error {
+	return h.diskIO(cur, point, h.profile.DiskWrite)
+}
+
+// DiskRead is DiskWrite for reads.
+func (h *Host) DiskRead(cur *vtime.Cursor, point faults.Point) error {
+	return h.diskIO(cur, point, h.profile.DiskRead)
+}
+
+func (h *Host) diskIO(cur *vtime.Cursor, point faults.Point, model vtime.LatencyModel) error {
+	now := cur.Now()
+	base := model.Sample(h.RNG)
+	base = time.Duration(float64(base) * h.hogs.DiskFactor(int(h.ID), now))
+	out := h.injector.Apply(int(h.ID), point, now, h.RNG)
+	cur.Add(base + out.ExtraDelay)
+	if out.Err != nil {
+		return out.Err
+	}
+	return nil
+}
+
+// NetSend performs one simulated network hop toward a peer.
+func (h *Host) NetSend(cur *vtime.Cursor) error {
+	now := cur.Now()
+	base := h.profile.Net.Sample(h.RNG)
+	// Hogs raise interrupt pressure, slowing network processing too.
+	base = time.Duration(float64(base) * h.hogs.CPUFactor(int(h.ID), now))
+	out := h.injector.Apply(int(h.ID), faults.PointNetSend, now, h.RNG)
+	cur.Add(base + out.ExtraDelay)
+	return out.Err
+}
+
+// Compute consumes CPU time scaled by the hog's CPU factor. scale multiplies
+// the profile's base CPU cost (e.g. 5 for a request that does 5 units of
+// processing).
+func (h *Host) Compute(cur *vtime.Cursor, scale float64) {
+	base := h.profile.CPU.Sample(h.RNG)
+	cur.Add(time.Duration(float64(base) * scale * h.hogs.CPUFactor(int(h.ID), cur.Now())))
+}
+
+// BeginTask starts a tracked task of stage at the cursor's current time.
+func (h *Host) BeginTask(stage logpoint.StageID, cur *vtime.Cursor) *tracker.Task {
+	return h.Tracker.Begin(stage, cur.Now())
+}

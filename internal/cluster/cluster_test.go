@@ -1,0 +1,204 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"saad/internal/faults"
+	"saad/internal/stream"
+	"saad/internal/vtime"
+)
+
+var epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestNewClusterShape(t *testing.T) {
+	sink := stream.NewChannel(128)
+	c := New(Config{Hosts: 4, Seed: 1, Sink: sink, Epoch: epoch})
+	if len(c.Hosts()) != 4 {
+		t.Fatalf("hosts = %d", len(c.Hosts()))
+	}
+	if c.Host(1).ID != 1 || c.Host(4).ID != 4 {
+		t.Fatal("host ids not 1-based")
+	}
+	if c.Host(0) != nil || c.Host(5) != nil {
+		t.Fatal("out-of-range host lookup not nil")
+	}
+	if !c.Clock.Now().Equal(epoch) {
+		t.Fatalf("clock = %v", c.Clock.Now())
+	}
+	if c.Dict == nil {
+		t.Fatal("dictionary nil")
+	}
+}
+
+func TestHostsHaveIndependentRNGs(t *testing.T) {
+	c := New(Config{Hosts: 2, Seed: 1, Epoch: epoch})
+	a := c.Host(1).RNG.Uint64()
+	b := c.Host(2).RNG.Uint64()
+	if a == b {
+		t.Fatal("host RNG streams identical")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() []time.Duration {
+		c := New(Config{Hosts: 1, Seed: 42, Epoch: epoch})
+		h := c.Host(1)
+		var out []time.Duration
+		for i := 0; i < 50; i++ {
+			cur := vtime.NewCursor(epoch)
+			if err := h.DiskWrite(cur, faults.PointDiskWrite); err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, cur.Elapsed())
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDiskWriteAdvancesCursor(t *testing.T) {
+	c := New(Config{Hosts: 1, Seed: 1, Epoch: epoch})
+	cur := vtime.NewCursor(epoch)
+	if err := c.Host(1).DiskWrite(cur, faults.PointDiskWrite); err != nil {
+		t.Fatal(err)
+	}
+	if cur.Elapsed() <= 0 {
+		t.Fatal("disk write consumed no virtual time")
+	}
+}
+
+func TestErrorFaultPropagates(t *testing.T) {
+	inj := faults.NewInjector(faults.Fault{
+		Point: faults.PointWALAppend, Mode: faults.ModeError, Probability: 1,
+		Host: 1, From: epoch, To: epoch.Add(time.Hour),
+	})
+	c := New(Config{Hosts: 2, Seed: 1, Injector: inj, Epoch: epoch})
+	cur := vtime.NewCursor(epoch)
+	err := c.Host(1).DiskWrite(cur, faults.PointWALAppend)
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("err = %v", err)
+	}
+	// The same point on another host is unaffected.
+	cur2 := vtime.NewCursor(epoch)
+	if err := c.Host(2).DiskWrite(cur2, faults.PointWALAppend); err != nil {
+		t.Fatalf("host 2 err = %v", err)
+	}
+	// Unrelated points on host 1 are unaffected.
+	cur3 := vtime.NewCursor(epoch)
+	if err := c.Host(1).DiskWrite(cur3, faults.PointMemtableFlush); err != nil {
+		t.Fatalf("other point err = %v", err)
+	}
+}
+
+func TestDelayFaultAddsLatency(t *testing.T) {
+	inj := faults.NewInjector(faults.Fault{
+		Point: faults.PointWALAppend, Mode: faults.ModeDelay, Probability: 1,
+		Delay: 100 * time.Millisecond, Host: faults.AllHosts,
+		From: epoch, To: epoch.Add(time.Hour),
+	})
+	c := New(Config{Hosts: 1, Seed: 1, Injector: inj, Epoch: epoch})
+	cur := vtime.NewCursor(epoch)
+	if err := c.Host(1).DiskWrite(cur, faults.PointWALAppend); err != nil {
+		t.Fatal(err)
+	}
+	if cur.Elapsed() < 100*time.Millisecond {
+		t.Fatalf("elapsed = %v, want >= 100ms", cur.Elapsed())
+	}
+}
+
+func TestHogSlowsDiskAndCPU(t *testing.T) {
+	hogs := faults.NewHogSchedule(faults.HogWindow{
+		From: epoch, To: epoch.Add(time.Hour), Procs: 4, Host: faults.AllHosts,
+	})
+	measure := func(hogged bool) (disk, cpu time.Duration) {
+		var cfg Config
+		cfg.Hosts = 1
+		cfg.Seed = 9
+		cfg.Epoch = epoch
+		if hogged {
+			cfg.Hogs = hogs
+		}
+		c := New(cfg)
+		h := c.Host(1)
+		for i := 0; i < 500; i++ {
+			cur := vtime.NewCursor(epoch)
+			if err := h.DiskWrite(cur, faults.PointDiskWrite); err != nil {
+				t.Fatal(err)
+			}
+			disk += cur.Elapsed()
+			cur2 := vtime.NewCursor(epoch)
+			h.Compute(cur2, 1)
+			cpu += cur2.Elapsed()
+		}
+		return disk, cpu
+	}
+	slowDisk, slowCPU := measure(true)
+	fastDisk, fastCPU := measure(false)
+	if float64(slowDisk) < 5*float64(fastDisk) {
+		t.Fatalf("hog disk slowdown too small: %v vs %v", slowDisk, fastDisk)
+	}
+	if float64(slowCPU) < 1.5*float64(fastCPU) {
+		t.Fatalf("hog CPU slowdown too small: %v vs %v", slowCPU, fastCPU)
+	}
+}
+
+func TestCrashLifecycle(t *testing.T) {
+	c := New(Config{Hosts: 1, Seed: 1, Epoch: epoch})
+	h := c.Host(1)
+	if h.Crashed() {
+		t.Fatal("new host crashed")
+	}
+	at := epoch.Add(44 * time.Minute)
+	h.Crash(at)
+	if !h.Crashed() || !h.CrashedAt().Equal(at) {
+		t.Fatal("crash state wrong")
+	}
+	h.Crash(at.Add(time.Minute)) // second crash keeps first timestamp
+	if !h.CrashedAt().Equal(at) {
+		t.Fatal("crash time overwritten")
+	}
+	h.Restart()
+	if h.Crashed() || !h.CrashedAt().IsZero() {
+		t.Fatal("restart did not clear state")
+	}
+}
+
+func TestErrorLogCollection(t *testing.T) {
+	c := New(Config{Hosts: 1, Seed: 1, Epoch: epoch})
+	h := c.Host(1)
+	h.LogError(3, 17, epoch.Add(18*time.Minute))
+	evs := h.Errors()
+	if len(evs) != 1 || evs[0].Stage != 3 || evs[0].Point != 17 || evs[0].Host != 1 {
+		t.Fatalf("events = %+v", evs)
+	}
+	evs[0].Stage = 99
+	if h.Errors()[0].Stage != 3 {
+		t.Fatal("Errors exposed internal slice")
+	}
+}
+
+func TestBeginTaskEmitsThroughSink(t *testing.T) {
+	sink := stream.NewChannel(8)
+	c := New(Config{Hosts: 1, Seed: 1, Sink: sink, Epoch: epoch})
+	h := c.Host(1)
+	cur := vtime.NewCursor(epoch)
+	task := h.BeginTask(5, cur)
+	task.Hit(1, cur.Now())
+	cur.Add(3 * time.Millisecond)
+	task.Hit(2, cur.Now())
+	task.End(cur.Now())
+	syns := sink.Drain()
+	if len(syns) != 1 {
+		t.Fatalf("synopses = %d", len(syns))
+	}
+	if syns[0].Stage != 5 || syns[0].Host != 1 || syns[0].Duration != 3*time.Millisecond {
+		t.Fatalf("synopsis = %+v", syns[0])
+	}
+}

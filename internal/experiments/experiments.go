@@ -1,0 +1,253 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 5). Each experiment has one entry point returning a
+// typed result whose String method prints the rows/series the paper
+// reports; cmd/saad-bench and the root bench_test.go drive them.
+//
+// Timelines run in compressed virtual time: one "paper minute" defaults to
+// five virtual seconds (Config.MinuteScale), so the 50-minute Cassandra
+// fault timelines and the 3-hour HBase/HDFS run complete in seconds while
+// preserving the schedules, windows and rates of the paper (Section 5.2:
+// YCSB with 100 emulated clients, write-heavy mix, ~250-450 op/s).
+package experiments
+
+import (
+	"time"
+
+	"saad/internal/analyzer"
+	"saad/internal/cluster"
+	"saad/internal/faults"
+	"saad/internal/logpoint"
+	"saad/internal/report"
+	"saad/internal/storage/cassandra"
+	"saad/internal/storage/hbase"
+	"saad/internal/stream"
+	"saad/internal/synopsis"
+	"saad/internal/workload"
+)
+
+// Epoch is the fixed virtual start time of every experiment.
+var Epoch = time.Date(2014, 12, 8, 10, 0, 0, 0, time.UTC)
+
+// Config carries the experiment-wide knobs.
+type Config struct {
+	// MinuteScale is the virtual duration of one paper minute. Default 5 s.
+	MinuteScale time.Duration
+	// Clients is the emulated client count. Default 40 (scaled down from
+	// the paper's 100 to match the compressed timeline's op rates).
+	Clients int
+	// Think is the per-client think time between operations. Default
+	// 150 ms, yielding a few hundred op/s like the paper's Figure 9.
+	Think time.Duration
+	// Seed drives all randomness.
+	Seed uint64
+	// Runs is the repetition count for the false-positive analysis
+	// (paper: 10). Default 5.
+	Runs int
+}
+
+// applyDefaults fills zero fields.
+func (c *Config) applyDefaults() {
+	if c.MinuteScale <= 0 {
+		c.MinuteScale = 5 * time.Second
+	}
+	if c.Clients <= 0 {
+		c.Clients = 40
+	}
+	if c.Think <= 0 {
+		c.Think = 150 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 20141208
+	}
+	if c.Runs <= 0 {
+		c.Runs = 5
+	}
+}
+
+// Minute converts a paper-minute offset to virtual time.
+func (c Config) Minute(m float64) time.Time {
+	return Epoch.Add(time.Duration(float64(c.MinuteScale) * m))
+}
+
+// analyzerConfig returns the paper's analyzer settings with the window
+// matched to one paper minute.
+func (c Config) analyzerConfig() analyzer.Config {
+	ac := analyzer.DefaultConfig()
+	ac.Window = c.MinuteScale
+	return ac
+}
+
+// runResult is the raw output of one simulated run.
+type runResult struct {
+	syns   []*synopsis.Synopsis
+	errors []cluster.ErrorEvent
+	dict   *logpoint.Dictionary
+	// throughput[i] = completed client ops in paper-minute i.
+	throughput []int
+	// ops is the total completed operations.
+	ops int
+}
+
+// windowIndex maps a virtual completion time to its paper minute.
+func (c Config) windowIndex(at time.Time) int {
+	return int(at.Sub(Epoch) / c.MinuteScale)
+}
+
+// cassandraRun drives the Cassandra cluster for `minutes` paper minutes with
+// the given faults, returning the synopsis trace. mutate may adjust the
+// cluster config before construction.
+func (c Config) cassandraRun(minutes int, inj *faults.Injector, seedOffset uint64, mutate func(*cassandra.Config)) (runResult, *cassandra.Cassandra, error) {
+	sink := stream.NewChannel(1 << 22)
+	ccfg := cassandra.Config{
+		Hosts:    4,
+		Seed:     c.Seed + seedOffset,
+		Sink:     sink,
+		Epoch:    Epoch,
+		Injector: inj,
+	}
+	if mutate != nil {
+		mutate(&ccfg)
+	}
+	cass, err := cassandra.New(ccfg)
+	if err != nil {
+		return runResult{}, nil, err
+	}
+	gen := workload.NewGenerator(workload.Config{
+		Records: 2000,
+		Seed:    c.Seed + seedOffset + 1,
+		Mix:     workload.WriteHeavy(),
+	})
+	res := runResult{dict: cass.Dict(), throughput: make([]int, minutes+1)}
+	pool := workload.NewClientPool(c.Clients, Epoch, c.Think)
+	end := c.Minute(float64(minutes))
+	for {
+		id, at := pool.Acquire()
+		if at.After(end) {
+			break
+		}
+		done, opErr := cass.Execute(gen.Next(), at)
+		if opErr == nil {
+			if w := c.windowIndex(done); w >= 0 && w < len(res.throughput) {
+				res.throughput[w]++
+			}
+			res.ops++
+		}
+		pool.Release(id, done)
+	}
+	res.syns = sink.Drain()
+	for _, h := range cass.Cluster().Hosts() {
+		res.errors = append(res.errors, h.Errors()...)
+	}
+	return res, cass, nil
+}
+
+// hbaseRun drives the HBase/HDFS cluster for `minutes` paper minutes.
+// batchDuring enables client-side put batching (the YCSB 0.1.4
+// misconfiguration) for the whole run when non-zero, with the given batch
+// size.
+func (c Config) hbaseRun(minutes int, hogs *faults.HogSchedule, seedOffset uint64, batchSize int, mutate func(*hbase.Config)) (runResult, *hbase.HBase, error) {
+	sink := stream.NewChannel(1 << 22)
+	hcfg := hbase.Config{
+		Hosts: 4,
+		Seed:  c.Seed + seedOffset,
+		Sink:  sink,
+		Epoch: Epoch,
+		Hogs:  hogs,
+	}
+	if mutate != nil {
+		mutate(&hcfg)
+	}
+	hb, err := hbase.New(hcfg)
+	if err != nil {
+		return runResult{}, nil, err
+	}
+	gen := workload.NewGenerator(workload.Config{
+		Records: 2000,
+		Seed:    c.Seed + seedOffset + 1,
+		Mix:     workload.WriteHeavy(),
+	})
+	res := runResult{dict: hb.Cluster().Dict, throughput: make([]int, minutes+1)}
+	pool := workload.NewClientPool(c.Clients, Epoch, c.Think)
+	end := c.Minute(float64(minutes))
+	// Per-client put batches for the misconfigured-YCSB mode.
+	batches := make(map[int][]workload.Op)
+	record := func(done time.Time, n int) {
+		if w := c.windowIndex(done); w >= 0 && w < len(res.throughput) {
+			res.throughput[w] += n
+		}
+		res.ops += n
+	}
+	for {
+		id, at := pool.Acquire()
+		if at.After(end) {
+			break
+		}
+		op := gen.Next()
+		var (
+			done  time.Time
+			opErr error
+		)
+		if batchSize > 1 && op.Type.IsWrite() {
+			// Buffer the put client-side; only a full batch issues an RPC.
+			buf := append(batches[id], cloneOp(op))
+			if len(buf) >= batchSize {
+				done, opErr = hb.ExecuteMulti(buf, at)
+				if opErr == nil {
+					record(done, len(buf))
+				}
+				buf = buf[:0]
+			} else {
+				done = at.Add(time.Millisecond) // client-side ack only
+				record(done, 1)
+			}
+			batches[id] = buf
+		} else {
+			done, opErr = hb.Execute(op, at)
+			if opErr == nil {
+				record(done, 1)
+			}
+		}
+		pool.Release(id, done)
+	}
+	res.syns = sink.Drain()
+	for _, h := range hb.Cluster().Hosts() {
+		res.errors = append(res.errors, h.Errors()...)
+	}
+	return res, hb, nil
+}
+
+func cloneOp(op workload.Op) workload.Op {
+	op.Value = append([]byte(nil), op.Value...)
+	return op
+}
+
+// trainModel trains the paper-configured analyzer on a trace.
+func (c Config) trainModel(trace []*synopsis.Synopsis) (*analyzer.Model, error) {
+	return analyzer.Train(c.analyzerConfig(), trace)
+}
+
+// detect feeds a trace through a fresh detector and returns all anomalies.
+func detect(model *analyzer.Model, trace []*synopsis.Synopsis) []analyzer.Anomaly {
+	det := analyzer.NewDetector(model)
+	var out []analyzer.Anomaly
+	for _, s := range trace {
+		out = append(out, det.Feed(s)...)
+	}
+	return append(out, det.Flush()...)
+}
+
+// ModelSummary trains the paper-configured analyzer on a fault-free
+// Cassandra run and renders the learned per-stage signature tables — an
+// inspection utility, not a paper artifact.
+func ModelSummary(cfg Config) (string, error) {
+	cfg.applyDefaults()
+	res, _, err := cfg.cassandraRun(15, nil, 2201, nil)
+	if err != nil {
+		return "", err
+	}
+	model, err := cfg.trainModel(res.syns)
+	if err != nil {
+		return "", err
+	}
+	return report.ModelSummary(model, res.dict), nil
+}

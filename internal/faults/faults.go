@@ -1,0 +1,219 @@
+// Package faults implements the fault-injection framework the paper's
+// evaluation uses (Sections 5.4-5.6): error and delay faults on specific
+// I/O points at low (1%) or high (100%) intensity, active during scheduled
+// virtual-time windows, plus the disk-hog model of Section 5.5 (the paper
+// runs `dd` processes that saturate disk bandwidth and steal CPU cycles).
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"saad/internal/vtime"
+)
+
+// Point names an injectable I/O point in the simulated systems, e.g.
+// "wal.append" or "memtable.flush".
+type Point string
+
+// Standard fault points wired into the storage simulators.
+const (
+	PointWALAppend     Point = "wal.append"
+	PointMemtableFlush Point = "memtable.flush"
+	PointDiskRead      Point = "disk.read"
+	PointDiskWrite     Point = "disk.write"
+	PointNetSend       Point = "net.send"
+)
+
+// Mode distinguishes error faults (the I/O request fails) from delay faults
+// (the I/O request is paused; the paper uses 100 ms).
+type Mode int
+
+// Fault modes.
+const (
+	ModeError Mode = iota + 1
+	ModeDelay
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeError:
+		return "error"
+	case ModeDelay:
+		return "delay"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// AllHosts selects every host when used as Fault.Host.
+const AllHosts = -1
+
+// Fault describes one injected fault.
+type Fault struct {
+	// Name labels the fault in reports (e.g. "error-WAL-high").
+	Name string
+	// Point is the I/O point the fault applies to.
+	Point Point
+	// Mode is error or delay.
+	Mode Mode
+	// Probability is the intensity: the fraction of matching I/O requests
+	// affected (the paper's low intensity is 0.01, high is 1.0).
+	Probability float64
+	// Delay is the added latency for ModeDelay faults (paper: 100 ms).
+	Delay time.Duration
+	// Host restricts the fault to one host id, or AllHosts.
+	Host int
+	// From and To bound the active window in virtual time ([From, To)).
+	From, To time.Time
+}
+
+// ActiveAt reports whether the fault applies on host at time now.
+func (f Fault) ActiveAt(host int, p Point, now time.Time) bool {
+	if f.Point != p {
+		return false
+	}
+	if f.Host != AllHosts && f.Host != host {
+		return false
+	}
+	return !now.Before(f.From) && now.Before(f.To)
+}
+
+// ErrInjected is the sentinel wrapped by all injected I/O errors.
+var ErrInjected = errors.New("injected I/O error")
+
+// InjectedError reports an error fault firing, carrying its context.
+type InjectedError struct {
+	Fault Fault
+	HostI int
+	At    time.Time
+}
+
+// Error implements error.
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("injected %s fault %q at %s on host %d (%s)",
+		e.Fault.Mode, e.Fault.Name, e.Fault.Point, e.HostI, e.At.Format("15:04:05"))
+}
+
+// Unwrap lets errors.Is(err, ErrInjected) match.
+func (e *InjectedError) Unwrap() error { return ErrInjected }
+
+// Outcome is the effect of the injector on one I/O request.
+type Outcome struct {
+	// Err is non-nil when an error fault fired.
+	Err error
+	// ExtraDelay is the added latency from delay faults.
+	ExtraDelay time.Duration
+}
+
+// Injector evaluates a fixed set of faults against I/O requests. Build the
+// fault list up front; evaluation is read-only and usable from any
+// goroutine as long as each caller passes its own RNG.
+type Injector struct {
+	faults []Fault
+}
+
+// NewInjector returns an injector over the given faults. The slice is
+// copied.
+func NewInjector(faults ...Fault) *Injector {
+	return &Injector{faults: append([]Fault(nil), faults...)}
+}
+
+// Faults returns a copy of the injector's fault list.
+func (i *Injector) Faults() []Fault {
+	return append([]Fault(nil), i.faults...)
+}
+
+// Apply evaluates all faults matching (host, point, now). Delay faults
+// accumulate; the first firing error fault short-circuits further error
+// evaluation (the request already failed).
+func (i *Injector) Apply(host int, p Point, now time.Time, rng *vtime.RNG) Outcome {
+	var out Outcome
+	if i == nil {
+		return out
+	}
+	for _, f := range i.faults {
+		if !f.ActiveAt(host, p, now) {
+			continue
+		}
+		if !rng.Bool(f.Probability) {
+			continue
+		}
+		switch f.Mode {
+		case ModeError:
+			if out.Err == nil {
+				out.Err = &InjectedError{Fault: f, HostI: host, At: now}
+			}
+		case ModeDelay:
+			out.ExtraDelay += f.Delay
+		}
+	}
+	return out
+}
+
+// HogWindow is one entry of the disk-hog schedule (Table 2): Procs parallel
+// `dd` processes running on the selected hosts during [From, To).
+type HogWindow struct {
+	From, To time.Time
+	Procs    int
+	// Host restricts the hog to one host, or AllHosts.
+	Host int
+}
+
+// HogSchedule models the Section 5.5 disk hog: each hog process multiplies
+// disk latency and steals CPU cycles from everything else on the host.
+type HogSchedule struct {
+	windows []HogWindow
+	// DiskFactorPerProc is the multiplicative disk-latency slowdown each
+	// hog process adds. Default 1.5.
+	DiskFactorPerProc float64
+	// CPUFactorPerProc is the multiplicative CPU slowdown each hog process
+	// adds (interrupt pressure stealing kernel cycles). Default 0.35.
+	CPUFactorPerProc float64
+}
+
+// NewHogSchedule returns a schedule over the given windows with the default
+// per-process slowdown factors.
+func NewHogSchedule(windows ...HogWindow) *HogSchedule {
+	return &HogSchedule{
+		windows:           append([]HogWindow(nil), windows...),
+		DiskFactorPerProc: 1.5,
+		CPUFactorPerProc:  0.35,
+	}
+}
+
+// Procs returns the number of hog processes active on host at now.
+func (h *HogSchedule) Procs(host int, now time.Time) int {
+	if h == nil {
+		return 0
+	}
+	total := 0
+	for _, w := range h.windows {
+		if w.Host != AllHosts && w.Host != host {
+			continue
+		}
+		if !now.Before(w.From) && now.Before(w.To) {
+			total += w.Procs
+		}
+	}
+	return total
+}
+
+// DiskFactor returns the disk-latency multiplier on host at now (1.0 when
+// no hog is active).
+func (h *HogSchedule) DiskFactor(host int, now time.Time) float64 {
+	if h == nil {
+		return 1
+	}
+	return 1 + float64(h.Procs(host, now))*h.DiskFactorPerProc
+}
+
+// CPUFactor returns the CPU-cost multiplier on host at now.
+func (h *HogSchedule) CPUFactor(host int, now time.Time) float64 {
+	if h == nil {
+		return 1
+	}
+	return 1 + float64(h.Procs(host, now))*h.CPUFactorPerProc
+}

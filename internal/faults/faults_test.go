@@ -1,0 +1,196 @@
+package faults
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"saad/internal/vtime"
+)
+
+var epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestFaultActiveAt(t *testing.T) {
+	f := Fault{
+		Point: PointWALAppend,
+		Host:  4,
+		From:  epoch.Add(10 * time.Minute),
+		To:    epoch.Add(20 * time.Minute),
+	}
+	tests := []struct {
+		host int
+		p    Point
+		at   time.Time
+		want bool
+	}{
+		{4, PointWALAppend, epoch.Add(10 * time.Minute), true},
+		{4, PointWALAppend, epoch.Add(19 * time.Minute), true},
+		{4, PointWALAppend, epoch.Add(20 * time.Minute), false}, // half-open
+		{4, PointWALAppend, epoch, false},
+		{3, PointWALAppend, epoch.Add(15 * time.Minute), false},
+		{4, PointMemtableFlush, epoch.Add(15 * time.Minute), false},
+	}
+	for i, tt := range tests {
+		if got := f.ActiveAt(tt.host, tt.p, tt.at); got != tt.want {
+			t.Errorf("case %d: ActiveAt = %v, want %v", i, got, tt.want)
+		}
+	}
+	all := Fault{Point: PointWALAppend, Host: AllHosts, From: epoch, To: epoch.Add(time.Hour)}
+	if !all.ActiveAt(7, PointWALAppend, epoch) {
+		t.Error("AllHosts fault not active")
+	}
+}
+
+func TestInjectorErrorFault(t *testing.T) {
+	inj := NewInjector(Fault{
+		Name: "error-WAL-high", Point: PointWALAppend, Mode: ModeError,
+		Probability: 1, Host: 4, From: epoch, To: epoch.Add(time.Hour),
+	})
+	rng := vtime.NewRNG(1)
+	out := inj.Apply(4, PointWALAppend, epoch.Add(time.Minute), rng)
+	if out.Err == nil {
+		t.Fatal("error fault did not fire")
+	}
+	if !errors.Is(out.Err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected chain", out.Err)
+	}
+	var inj2 *InjectedError
+	if !errors.As(out.Err, &inj2) {
+		t.Fatal("error is not *InjectedError")
+	}
+	if inj2.Fault.Name != "error-WAL-high" || inj2.HostI != 4 {
+		t.Fatalf("injected error = %+v", inj2)
+	}
+	if !strings.Contains(out.Err.Error(), "error-WAL-high") {
+		t.Fatalf("Error() = %q", out.Err.Error())
+	}
+	// Other host unaffected.
+	if out := inj.Apply(1, PointWALAppend, epoch.Add(time.Minute), rng); out.Err != nil {
+		t.Fatal("fault leaked to other host")
+	}
+}
+
+func TestInjectorDelayFaultAccumulates(t *testing.T) {
+	inj := NewInjector(
+		Fault{Point: PointDiskWrite, Mode: ModeDelay, Probability: 1, Delay: 100 * time.Millisecond,
+			Host: AllHosts, From: epoch, To: epoch.Add(time.Hour)},
+		Fault{Point: PointDiskWrite, Mode: ModeDelay, Probability: 1, Delay: 20 * time.Millisecond,
+			Host: AllHosts, From: epoch, To: epoch.Add(time.Hour)},
+	)
+	rng := vtime.NewRNG(1)
+	out := inj.Apply(0, PointDiskWrite, epoch, rng)
+	if out.Err != nil {
+		t.Fatalf("delay fault errored: %v", out.Err)
+	}
+	if out.ExtraDelay != 120*time.Millisecond {
+		t.Fatalf("ExtraDelay = %v, want 120ms", out.ExtraDelay)
+	}
+}
+
+func TestInjectorLowIntensityProbability(t *testing.T) {
+	inj := NewInjector(Fault{
+		Point: PointWALAppend, Mode: ModeError, Probability: 0.01,
+		Host: AllHosts, From: epoch, To: epoch.Add(time.Hour),
+	})
+	rng := vtime.NewRNG(7)
+	fired := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if inj.Apply(0, PointWALAppend, epoch, rng).Err != nil {
+			fired++
+		}
+	}
+	if fired < 800 || fired > 1200 {
+		t.Fatalf("1%% fault fired %d/%d times", fired, n)
+	}
+}
+
+func TestInjectorNilAndEmpty(t *testing.T) {
+	var nilInj *Injector
+	rng := vtime.NewRNG(1)
+	if out := nilInj.Apply(0, PointWALAppend, epoch, rng); out.Err != nil || out.ExtraDelay != 0 {
+		t.Fatal("nil injector not neutral")
+	}
+	if out := NewInjector().Apply(0, PointWALAppend, epoch, rng); out.Err != nil || out.ExtraDelay != 0 {
+		t.Fatal("empty injector not neutral")
+	}
+}
+
+func TestInjectorFaultsCopies(t *testing.T) {
+	f := Fault{Name: "x", Point: PointDiskRead}
+	inj := NewInjector(f)
+	got := inj.Faults()
+	got[0].Name = "mutated"
+	if inj.Faults()[0].Name != "x" {
+		t.Fatal("Faults exposed internal slice")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeError.String() != "error" || ModeDelay.String() != "delay" {
+		t.Fatal("mode strings wrong")
+	}
+	if Mode(9).String() != "Mode(9)" {
+		t.Fatal("unknown mode string wrong")
+	}
+}
+
+func TestHogScheduleTable2(t *testing.T) {
+	// Table 2 schedule: low 8-16 x1, medium 28-44 x2, high-1 56-64 x4,
+	// high-2 116-130 x4, all hosts.
+	minute := func(m int) time.Time { return epoch.Add(time.Duration(m) * time.Minute) }
+	hog := NewHogSchedule(
+		HogWindow{From: minute(8), To: minute(16), Procs: 1, Host: AllHosts},
+		HogWindow{From: minute(28), To: minute(44), Procs: 2, Host: AllHosts},
+		HogWindow{From: minute(56), To: minute(64), Procs: 4, Host: AllHosts},
+		HogWindow{From: minute(116), To: minute(130), Procs: 4, Host: AllHosts},
+	)
+	tests := []struct {
+		min  int
+		want int
+	}{
+		{0, 0}, {8, 1}, {15, 1}, {16, 0}, {30, 2}, {60, 4}, {100, 0}, {120, 4}, {140, 0},
+	}
+	for _, tt := range tests {
+		if got := hog.Procs(2, minute(tt.min)); got != tt.want {
+			t.Errorf("Procs at minute %d = %d, want %d", tt.min, got, tt.want)
+		}
+	}
+	if f := hog.DiskFactor(0, minute(60)); f != 7 { // 1 + 4*1.5
+		t.Errorf("DiskFactor = %v, want 7", f)
+	}
+	if f := hog.CPUFactor(0, minute(60)); f != 1+4*0.35 {
+		t.Errorf("CPUFactor = %v", f)
+	}
+	if f := hog.DiskFactor(0, minute(0)); f != 1 {
+		t.Errorf("idle DiskFactor = %v", f)
+	}
+}
+
+func TestHogScheduleHostScoping(t *testing.T) {
+	hog := NewHogSchedule(HogWindow{From: epoch, To: epoch.Add(time.Hour), Procs: 3, Host: 2})
+	if hog.Procs(2, epoch) != 3 {
+		t.Fatal("scoped host missing hogs")
+	}
+	if hog.Procs(1, epoch) != 0 {
+		t.Fatal("hog leaked to other host")
+	}
+}
+
+func TestHogScheduleNil(t *testing.T) {
+	var hog *HogSchedule
+	if hog.Procs(0, epoch) != 0 || hog.DiskFactor(0, epoch) != 1 || hog.CPUFactor(0, epoch) != 1 {
+		t.Fatal("nil schedule not neutral")
+	}
+}
+
+func TestOverlappingHogWindowsAdd(t *testing.T) {
+	hog := NewHogSchedule(
+		HogWindow{From: epoch, To: epoch.Add(time.Hour), Procs: 1, Host: AllHosts},
+		HogWindow{From: epoch.Add(30 * time.Minute), To: epoch.Add(time.Hour), Procs: 2, Host: AllHosts},
+	)
+	if got := hog.Procs(0, epoch.Add(45*time.Minute)); got != 3 {
+		t.Fatalf("overlapping windows Procs = %d, want 3", got)
+	}
+}

@@ -1,0 +1,196 @@
+package instrument
+
+import (
+	"strings"
+	"testing"
+
+	"saad/internal/logpoint"
+)
+
+const sampleSrc = `package server
+
+import "log"
+
+type DataXceiver struct{}
+
+func (d *DataXceiver) Run(pkts [][]byte) {
+	log.Printf("Receiving block blk_%d", 7)
+	for _, pkt := range pkts {
+		log.Printf("Receiving one packet for blk_%d", 7)
+		if len(pkt) == 0 {
+			log.Printf("Receiving empty packet for blk_%d", 7)
+			continue
+		}
+		log.Printf("WriteTo blockfile of size %d", len(pkt))
+	}
+	log.Println("Closing down.")
+}
+
+func helper() {
+	log.Print("helper running")
+	other.Printf("not a log call")
+}
+`
+
+const otherStub = `package server
+
+var other = struct{ Printf func(string, ...any) }{}
+`
+
+func TestRunBuildsDictionary(t *testing.T) {
+	res, err := Run([]File{{Name: "xceiver.go", Src: []byte(sampleSrc)}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Five log calls inside Run + one inside helper; other.Printf ignored.
+	if len(res.Sites) != 6 {
+		t.Fatalf("sites = %d: %+v", len(res.Sites), res.Sites)
+	}
+	if res.Dictionary.NumPoints() != 6 {
+		t.Fatalf("dictionary points = %d", res.Dictionary.NumPoints())
+	}
+	// Stage names: methods use the receiver type; functions their name.
+	if res.Sites[0].Stage != "DataXceiver" {
+		t.Fatalf("stage = %q", res.Sites[0].Stage)
+	}
+	if res.Sites[5].Stage != "helper" {
+		t.Fatalf("stage = %q", res.Sites[5].Stage)
+	}
+	// Templates keep only the static prefix.
+	if res.Sites[0].Template != "Receiving block blk_" {
+		t.Fatalf("template = %q", res.Sites[0].Template)
+	}
+	if res.Sites[4].Template != "Closing down." {
+		t.Fatalf("template = %q", res.Sites[4].Template)
+	}
+	// Positions recorded.
+	if res.Sites[0].File != "xceiver.go" || res.Sites[0].Line == 0 {
+		t.Fatalf("position = %s:%d", res.Sites[0].File, res.Sites[0].Line)
+	}
+	// IDs are unique and dense from 1.
+	for i, s := range res.Sites {
+		if s.ID != logpoint.ID(i+1) {
+			t.Fatalf("ids not dense: %+v", res.Sites)
+		}
+	}
+	// No rewrite requested.
+	if len(res.Rewritten) != 0 {
+		t.Fatal("rewrote without HitPackage")
+	}
+}
+
+func TestRunRewritesWithHitCalls(t *testing.T) {
+	res, err := Run([]File{{Name: "xceiver.go", Src: []byte(sampleSrc)}}, Options{HitPackage: "saadlog"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, ok := res.Rewritten["xceiver.go"]
+	if !ok {
+		t.Fatal("no rewritten source")
+	}
+	text := string(out)
+	// One Hit per site, before the log call.
+	if got := strings.Count(text, "saadlog.Hit("); got != 6 {
+		t.Fatalf("Hit calls = %d\n%s", got, text)
+	}
+	// The Hit for the first site precedes its log statement.
+	hitIdx := strings.Index(text, "saadlog.Hit(1)")
+	logIdx := strings.Index(text, `log.Printf("Receiving block blk_`)
+	if hitIdx == -1 || logIdx == -1 || hitIdx > logIdx {
+		t.Fatalf("ordering wrong: hit@%d log@%d", hitIdx, logIdx)
+	}
+	// The empty-packet Hit lands inside the if block (before continue).
+	if !strings.Contains(text, "saadlog.Hit(3)") {
+		t.Fatalf("missing hit 3:\n%s", text)
+	}
+}
+
+func TestRunCustomLoggerAndMethods(t *testing.T) {
+	src := `package p
+
+func f() {
+	logger.Debugf("custom %d", 1)
+	logger.Tracef("ignored")
+}
+`
+	res, err := Run([]File{{Name: "p.go", Src: []byte(src)}}, Options{
+		Logger:  "logger",
+		Methods: []string{"Debugf"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sites) != 1 {
+		t.Fatalf("sites = %+v", res.Sites)
+	}
+	if res.Sites[0].Level != logpoint.LevelDebug {
+		t.Fatalf("level = %v", res.Sites[0].Level)
+	}
+	if res.Sites[0].Template != "custom" {
+		t.Fatalf("template = %q", res.Sites[0].Template)
+	}
+}
+
+func TestRunLevels(t *testing.T) {
+	src := `package p
+
+func f() {
+	log.Debugf("d %d", 1)
+	log.Infof("i %d", 1)
+	log.Warnf("w %d", 1)
+	log.Errorf("e %d", 1)
+	log.Print("plain")
+}
+`
+	res, err := Run([]File{{Name: "p.go", Src: []byte(src)}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []logpoint.Level{
+		logpoint.LevelDebug, logpoint.LevelInfo, logpoint.LevelWarn,
+		logpoint.LevelError, logpoint.LevelInfo,
+	}
+	for i, lv := range want {
+		if res.Sites[i].Level != lv {
+			t.Fatalf("site %d level = %v, want %v", i, res.Sites[i].Level, lv)
+		}
+	}
+}
+
+func TestRunParseError(t *testing.T) {
+	if _, err := Run([]File{{Name: "bad.go", Src: []byte("not go")}}, Options{}); err == nil {
+		t.Fatal("parse error not surfaced")
+	}
+}
+
+func TestRunMultipleFilesShareDictionary(t *testing.T) {
+	res, err := Run([]File{
+		{Name: "a.go", Src: []byte("package p\n\nfunc a() { log.Print(\"from a\") }\n")},
+		{Name: "b.go", Src: []byte("package p\n\nfunc b() { log.Print(\"from b\") }\n")},
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sites) != 2 || res.Sites[0].ID == res.Sites[1].ID {
+		t.Fatalf("sites = %+v", res.Sites)
+	}
+	if res.Dictionary.NumStages() != 2 {
+		t.Fatalf("stages = %d", res.Dictionary.NumStages())
+	}
+}
+
+func TestRewrittenSourceStillParses(t *testing.T) {
+	res, err := Run([]File{{Name: "xceiver.go", Src: []byte(sampleSrc)}}, Options{HitPackage: "saadlog"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Instrument the rewritten output again: it must parse, and the log
+	// calls must still be found.
+	res2, err := Run([]File{{Name: "xceiver.go", Src: res.Rewritten["xceiver.go"]}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Sites) != 6 {
+		t.Fatalf("re-instrumented sites = %d", len(res2.Sites))
+	}
+}

@@ -1,0 +1,239 @@
+// Package logpoint holds the static metadata SAAD's instrumentation pass
+// produces: the log-point dictionary (unique id per log statement, with its
+// template and verbosity level) and the stage dictionary (unique id per
+// stage). The paper builds these with a one-time source pass (Section 3.2.2,
+// 4.1.1); cmd/saad-instrument plays that role for Go sources, and the
+// simulated storage systems register their points programmatically.
+package logpoint
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ID identifies one log statement in the source code. The paper encodes it
+// as a short int; 16 bits is enough for the 3000+ statements it instruments.
+type ID uint16
+
+// StageID identifies one stage (code module executed by tasks).
+type StageID uint16
+
+// Level is the verbosity level of a log statement. Levels start at one so
+// the zero value is invalid and detectably unset.
+type Level int
+
+// Log levels, mirroring log4j's.
+const (
+	LevelDebug Level = iota + 1
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "DEBUG"
+	case LevelInfo:
+		return "INFO"
+	case LevelWarn:
+		return "WARN"
+	case LevelError:
+		return "ERROR"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// Point is one entry of the log template dictionary.
+type Point struct {
+	ID       ID      `json:"id"`
+	Stage    StageID `json:"stage"`
+	Level    Level   `json:"level"`
+	Template string  `json:"template"`
+	File     string  `json:"file,omitempty"`
+	Line     int     `json:"line,omitempty"`
+}
+
+// Stage is one entry of the stage dictionary.
+type Stage struct {
+	ID   StageID `json:"id"`
+	Name string  `json:"name"`
+	// Model records which staging model the stage follows:
+	// producer-consumer or dispatcher-worker (Section 3.2.1).
+	Model StagingModel `json:"model"`
+}
+
+// StagingModel enumerates the two standard staging models the paper
+// identifies for locating stage beginnings.
+type StagingModel int
+
+// Staging models.
+const (
+	ProducerConsumer StagingModel = iota + 1
+	DispatcherWorker
+)
+
+// String implements fmt.Stringer.
+func (m StagingModel) String() string {
+	switch m {
+	case ProducerConsumer:
+		return "producer-consumer"
+	case DispatcherWorker:
+		return "dispatcher-worker"
+	default:
+		return fmt.Sprintf("StagingModel(%d)", int(m))
+	}
+}
+
+// Errors returned by dictionary operations.
+var (
+	ErrUnknownPoint = errors.New("logpoint: unknown log point id")
+	ErrUnknownStage = errors.New("logpoint: unknown stage id")
+	ErrExhausted    = errors.New("logpoint: id space exhausted")
+)
+
+// Dictionary is the combined log-point + stage dictionary. It is safe for
+// concurrent use: registration happens during system construction, lookups
+// happen from every task. Construct with NewDictionary.
+type Dictionary struct {
+	mu         sync.RWMutex
+	points     map[ID]Point
+	stages     map[StageID]Stage
+	stageNames map[string]StageID
+	nextPoint  ID
+	nextStage  StageID
+}
+
+// NewDictionary returns an empty dictionary. IDs start at one so the zero
+// value of ID/StageID never aliases a registered entry.
+func NewDictionary() *Dictionary {
+	return &Dictionary{
+		points:     make(map[ID]Point),
+		stages:     make(map[StageID]Stage),
+		stageNames: make(map[string]StageID),
+		nextPoint:  1,
+		nextStage:  1,
+	}
+}
+
+// RegisterStage adds a stage with the given name and model, returning its
+// id. Registering the same name twice returns the existing id.
+func (d *Dictionary) RegisterStage(name string, model StagingModel) (StageID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok := d.stageNames[name]; ok {
+		return id, nil
+	}
+	if d.nextStage == 0 { // wrapped
+		return 0, ErrExhausted
+	}
+	id := d.nextStage
+	d.nextStage++
+	d.stages[id] = Stage{ID: id, Name: name, Model: model}
+	d.stageNames[name] = id
+	return id, nil
+}
+
+// RegisterPoint adds a log point belonging to stage with the given level and
+// template, returning its id. Every call mints a new id: two textually
+// identical statements at different code locations are distinct points.
+func (d *Dictionary) RegisterPoint(stage StageID, level Level, template string) (ID, error) {
+	return d.RegisterPointAt(stage, level, template, "", 0)
+}
+
+// RegisterPointAt is RegisterPoint with source position metadata, as emitted
+// by cmd/saad-instrument.
+func (d *Dictionary) RegisterPointAt(stage StageID, level Level, template, file string, line int) (ID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.stages[stage]; !ok && stage != 0 {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownStage, stage)
+	}
+	if d.nextPoint == 0 { // wrapped
+		return 0, ErrExhausted
+	}
+	id := d.nextPoint
+	d.nextPoint++
+	d.points[id] = Point{ID: id, Stage: stage, Level: level, Template: template, File: file, Line: line}
+	return id, nil
+}
+
+// Point looks up a log point by id.
+func (d *Dictionary) Point(id ID) (Point, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	p, ok := d.points[id]
+	if !ok {
+		return Point{}, fmt.Errorf("%w: %d", ErrUnknownPoint, id)
+	}
+	return p, nil
+}
+
+// Stage looks up a stage by id.
+func (d *Dictionary) Stage(id StageID) (Stage, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	s, ok := d.stages[id]
+	if !ok {
+		return Stage{}, fmt.Errorf("%w: %d", ErrUnknownStage, id)
+	}
+	return s, nil
+}
+
+// StageByName looks up a stage id by its registered name.
+func (d *Dictionary) StageByName(name string) (StageID, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	id, ok := d.stageNames[name]
+	return id, ok
+}
+
+// StageName returns the stage's name, or a numeric placeholder when unknown.
+func (d *Dictionary) StageName(id StageID) string {
+	if s, err := d.Stage(id); err == nil {
+		return s.Name
+	}
+	return fmt.Sprintf("stage-%d", id)
+}
+
+// Points returns all registered points sorted by id.
+func (d *Dictionary) Points() []Point {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]Point, 0, len(d.points))
+	for _, p := range d.points {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Stages returns all registered stages sorted by id.
+func (d *Dictionary) Stages() []Stage {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]Stage, 0, len(d.stages))
+	for _, s := range d.stages {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// NumPoints returns the number of registered log points.
+func (d *Dictionary) NumPoints() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.points)
+}
+
+// NumStages returns the number of registered stages.
+func (d *Dictionary) NumStages() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.stages)
+}

@@ -1,0 +1,264 @@
+package logpoint
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegisterStageAndPoint(t *testing.T) {
+	d := NewDictionary()
+	sid, err := d.RegisterStage("DataXceiver", DispatcherWorker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sid == 0 {
+		t.Fatal("stage id is zero")
+	}
+	pid, err := d.RegisterPoint(sid, LevelDebug, "Receiving block blk_%s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pid == 0 {
+		t.Fatal("point id is zero")
+	}
+	p, err := d.Point(pid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Stage != sid || p.Level != LevelDebug || p.Template != "Receiving block blk_%s" {
+		t.Fatalf("point = %+v", p)
+	}
+	s, err := d.Stage(sid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "DataXceiver" || s.Model != DispatcherWorker {
+		t.Fatalf("stage = %+v", s)
+	}
+}
+
+func TestRegisterStageIdempotent(t *testing.T) {
+	d := NewDictionary()
+	a, err := d.RegisterStage("Call", ProducerConsumer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.RegisterStage("Call", DispatcherWorker) // model of second call ignored
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("duplicate registration minted new id: %d vs %d", a, b)
+	}
+	if d.NumStages() != 1 {
+		t.Fatalf("NumStages = %d", d.NumStages())
+	}
+}
+
+func TestRegisterPointDistinctIDs(t *testing.T) {
+	d := NewDictionary()
+	sid, err := d.RegisterStage("S", ProducerConsumer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two textually identical statements at different locations are distinct.
+	a, err := d.RegisterPoint(sid, LevelInfo, "same text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.RegisterPoint(sid, LevelInfo, "same text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("identical templates shared an id")
+	}
+}
+
+func TestRegisterPointUnknownStage(t *testing.T) {
+	d := NewDictionary()
+	if _, err := d.RegisterPoint(99, LevelInfo, "x"); !errors.Is(err, ErrUnknownStage) {
+		t.Fatalf("err = %v", err)
+	}
+	// Stage 0 means "no stage" and is allowed (library-level log points).
+	if _, err := d.RegisterPoint(0, LevelInfo, "global"); err != nil {
+		t.Fatalf("stage-0 registration failed: %v", err)
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	d := NewDictionary()
+	if _, err := d.Point(5); !errors.Is(err, ErrUnknownPoint) {
+		t.Fatalf("Point err = %v", err)
+	}
+	if _, err := d.Stage(5); !errors.Is(err, ErrUnknownStage) {
+		t.Fatalf("Stage err = %v", err)
+	}
+	if name := d.StageName(7); name != "stage-7" {
+		t.Fatalf("StageName = %q", name)
+	}
+	if _, ok := d.StageByName("nope"); ok {
+		t.Fatal("StageByName found unregistered name")
+	}
+}
+
+func TestStageByName(t *testing.T) {
+	d := NewDictionary()
+	sid, err := d.RegisterStage("Memtable", ProducerConsumer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := d.StageByName("Memtable")
+	if !ok || got != sid {
+		t.Fatalf("StageByName = %d, %v", got, ok)
+	}
+	if name := d.StageName(sid); name != "Memtable" {
+		t.Fatalf("StageName = %q", name)
+	}
+}
+
+func TestListsSorted(t *testing.T) {
+	d := NewDictionary()
+	for _, name := range []string{"C", "A", "B"} {
+		if _, err := d.RegisterStage(name, ProducerConsumer); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sid, _ := d.StageByName("A")
+	for i := 0; i < 5; i++ {
+		if _, err := d.RegisterPoint(sid, LevelDebug, "p"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stages := d.Stages()
+	for i := 1; i < len(stages); i++ {
+		if stages[i].ID <= stages[i-1].ID {
+			t.Fatalf("stages unsorted: %v", stages)
+		}
+	}
+	points := d.Points()
+	if len(points) != 5 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].ID <= points[i-1].ID {
+			t.Fatalf("points unsorted: %v", points)
+		}
+	}
+}
+
+func TestConcurrentRegistration(t *testing.T) {
+	d := NewDictionary()
+	sid, err := d.RegisterStage("S", ProducerConsumer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	ids := make([][]ID, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				id, err := d.RegisterPoint(sid, LevelDebug, "p")
+				if err != nil {
+					t.Errorf("register: %v", err)
+					return
+				}
+				ids[g] = append(ids[g], id)
+			}
+		}(g)
+	}
+	wg.Wait()
+	seen := make(map[ID]bool)
+	for _, batch := range ids {
+		for _, id := range batch {
+			if seen[id] {
+				t.Fatalf("duplicate id %d", id)
+			}
+			seen[id] = true
+		}
+	}
+	if d.NumPoints() != 800 {
+		t.Fatalf("NumPoints = %d", d.NumPoints())
+	}
+}
+
+func TestLevelAndModelStrings(t *testing.T) {
+	tests := []struct {
+		got, want string
+	}{
+		{LevelDebug.String(), "DEBUG"},
+		{LevelInfo.String(), "INFO"},
+		{LevelWarn.String(), "WARN"},
+		{LevelError.String(), "ERROR"},
+		{Level(9).String(), "Level(9)"},
+		{ProducerConsumer.String(), "producer-consumer"},
+		{DispatcherWorker.String(), "dispatcher-worker"},
+		{StagingModel(9).String(), "StagingModel(9)"},
+	}
+	for _, tt := range tests {
+		if tt.got != tt.want {
+			t.Errorf("got %q, want %q", tt.got, tt.want)
+		}
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	d := NewDictionary()
+	sid, err := d.RegisterStage("StorageProxy", ProducerConsumer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.RegisterPointAt(sid, LevelInfo, "append to WAL", "commitlog.go", 42); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.RegisterPoint(sid, LevelDebug, "applying mutation"); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDictionary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumStages() != 1 || got.NumPoints() != 2 {
+		t.Fatalf("round trip: %d stages, %d points", got.NumStages(), got.NumPoints())
+	}
+	p, err := got.Point(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.File != "commitlog.go" || p.Line != 42 || p.Template != "append to WAL" {
+		t.Fatalf("point = %+v", p)
+	}
+	// Registration continues after the highest loaded id.
+	next, err := got.RegisterPoint(sid, LevelInfo, "new")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != 3 {
+		t.Fatalf("next id = %d, want 3", next)
+	}
+}
+
+func TestReadDictionaryRejectsBadInput(t *testing.T) {
+	if _, err := ReadDictionary(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadDictionary(strings.NewReader(`{"stages":[{"id":0,"name":"x"}]}`)); err == nil {
+		t.Fatal("zero stage id accepted")
+	}
+	if _, err := ReadDictionary(strings.NewReader(`{"points":[{"id":0}]}`)); err == nil {
+		t.Fatal("zero point id accepted")
+	}
+	if _, err := ReadDictionary(strings.NewReader(`{"points":[{"id":1,"stage":9}]}`)); err == nil {
+		t.Fatal("dangling stage reference accepted")
+	}
+}

@@ -1,0 +1,74 @@
+package logpoint
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// dictionaryJSON is the on-disk form of a Dictionary.
+type dictionaryJSON struct {
+	Stages []Stage `json:"stages"`
+	Points []Point `json:"points"`
+}
+
+// WriteTo serializes the dictionary as JSON. It implements io.WriterTo.
+func (d *Dictionary) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &countingWriter{w: bw}
+	enc := json.NewEncoder(cw)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(dictionaryJSON{Stages: d.Stages(), Points: d.Points()}); err != nil {
+		return cw.n, fmt.Errorf("logpoint: encode dictionary: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, fmt.Errorf("logpoint: flush dictionary: %w", err)
+	}
+	return cw.n, nil
+}
+
+// ReadDictionary parses a dictionary previously written with WriteTo.
+// Registered ids are preserved exactly; subsequent registrations continue
+// after the highest ids present.
+func ReadDictionary(r io.Reader) (*Dictionary, error) {
+	var raw dictionaryJSON
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
+		return nil, fmt.Errorf("logpoint: decode dictionary: %w", err)
+	}
+	d := NewDictionary()
+	for _, s := range raw.Stages {
+		if s.ID == 0 {
+			return nil, fmt.Errorf("logpoint: stage %q has zero id", s.Name)
+		}
+		d.stages[s.ID] = s
+		d.stageNames[s.Name] = s.ID
+		if s.ID >= d.nextStage {
+			d.nextStage = s.ID + 1
+		}
+	}
+	for _, p := range raw.Points {
+		if p.ID == 0 {
+			return nil, fmt.Errorf("logpoint: point %q has zero id", p.Template)
+		}
+		if _, ok := d.stages[p.Stage]; !ok && p.Stage != 0 {
+			return nil, fmt.Errorf("logpoint: point %d references %w %d", p.ID, ErrUnknownStage, p.Stage)
+		}
+		d.points[p.ID] = p
+		if p.ID >= d.nextPoint {
+			d.nextPoint = p.ID + 1
+		}
+	}
+	return d, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

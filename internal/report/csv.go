@@ -1,0 +1,85 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"saad/internal/analyzer"
+	"saad/internal/logpoint"
+)
+
+// SeriesCSV writes per-window integer series as CSV with a leading window
+// column: `window,<header0>,<header1>,...`. Series shorter than the longest
+// one pad with zeros.
+func SeriesCSV(w io.Writer, headers []string, series ...[]int) error {
+	if len(headers) != len(series) {
+		return fmt.Errorf("report: %d headers for %d series", len(headers), len(series))
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(append([]string{"window"}, headers...)); err != nil {
+		return fmt.Errorf("report: write csv header: %w", err)
+	}
+	rows := 0
+	for _, s := range series {
+		if len(s) > rows {
+			rows = len(s)
+		}
+	}
+	rec := make([]string, len(series)+1)
+	for i := 0; i < rows; i++ {
+		rec[0] = strconv.Itoa(i)
+		for j, s := range series {
+			v := 0
+			if i < len(s) {
+				v = s[i]
+			}
+			rec[j+1] = strconv.Itoa(v)
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("report: write csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("report: flush csv: %w", err)
+	}
+	return nil
+}
+
+// AnomaliesCSV writes one row per anomaly:
+// kind,stage,host,window,newSignature,outliers,tasks,pvalue,signature.
+// Windows are reported as whole multiples of `window` since `start`.
+func AnomaliesCSV(w io.Writer, anomalies []analyzer.Anomaly, dict *logpoint.Dictionary, start time.Time, window time.Duration) error {
+	if window <= 0 {
+		window = time.Minute
+	}
+	cw := csv.NewWriter(w)
+	header := []string{"kind", "stage", "host", "window", "newSignature", "outliers", "tasks", "pvalue", "signature"}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("report: write csv header: %w", err)
+	}
+	for _, a := range anomalies {
+		rec := []string{
+			a.Kind.String(),
+			dict.StageName(a.Stage),
+			strconv.Itoa(int(a.Host)),
+			strconv.Itoa(int(a.Window.Sub(start) / window)),
+			strconv.FormatBool(a.NewSignature),
+			strconv.Itoa(a.Outliers),
+			strconv.Itoa(a.Tasks),
+			strconv.FormatFloat(a.Test.PValue, 'e', 3, 64),
+			a.Signature.String(),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("report: write csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("report: flush csv: %w", err)
+	}
+	return nil
+}

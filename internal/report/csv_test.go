@@ -1,0 +1,85 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"saad/internal/analyzer"
+	"saad/internal/logpoint"
+	"saad/internal/stats"
+	"saad/internal/synopsis"
+)
+
+func TestSeriesCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := SeriesCSV(&buf, []string{"throughput", "anomalies"},
+		[]int{10, 20, 30}, []int{0, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if lines[0] != "window,throughput,anomalies" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "0,10,0" || lines[3] != "2,30,0" {
+		t.Fatalf("rows = %v (short series must pad with zeros)", lines)
+	}
+}
+
+func TestSeriesCSVHeaderMismatch(t *testing.T) {
+	if err := SeriesCSV(&bytes.Buffer{}, []string{"a"}, []int{1}, []int{2}); err == nil {
+		t.Fatal("mismatched headers accepted")
+	}
+}
+
+func TestAnomaliesCSV(t *testing.T) {
+	dict, sid, ids := dictWithStage(t)
+	res, err := stats.ProportionZTest(30, 100, 0.01, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anoms := []analyzer.Anomaly{
+		{
+			Kind: analyzer.FlowAnomaly, Stage: sid, Host: 4,
+			Window: epoch.Add(10 * time.Minute), NewSignature: true,
+			Signature: synopsis.Compute(ids[:1]), Outliers: 12, Tasks: 100,
+		},
+		{
+			Kind: analyzer.PerformanceAnomaly, Stage: sid, Host: 2,
+			Window: epoch.Add(30 * time.Minute), Test: res, Outliers: 30, Tasks: 100,
+		},
+	}
+	var buf bytes.Buffer
+	if err := AnomaliesCSV(&buf, anoms, dict, epoch, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if !strings.HasPrefix(lines[1], "flow,Table,4,10,true,12,100") {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "performance,Table,2,30,false,30,100") {
+		t.Fatalf("row 2 = %q", lines[2])
+	}
+	// Zero window duration defaults to a minute rather than dividing by 0.
+	var buf2 bytes.Buffer
+	if err := AnomaliesCSV(&buf2, anoms, dict, epoch, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown stages render a placeholder.
+	var buf3 bytes.Buffer
+	if err := AnomaliesCSV(&buf3, []analyzer.Anomaly{{Kind: analyzer.FlowAnomaly, Stage: 99, Window: epoch}},
+		logpoint.NewDictionary(), epoch, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf3.String(), "stage-99") {
+		t.Fatalf("placeholder missing: %q", buf3.String())
+	}
+}

@@ -1,0 +1,343 @@
+// Package report renders SAAD's detection output in the human-readable
+// forms the paper uses: per-anomaly reports carrying stage names and log
+// templates (Section 3.3.3 "Anomaly Reporting", Table 1), and per-stage
+// anomaly timelines like Figures 9 and 10.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"saad/internal/analyzer"
+	"saad/internal/logpoint"
+	"saad/internal/synopsis"
+)
+
+// FormatAnomaly renders one anomaly with the stage name and the log
+// templates of its signature, which is how the visualization tool exposes
+// anomalies for root-cause analysis.
+func FormatAnomaly(a analyzer.Anomaly, dict *logpoint.Dictionary) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s anomaly in stage %s (host %d) at %s",
+		a.Kind, dict.StageName(a.Stage), a.Host, a.Window.Format("15:04:05"))
+	if a.NewSignature {
+		b.WriteString(" [new execution flow]")
+	}
+	fmt.Fprintf(&b, "\n  outliers: %d of %d tasks", a.Outliers, a.Tasks)
+	if a.Test.N > 0 {
+		fmt.Fprintf(&b, " (train share %.4f, observed %.4f, p=%.2e)", a.Test.P0, a.Test.PHat, a.Test.PValue)
+	}
+	if a.Signature != "" {
+		b.WriteString("\n  execution flow:")
+		for _, id := range a.Signature.Points() {
+			b.WriteString("\n    - ")
+			b.WriteString(describePoint(id, dict))
+		}
+	}
+	return b.String()
+}
+
+func describePoint(id logpoint.ID, dict *logpoint.Dictionary) string {
+	p, err := dict.Point(id)
+	if err != nil {
+		return fmt.Sprintf("L%d (unknown)", id)
+	}
+	loc := ""
+	if p.File != "" {
+		loc = fmt.Sprintf(" (%s:%d)", p.File, p.Line)
+	}
+	return fmt.Sprintf("L%d [%s] %q%s", id, p.Level, p.Template, loc)
+}
+
+// SignatureRow is one row of a signature comparison table.
+type SignatureRow struct {
+	Description string
+	Present     []bool // one entry per compared signature
+}
+
+// SignatureTable compares signatures of the same stage side by side, as in
+// the paper's Table 1 (normal vs frozen-MemTable anomalous flow). Columns
+// are labeled by labels; rows are the union of log points across the
+// signatures in id order, described by their templates.
+func SignatureTable(dict *logpoint.Dictionary, labels []string, sigs []synopsis.Signature) string {
+	union := make(map[logpoint.ID]bool)
+	for _, sig := range sigs {
+		for _, id := range sig.Points() {
+			union[id] = true
+		}
+	}
+	ids := make([]logpoint.ID, 0, len(union))
+	for id := range union {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	rows := make([]SignatureRow, 0, len(ids))
+	width := len("Description of log statements")
+	for _, id := range ids {
+		desc := describeTemplate(id, dict)
+		if len(desc) > width {
+			width = len(desc)
+		}
+		row := SignatureRow{Description: desc, Present: make([]bool, len(sigs))}
+		for i, sig := range sigs {
+			row.Present[i] = sig.Contains(id)
+		}
+		rows = append(rows, row)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-*s", width, "Description of log statements")
+	for _, l := range labels {
+		fmt.Fprintf(&b, " | %s", l)
+	}
+	b.WriteByte('\n')
+	b.WriteString(strings.Repeat("-", width))
+	for _, l := range labels {
+		b.WriteString("-+-")
+		b.WriteString(strings.Repeat("-", len(l)))
+	}
+	b.WriteByte('\n')
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-*s", width, row.Description)
+		for i, present := range row.Present {
+			mark := " "
+			if present {
+				mark = "x"
+			}
+			fmt.Fprintf(&b, " | %-*s", len(labels[i]), mark)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func describeTemplate(id logpoint.ID, dict *logpoint.Dictionary) string {
+	p, err := dict.Point(id)
+	if err != nil {
+		return fmt.Sprintf("L%d", id)
+	}
+	return p.Template
+}
+
+// Event is an auxiliary timeline marker, e.g. an ERROR log message emitted
+// by the baseline log monitor, or a fault-activation edge.
+type Event struct {
+	Host  uint16
+	Stage logpoint.StageID
+	At    time.Time
+	Mark  byte // single-character cell marker, e.g. 'E'
+}
+
+// Timeline renders the Figure 9/10-style grid: one row per (stage, host)
+// that registered at least one anomaly, one column per time window, with
+// cell markers F (flow anomaly), P (performance anomaly), B (both) plus any
+// custom event markers. Construct with NewTimeline.
+type Timeline struct {
+	start, end time.Time
+	window     time.Duration
+	dict       *logpoint.Dictionary
+
+	cells      map[rowKey]map[int]byte
+	throughput []int
+}
+
+type rowKey struct {
+	stage logpoint.StageID
+	host  uint16
+}
+
+// NewTimeline returns a timeline covering [start, end) split into windows.
+func NewTimeline(dict *logpoint.Dictionary, start, end time.Time, window time.Duration) *Timeline {
+	if window <= 0 {
+		window = time.Minute
+	}
+	return &Timeline{
+		start:  start,
+		end:    end,
+		window: window,
+		dict:   dict,
+		cells:  make(map[rowKey]map[int]byte),
+	}
+}
+
+// AddAnomalies places anomalies on the grid.
+func (t *Timeline) AddAnomalies(anomalies []analyzer.Anomaly) {
+	for _, a := range anomalies {
+		mark := byte('F')
+		if a.Kind == analyzer.PerformanceAnomaly {
+			mark = 'P'
+		}
+		t.set(rowKey{stage: a.Stage, host: a.Host}, a.Window, mark)
+	}
+}
+
+// SetThroughput attaches a per-window operation count rendered as a
+// sparkline row under the grid (the right axis of the paper's Figures 9
+// and 10).
+func (t *Timeline) SetThroughput(opsPerWindow []int) {
+	t.throughput = append([]int(nil), opsPerWindow...)
+}
+
+// AddEvents places auxiliary events (e.g. error log messages) on the grid.
+func (t *Timeline) AddEvents(events []Event) {
+	for _, e := range events {
+		t.set(rowKey{stage: e.Stage, host: e.Host}, e.At, e.Mark)
+	}
+}
+
+func (t *Timeline) set(key rowKey, at time.Time, mark byte) {
+	col := int(at.Sub(t.start) / t.window)
+	if col < 0 || at.After(t.end) {
+		return
+	}
+	row := t.cells[key]
+	if row == nil {
+		row = make(map[int]byte)
+		t.cells[key] = row
+	}
+	switch prev := row[col]; {
+	case prev == 0:
+		row[col] = mark
+	case prev != mark && (prev == 'F' || prev == 'P') && (mark == 'F' || mark == 'P'):
+		row[col] = 'B' // both flow and performance in the same window
+	case prev != mark && mark == 'E':
+		// keep the anomaly mark; error-log markers do not overwrite it
+	case prev == 'E' && mark != 'E':
+		row[col] = mark
+	}
+}
+
+// Rows returns the number of grid rows.
+func (t *Timeline) Rows() int { return len(t.cells) }
+
+// Render draws the grid. Rows are sorted by host then stage name.
+func (t *Timeline) Render() string {
+	keys := make([]rowKey, 0, len(t.cells))
+	for k := range t.cells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].host != keys[j].host {
+			return keys[i].host < keys[j].host
+		}
+		return t.dict.StageName(keys[i].stage) < t.dict.StageName(keys[j].stage)
+	})
+	cols := int(t.end.Sub(t.start) / t.window)
+	if cols < 1 {
+		cols = 1
+	}
+	labelWidth := 0
+	labels := make([]string, len(keys))
+	for i, k := range keys {
+		labels[i] = fmt.Sprintf("%s(%d)", t.dict.StageName(k.stage), k.host)
+		if len(labels[i]) > labelWidth {
+			labelWidth = len(labels[i])
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%*s |", labelWidth, "stage(host)")
+	// Column ruler marking every 10th window.
+	for c := 0; c < cols; c++ {
+		if c%10 == 0 {
+			b.WriteByte('|')
+		} else {
+			b.WriteByte(' ')
+		}
+	}
+	b.WriteByte('\n')
+	for i, k := range keys {
+		fmt.Fprintf(&b, "%*s |", labelWidth, labels[i])
+		row := t.cells[k]
+		for c := 0; c < cols; c++ {
+			if m, ok := row[c]; ok {
+				b.WriteByte(m)
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.throughput) > 0 {
+		fmt.Fprintf(&b, "%*s |", labelWidth, "throughput")
+		peak := 0
+		for _, v := range t.throughput {
+			if v > peak {
+				peak = v
+			}
+		}
+		levels := []byte(" .:-=+*#%@")
+		for c := 0; c < cols; c++ {
+			lvl := 0
+			if c < len(t.throughput) && peak > 0 {
+				lvl = t.throughput[c] * (len(levels) - 1) / peak
+			}
+			b.WriteByte(levels[lvl])
+		}
+		fmt.Fprintf(&b, " (peak %d ops/col)\n", peak)
+	}
+	fmt.Fprintf(&b, "%*s |legend: F=flow P=performance B=both E=error-log .=quiet; 1 col = %s\n",
+		labelWidth, "", t.window)
+	return b.String()
+}
+
+// CountByKind tallies anomalies per kind, a convenience for the false-
+// positive analysis of Section 5.6.
+func CountByKind(anomalies []analyzer.Anomaly) (flow, perf int) {
+	for _, a := range anomalies {
+		switch a.Kind {
+		case analyzer.FlowAnomaly:
+			flow++
+		case analyzer.PerformanceAnomaly:
+			perf++
+		}
+	}
+	return flow, perf
+}
+
+// FilterWindow returns the anomalies whose window start falls in [from, to).
+func FilterWindow(anomalies []analyzer.Anomaly, from, to time.Time) []analyzer.Anomaly {
+	var out []analyzer.Anomaly
+	for _, a := range anomalies {
+		if !a.Window.Before(from) && a.Window.Before(to) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ModelSummary renders a trained model's per-stage signature tables: count,
+// share, flow-outlier mark, duration threshold and perf eligibility — the
+// inspection view operators use to sanity-check training.
+func ModelSummary(m *analyzer.Model, dict *logpoint.Dictionary) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "model trained on %d synopses, %d stages\n", m.TrainedOn, len(m.Stages))
+	ids := make([]logpoint.StageID, 0, len(m.Stages))
+	for id := range m.Stages {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		return dict.StageName(ids[i]) < dict.StageName(ids[j])
+	})
+	for _, id := range ids {
+		sm := m.Stages[id]
+		fmt.Fprintf(&b, "stage %s: %d tasks, %d signatures, flow-outlier share %.4f\n",
+			dict.StageName(id), sm.Total, len(sm.Signatures), sm.FlowOutlierShare)
+		for _, sig := range sm.SortedSignatures() {
+			kind := "normal "
+			if sig.FlowOutlier {
+				kind = "outlier"
+			}
+			perf := "perf"
+			if !sig.PerfEligible {
+				perf = "    "
+			}
+			fmt.Fprintf(&b, "  %s %s share=%.5f n=%-7d dur<=%-12v %v\n",
+				kind, perf, sig.Share, sig.Count,
+				sig.DurationThreshold.Round(time.Microsecond), sig.Signature)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,274 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"saad/internal/analyzer"
+	"saad/internal/logpoint"
+	"saad/internal/stats"
+	"saad/internal/synopsis"
+)
+
+var epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func dictWithStage(t *testing.T) (*logpoint.Dictionary, logpoint.StageID, []logpoint.ID) {
+	t.Helper()
+	d := logpoint.NewDictionary()
+	sid, err := d.RegisterStage("Table", logpoint.ProducerConsumer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	templates := []string{
+		"MemTable is already frozen; another thread must be flushing it",
+		"Start applying update to MemTable",
+		"Applying mutation of row",
+		"Applied mutation. Sending response",
+	}
+	ids := make([]logpoint.ID, len(templates))
+	for i, tpl := range templates {
+		id, err := d.RegisterPoint(sid, logpoint.LevelDebug, tpl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	return d, sid, ids
+}
+
+func TestFormatAnomaly(t *testing.T) {
+	dict, sid, ids := dictWithStage(t)
+	a := analyzer.Anomaly{
+		Kind:         analyzer.FlowAnomaly,
+		Stage:        sid,
+		Host:         4,
+		Window:       epoch,
+		Signature:    synopsis.Compute(ids[:1]),
+		NewSignature: true,
+		Outliers:     12,
+		Tasks:        100,
+	}
+	out := FormatAnomaly(a, dict)
+	for _, want := range []string{"flow anomaly", "Table", "host 4", "new execution flow",
+		"12 of 100", "MemTable is already frozen"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("FormatAnomaly missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatAnomalyWithTestStats(t *testing.T) {
+	dict, sid, ids := dictWithStage(t)
+	res, err := stats.ProportionZTest(30, 100, 0.01, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := analyzer.Anomaly{
+		Kind:      analyzer.PerformanceAnomaly,
+		Stage:     sid,
+		Window:    epoch,
+		Signature: synopsis.Compute(ids),
+		Test:      res,
+		Outliers:  30,
+		Tasks:     100,
+	}
+	out := FormatAnomaly(a, dict)
+	if !strings.Contains(out, "performance anomaly") || !strings.Contains(out, "train share 0.0100") {
+		t.Fatalf("FormatAnomaly = %s", out)
+	}
+}
+
+func TestFormatAnomalyUnknownPoint(t *testing.T) {
+	dict := logpoint.NewDictionary()
+	a := analyzer.Anomaly{
+		Kind:      analyzer.FlowAnomaly,
+		Stage:     9,
+		Window:    epoch,
+		Signature: synopsis.Compute([]logpoint.ID{42}),
+	}
+	out := FormatAnomaly(a, dict)
+	if !strings.Contains(out, "stage-9") || !strings.Contains(out, "L42 (unknown)") {
+		t.Fatalf("FormatAnomaly = %s", out)
+	}
+}
+
+func TestSignatureTableMatchesTable1(t *testing.T) {
+	dict, _, ids := dictWithStage(t)
+	normal := synopsis.Compute(ids) // all four statements
+	anomalous := synopsis.Compute(ids[:1])
+	out := SignatureTable(dict, []string{"Normal", "Anomalous"}, []synopsis.Signature{normal, anomalous})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + separator + 4 template rows.
+	if len(lines) != 6 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	frozenRow := lines[2]
+	if !strings.Contains(frozenRow, "frozen") {
+		t.Fatalf("row order unexpected:\n%s", out)
+	}
+	// The frozen row is present in both columns.
+	if strings.Count(frozenRow, "x") != 2 {
+		t.Fatalf("frozen row marks = %q", frozenRow)
+	}
+	// The remaining rows only in the normal column.
+	for _, row := range lines[3:] {
+		if strings.Count(row, "x") != 1 {
+			t.Fatalf("row marks = %q", row)
+		}
+	}
+}
+
+func TestTimelineRender(t *testing.T) {
+	dict, sid, _ := dictWithStage(t)
+	tl := NewTimeline(dict, epoch, epoch.Add(50*time.Minute), time.Minute)
+	tl.AddAnomalies([]analyzer.Anomaly{
+		{Kind: analyzer.FlowAnomaly, Stage: sid, Host: 4, Window: epoch.Add(10 * time.Minute)},
+		{Kind: analyzer.PerformanceAnomaly, Stage: sid, Host: 4, Window: epoch.Add(30 * time.Minute)},
+	})
+	tl.AddEvents([]Event{{Host: 4, Stage: sid, At: epoch.Add(18 * time.Minute), Mark: 'E'}})
+	if tl.Rows() != 1 {
+		t.Fatalf("rows = %d", tl.Rows())
+	}
+	out := tl.Render()
+	if !strings.Contains(out, "Table(4)") {
+		t.Fatalf("missing row label:\n%s", out)
+	}
+	gridLine := ""
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "Table(4)") {
+			gridLine = line[strings.Index(line, "|")+1:]
+		}
+	}
+	if len(gridLine) != 50 {
+		t.Fatalf("grid width = %d, want 50", len(gridLine))
+	}
+	if gridLine[10] != 'F' || gridLine[30] != 'P' || gridLine[18] != 'E' {
+		t.Fatalf("cells = %q", gridLine)
+	}
+}
+
+func TestTimelineBothMarker(t *testing.T) {
+	dict, sid, _ := dictWithStage(t)
+	tl := NewTimeline(dict, epoch, epoch.Add(5*time.Minute), time.Minute)
+	w := epoch.Add(2 * time.Minute)
+	tl.AddAnomalies([]analyzer.Anomaly{
+		{Kind: analyzer.FlowAnomaly, Stage: sid, Host: 1, Window: w},
+		{Kind: analyzer.PerformanceAnomaly, Stage: sid, Host: 1, Window: w},
+	})
+	out := tl.Render()
+	if !strings.Contains(out, "B") {
+		t.Fatalf("no B marker:\n%s", out)
+	}
+}
+
+func TestTimelineAnomalyOverridesErrorMark(t *testing.T) {
+	dict, sid, _ := dictWithStage(t)
+	tl := NewTimeline(dict, epoch, epoch.Add(5*time.Minute), time.Minute)
+	at := epoch.Add(1 * time.Minute)
+	tl.AddEvents([]Event{{Host: 1, Stage: sid, At: at, Mark: 'E'}})
+	tl.AddAnomalies([]analyzer.Anomaly{{Kind: analyzer.FlowAnomaly, Stage: sid, Host: 1, Window: at}})
+	out := tl.Render()
+	if strings.Contains(out, "E") && !strings.Contains(out, "F") {
+		t.Fatalf("error mark suppressed anomaly:\n%s", out)
+	}
+	// And the reverse: an E after an F must not erase the F.
+	tl2 := NewTimeline(dict, epoch, epoch.Add(5*time.Minute), time.Minute)
+	tl2.AddAnomalies([]analyzer.Anomaly{{Kind: analyzer.FlowAnomaly, Stage: sid, Host: 1, Window: at}})
+	tl2.AddEvents([]Event{{Host: 1, Stage: sid, At: at, Mark: 'E'}})
+	line := gridRow(tl2.Render(), "Table(1)")
+	if line[1] != 'F' {
+		t.Fatalf("E overwrote F: %q", line)
+	}
+}
+
+func gridRow(rendered, label string) string {
+	for _, line := range strings.Split(rendered, "\n") {
+		if strings.Contains(line, label) {
+			return line[strings.Index(line, "|")+1:]
+		}
+	}
+	return ""
+}
+
+func TestTimelineIgnoresOutOfRange(t *testing.T) {
+	dict, sid, _ := dictWithStage(t)
+	tl := NewTimeline(dict, epoch, epoch.Add(5*time.Minute), time.Minute)
+	tl.AddAnomalies([]analyzer.Anomaly{
+		{Kind: analyzer.FlowAnomaly, Stage: sid, Host: 1, Window: epoch.Add(-time.Minute)},
+		{Kind: analyzer.FlowAnomaly, Stage: sid, Host: 1, Window: epoch.Add(time.Hour)},
+	})
+	if tl.Rows() != 0 {
+		t.Fatalf("out-of-range anomalies created rows: %d", tl.Rows())
+	}
+}
+
+func TestCountByKindAndFilterWindow(t *testing.T) {
+	anoms := []analyzer.Anomaly{
+		{Kind: analyzer.FlowAnomaly, Window: epoch},
+		{Kind: analyzer.FlowAnomaly, Window: epoch.Add(10 * time.Minute)},
+		{Kind: analyzer.PerformanceAnomaly, Window: epoch.Add(20 * time.Minute)},
+	}
+	flow, perf := CountByKind(anoms)
+	if flow != 2 || perf != 1 {
+		t.Fatalf("flow=%d perf=%d", flow, perf)
+	}
+	got := FilterWindow(anoms, epoch.Add(5*time.Minute), epoch.Add(25*time.Minute))
+	if len(got) != 2 {
+		t.Fatalf("filtered = %d", len(got))
+	}
+}
+
+func TestTimelineThroughputSparkline(t *testing.T) {
+	dict, sid, _ := dictWithStage(t)
+	tl := NewTimeline(dict, epoch, epoch.Add(10*time.Minute), time.Minute)
+	tl.AddAnomalies([]analyzer.Anomaly{{Kind: analyzer.FlowAnomaly, Stage: sid, Host: 1, Window: epoch}})
+	tl.SetThroughput([]int{100, 100, 50, 0, 100, 100, 100, 100, 100, 100})
+	out := tl.Render()
+	if !strings.Contains(out, "throughput") || !strings.Contains(out, "peak 100 ops/col") {
+		t.Fatalf("sparkline missing:\n%s", out)
+	}
+	row := gridRow(out, "throughput")
+	if len(row) < 10 {
+		t.Fatalf("sparkline row = %q", row)
+	}
+	if row[0] != '@' || row[3] != ' ' {
+		t.Fatalf("sparkline levels wrong: %q", row)
+	}
+	// Dip at window 2 renders a mid level.
+	if row[2] == '@' || row[2] == ' ' {
+		t.Fatalf("dip not visible: %q", row)
+	}
+	// Without throughput, no sparkline row.
+	tl2 := NewTimeline(dict, epoch, epoch.Add(5*time.Minute), time.Minute)
+	tl2.AddAnomalies([]analyzer.Anomaly{{Kind: analyzer.FlowAnomaly, Stage: sid, Host: 1, Window: epoch}})
+	if strings.Contains(tl2.Render(), "throughput") {
+		t.Fatal("sparkline rendered without data")
+	}
+}
+
+func TestModelSummary(t *testing.T) {
+	dict, sid, ids := dictWithStage(t)
+	var trace []*synopsis.Synopsis
+	ts := epoch
+	for i := 0; i < 500; i++ {
+		s := &synopsis.Synopsis{Stage: sid, Host: 1, TaskID: uint64(i), Start: ts,
+			Duration: time.Duration(i%20+1) * time.Millisecond}
+		for _, id := range ids {
+			s.Points = append(s.Points, synopsis.PointCount{Point: id, Count: 1})
+		}
+		s.Normalize()
+		trace = append(trace, s)
+		ts = ts.Add(time.Millisecond)
+	}
+	model, err := analyzer.Train(analyzer.DefaultConfig(), trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ModelSummary(model, dict)
+	for _, want := range []string{"trained on 500", "stage Table", "1 signatures", "normal"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

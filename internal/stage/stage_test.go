@@ -1,0 +1,240 @@
+package stage
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"saad/internal/logpoint"
+	"saad/internal/stream"
+	"saad/internal/synopsis"
+	"saad/internal/tracker"
+)
+
+func setup(t *testing.T) (*logpoint.Dictionary, *tracker.Tracker, *stream.Channel) {
+	t.Helper()
+	dict := logpoint.NewDictionary()
+	sink := stream.NewChannel(1 << 16)
+	tr := tracker.New(1, sink)
+	return dict, tr, sink
+}
+
+func TestExecutorProcessesAndTracks(t *testing.T) {
+	dict, tr, sink := setup(t)
+	var processed atomic.Int64
+
+	ex, err := NewExecutor(dict, tr, "Handler", 4, 16, time.Now, func(ctx *Ctx, req any) {
+		processed.Add(1)
+		ctx.Log(1)
+		if req.(int)%2 == 0 {
+			ctx.Log(2)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := ex.Submit(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ex.Close()
+	if processed.Load() != n {
+		t.Fatalf("processed = %d", processed.Load())
+	}
+	syns := sink.Drain()
+	if len(syns) != n {
+		t.Fatalf("synopses = %d, want %d (one per task)", len(syns), n)
+	}
+	evenSig := synopsis.Compute([]logpoint.ID{1, 2})
+	oddSig := synopsis.Compute([]logpoint.ID{1})
+	var even, odd int
+	for _, s := range syns {
+		switch s.Signature() {
+		case evenSig:
+			even++
+		case oddSig:
+			odd++
+		default:
+			t.Fatalf("unexpected signature %v", s.Signature())
+		}
+	}
+	if even != n/2 || odd != n/2 {
+		t.Fatalf("even=%d odd=%d", even, odd)
+	}
+	sid, ok := dict.StageByName("Handler")
+	if !ok || syns[0].Stage != sid {
+		t.Fatalf("stage id mismatch")
+	}
+}
+
+func TestExecutorSubmitAfterClose(t *testing.T) {
+	dict, tr, _ := setup(t)
+	ex, err := NewExecutor(dict, tr, "S", 1, 4, time.Now, func(*Ctx, any) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex.Close()
+	if err := ex.Submit(1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v", err)
+	}
+	ex.Close() // idempotent
+}
+
+func TestExecutorValidation(t *testing.T) {
+	dict, tr, _ := setup(t)
+	if _, err := NewExecutor(dict, tr, "S", 0, 4, nil, func(*Ctx, any) {}); err == nil {
+		t.Fatal("0 workers accepted")
+	}
+	if _, err := NewExecutor(dict, tr, "S", 1, 4, nil, nil); err == nil {
+		t.Fatal("nil handler accepted")
+	}
+	// queueCap < 1 is clamped, nil now defaults to time.Now.
+	ex, err := NewExecutor(dict, tr, "S", 1, 0, nil, func(*Ctx, any) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Submit(1); err != nil {
+		t.Fatal(err)
+	}
+	ex.Close()
+}
+
+func TestExecutorConcurrentSubmitters(t *testing.T) {
+	dict, tr, sink := setup(t)
+	ex, err := NewExecutor(dict, tr, "S", 8, 8, time.Now, func(ctx *Ctx, _ any) {
+		ctx.Log(1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	const (
+		producers = 8
+		each      = 50
+	)
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if err := ex.Submit(i); err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	ex.Close()
+	if got := len(sink.Drain()); got != producers*each {
+		t.Fatalf("synopses = %d", got)
+	}
+}
+
+func TestSpawnerTracksEachGoroutine(t *testing.T) {
+	dict, tr, sink := setup(t)
+	sp, err := NewSpawner(dict, tr, "DataXceiver", time.Now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	for i := 0; i < n; i++ {
+		i := i
+		sp.Spawn(func(ctx *Ctx) {
+			ctx.Log(1)
+			if i == 7 {
+				ctx.Log(9) // one rare flow
+			}
+		})
+	}
+	sp.Wait()
+	syns := sink.Drain()
+	if len(syns) != n {
+		t.Fatalf("synopses = %d", len(syns))
+	}
+	rare := 0
+	for _, s := range syns {
+		if s.Signature().Contains(9) {
+			rare++
+		}
+	}
+	if rare != 1 {
+		t.Fatalf("rare flows = %d", rare)
+	}
+	sid, _ := dict.StageByName("DataXceiver")
+	st, err := dict.Stage(sid)
+	if err != nil || st.Model != logpoint.DispatcherWorker {
+		t.Fatalf("stage model = %+v, %v", st, err)
+	}
+}
+
+func TestDisabledTrackerStillProcesses(t *testing.T) {
+	dict, tr, sink := setup(t)
+	tr.SetEnabled(false)
+	var processed atomic.Int64
+	ex, err := NewExecutor(dict, tr, "S", 2, 4, time.Now, func(ctx *Ctx, _ any) {
+		processed.Add(1)
+		ctx.Log(1) // nil-safe
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := ex.Submit(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ex.Close()
+	if processed.Load() != 10 {
+		t.Fatalf("processed = %d", processed.Load())
+	}
+	if got := len(sink.Drain()); got != 0 {
+		t.Fatalf("disabled tracker emitted %d synopses", got)
+	}
+
+	sp, err := NewSpawner(dict, tr, "W", time.Now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.Spawn(func(ctx *Ctx) {
+		ctx.Log(2)
+		if ctx.Task() != nil {
+			t.Error("disabled tracker produced a task")
+		}
+	})
+	sp.Wait()
+}
+
+func TestExecutorVirtualClock(t *testing.T) {
+	dict, tr, sink := setup(t)
+	var mu sync.Mutex
+	now := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		now = now.Add(time.Millisecond)
+		return now
+	}
+	ex, err := NewExecutor(dict, tr, "S", 1, 1, clock, func(ctx *Ctx, _ any) {
+		ctx.Log(1)
+		ctx.Log(2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Submit(1); err != nil {
+		t.Fatal(err)
+	}
+	ex.Close()
+	syns := sink.Drain()
+	if len(syns) != 1 {
+		t.Fatalf("synopses = %d", len(syns))
+	}
+	if syns[0].Duration <= 0 {
+		t.Fatalf("duration = %v", syns[0].Duration)
+	}
+}

@@ -1,0 +1,157 @@
+// Package stats implements the statistical primitives SAAD's analyzer is
+// built on: streaming moments, percentiles, the normal and Student-t
+// distributions, one-proportion hypothesis tests, and k-fold partitioning.
+//
+// The paper's analyzer (Section 3.3, 4.2) deliberately restricts training to
+// "counting and computing percentiles" and runtime detection to hash-map
+// lookups, float comparisons and t-tests; this package provides exactly those
+// pieces with no external dependencies.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrNoData is returned by operations that need at least one observation.
+var ErrNoData = errors.New("stats: no data")
+
+// Welford accumulates count, mean and variance in one pass using Welford's
+// online algorithm. The zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 with no data).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance (0 with fewer than two
+// observations).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Merge combines another accumulator into w (parallel Welford merge).
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	delta := o.mean - w.mean
+	mean := w.mean + delta*float64(o.n)/float64(n)
+	m2 := w.m2 + o.m2 + delta*delta*float64(w.n)*float64(o.n)/float64(n)
+	w.n, w.mean, w.m2 = n, mean, m2
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks. xs is not modified.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrNoData
+	}
+	if p <= 0 {
+		return minFloat(xs), nil
+	}
+	if p >= 100 {
+		return maxFloat(xs), nil
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p), nil
+}
+
+// PercentileSorted is like Percentile but requires xs to be sorted ascending
+// and avoids the copy.
+func PercentileSorted(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrNoData
+	}
+	if p <= 0 {
+		return xs[0], nil
+	}
+	if p >= 100 {
+		return xs[len(xs)-1], nil
+	}
+	return percentileSorted(xs, p), nil
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+func minFloat(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func maxFloat(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Skewness returns the adjusted Fisher-Pearson sample skewness of xs. The
+// analyzer uses it to report how skewed a signature's duration distribution
+// is (the paper notes heavily non-skewed flows make percentile thresholds
+// meaningless, motivating the k-fold discard).
+func Skewness(xs []float64) (float64, error) {
+	n := float64(len(xs))
+	if len(xs) < 3 {
+		return 0, ErrNoData
+	}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	sd := w.StdDev()
+	if sd == 0 {
+		return 0, nil
+	}
+	var m3 float64
+	for _, x := range xs {
+		d := (x - w.Mean()) / sd
+		m3 += d * d * d
+	}
+	return n / ((n - 1) * (n - 2)) * m3, nil
+}

@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram is a fixed-bucket histogram over float64 observations, used by
+// the report package for duration distributions and by diagnostics.
+// The zero value is not usable; construct with NewHistogram.
+type Histogram struct {
+	min, max float64
+	width    float64
+	counts   []int
+	under    int
+	over     int
+	total    int
+}
+
+// NewHistogram builds a histogram with n equal-width buckets over [min, max).
+// It returns an error for invalid bounds or a non-positive bucket count.
+func NewHistogram(min, max float64, n int) (*Histogram, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("stats: histogram needs >= 1 bucket, got %d", n)
+	}
+	if !(min < max) {
+		return nil, fmt.Errorf("stats: histogram bounds [%v, %v) invalid", min, max)
+	}
+	return &Histogram{
+		min:    min,
+		max:    max,
+		width:  (max - min) / float64(n),
+		counts: make([]int, n),
+	}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.min:
+		h.under++
+	case x >= h.max:
+		h.over++
+	default:
+		i := int((x - h.min) / h.width)
+		if i >= len(h.counts) { // float edge case at the top boundary
+			i = len(h.counts) - 1
+		}
+		h.counts[i]++
+	}
+}
+
+// Total returns the number of observations recorded.
+func (h *Histogram) Total() int { return h.total }
+
+// Counts returns a copy of the per-bucket counts (excluding under/overflow).
+func (h *Histogram) Counts() []int {
+	out := make([]int, len(h.counts))
+	copy(out, h.counts)
+	return out
+}
+
+// Render draws an ASCII bar chart with the given maximum bar width.
+func (h *Histogram) Render(barWidth int) string {
+	if barWidth <= 0 {
+		barWidth = 40
+	}
+	peak := h.under
+	for _, c := range h.counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	if h.over > peak {
+		peak = h.over
+	}
+	if peak == 0 {
+		peak = 1
+	}
+	var b strings.Builder
+	bar := func(label string, c int) {
+		n := int(math.Round(float64(c) / float64(peak) * float64(barWidth)))
+		fmt.Fprintf(&b, "%16s | %-*s %d\n", label, barWidth, strings.Repeat("#", n), c)
+	}
+	if h.under > 0 {
+		bar(fmt.Sprintf("< %.3g", h.min), h.under)
+	}
+	for i, c := range h.counts {
+		lo := h.min + float64(i)*h.width
+		bar(fmt.Sprintf("[%.3g,%.3g)", lo, lo+h.width), c)
+	}
+	if h.over > 0 {
+		bar(fmt.Sprintf(">= %.3g", h.max), h.over)
+	}
+	return b.String()
+}
+
+// CumulativeShare reports, for counts sorted descending, the minimum number
+// of items whose summed counts reach the given share (0 < share <= 1) of the
+// grand total. This is the computation behind Figure 6 ("6 of 29 signatures
+// account for 95% of tasks").
+func CumulativeShare(counts []int, share float64) (items int, totalItems int) {
+	if len(counts) == 0 || share <= 0 {
+		return 0, len(counts)
+	}
+	sorted := make([]int, len(counts))
+	copy(sorted, counts)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	var total int
+	for _, c := range sorted {
+		total += c
+	}
+	if total == 0 {
+		return 0, len(counts)
+	}
+	if share > 1 {
+		share = 1
+	}
+	target := share * float64(total)
+	var cum int
+	for i, c := range sorted {
+		cum += c
+		if float64(cum) >= target {
+			return i + 1, len(counts)
+		}
+	}
+	return len(counts), len(counts)
+}

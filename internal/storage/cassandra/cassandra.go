@@ -1,0 +1,484 @@
+// Package cassandra implements a miniature Cassandra (modeled on the 0.8
+// line the paper evaluates): a peer-to-peer ring with 3-way replication,
+// quorum writes through StorageProxy, an LSM storage engine per node
+// (CommitLog/WAL + Memtable + SSTables), hinted hand-off, background flush,
+// compaction and GC inspection — structured as exactly the stages the
+// paper's Figure 9 reports anomalies for.
+//
+// The simulator executes real reads and writes against the LSM engine and
+// charges virtual I/O time through the cluster substrate, so injected WAL
+// and MemTable-flush faults propagate the way Section 5.4 describes: a
+// failed WAL append leaves a writer holding the memtable freeze (the Table 1
+// "frozen MemTable" flow), failed flushes build memory pressure visible to
+// the GCInspector, and unreachable replicas produce hinted hand-off work on
+// healthy nodes.
+package cassandra
+
+import (
+	"fmt"
+	"time"
+
+	"saad/internal/cluster"
+	"saad/internal/faults"
+	"saad/internal/logpoint"
+	"saad/internal/storage/lsm"
+	"saad/internal/tracker"
+	"saad/internal/vtime"
+	"saad/internal/workload"
+)
+
+// ReplicationFactor is fixed at the paper's 3-way replication.
+const ReplicationFactor = 3
+
+// Config configures the simulated Cassandra cluster.
+type Config struct {
+	// Hosts is the node count (the paper uses 4).
+	Hosts int
+	// Seed drives all randomness deterministically.
+	Seed uint64
+	// Sink receives task synopses from every node's tracker.
+	Sink tracker.Sink
+	// Epoch is the virtual start time.
+	Epoch time.Time
+	// Injector applies I/O faults (may be nil).
+	Injector *faults.Injector
+	// Hogs applies disk-hog slowdowns (may be nil).
+	Hogs *faults.HogSchedule
+	// Profile overrides the host latency profile (nil = default).
+	Profile *cluster.Profile
+
+	// FlushBytes is the per-node memtable flush threshold. Default 48 KiB
+	// (small, so flushes occur at simulation rates).
+	FlushBytes int
+	// CompactTables triggers minor compaction. Default 4.
+	CompactTables int
+	// MajorTables triggers major compaction. Default 10.
+	MajorTables int
+	// FreezeRecovery is how long a memtable stays frozen after a stuck WAL
+	// append before the lock is reclaimed. A new failed append re-freezes,
+	// so a 100%-intensity fault keeps the memtable frozen continuously.
+	// Default 30 s.
+	FreezeRecovery time.Duration
+	// CrashHeapBytes is the buffered-writes heap size at which a node dies
+	// from memory pressure (the end state of the error-WAL experiment).
+	// Default 2 MiB.
+	CrashHeapBytes int
+	// GCEvery is the GCInspector period. Default 10 s.
+	GCEvery time.Duration
+	// GCPressureBytes is the heap-pressure level above which the
+	// GCInspector reports long pauses. Default 128 KiB.
+	GCPressureBytes int
+	// HintReplayEvery is the hinted-hand-off replay period. Default 20 s.
+	HintReplayEvery time.Duration
+	// GossipEvery is the Gossiper round period. Default 1 s.
+	GossipEvery time.Duration
+	// ReadRepairChance is the probability a read checks a second replica.
+	// Default 0.1.
+	ReadRepairChance float64
+	// RPCTimeout is the replica-ack timeout before a hint is stored.
+	// Default 100 ms.
+	RPCTimeout time.Duration
+}
+
+func (c *Config) applyDefaults() {
+	if c.Hosts <= 0 {
+		c.Hosts = 4
+	}
+	if c.FlushBytes <= 0 {
+		c.FlushBytes = 48 << 10
+	}
+	if c.CompactTables <= 0 {
+		c.CompactTables = 4
+	}
+	if c.MajorTables <= 0 {
+		c.MajorTables = 10
+	}
+	if c.FreezeRecovery <= 0 {
+		c.FreezeRecovery = 30 * time.Second
+	}
+	if c.CrashHeapBytes <= 0 {
+		c.CrashHeapBytes = 2 << 20
+	}
+	if c.GCEvery <= 0 {
+		c.GCEvery = 10 * time.Second
+	}
+	if c.GCPressureBytes <= 0 {
+		c.GCPressureBytes = 128 << 10
+	}
+	if c.HintReplayEvery <= 0 {
+		c.HintReplayEvery = 20 * time.Second
+	}
+	if c.GossipEvery <= 0 {
+		c.GossipEvery = time.Second
+	}
+	if c.ReadRepairChance <= 0 {
+		c.ReadRepairChance = 0.1
+	}
+	if c.RPCTimeout <= 0 {
+		c.RPCTimeout = 100 * time.Millisecond
+	}
+}
+
+// stages holds the registered stage ids, named as in the paper's figures.
+type stages struct {
+	Daemon         logpoint.StageID // CassandraDaemon
+	StorageProxy   logpoint.StageID
+	Table          logpoint.StageID
+	LogRecordAdder logpoint.StageID
+	CommitLog      logpoint.StageID
+	Memtable       logpoint.StageID
+	Compaction     logpoint.StageID // CompactionManager
+	Worker         logpoint.StageID // WorkerProcess
+	LocalRead      logpoint.StageID // LocalReadRunnable
+	IncomingTCP    logpoint.StageID // IncomingTcpConnection
+	OutboundTCP    logpoint.StageID // OutboundTcpConnection
+	GCInspector    logpoint.StageID
+	HintedHandOff  logpoint.StageID // HintedHandOffManager
+	Gossiper       logpoint.StageID
+}
+
+// points holds the registered log-point ids.
+type points struct {
+	// CassandraDaemon
+	cdReceive, cdParse, cdAuth, cdDispatchWrite, cdDispatchRead, cdRespond, cdOverload logpoint.ID
+	// StorageProxy
+	spBegin, spLocalApply, spSendReplica, spQuorum, spHint, spDone, spFail logpoint.ID
+	// Table (the Table 1 flow)
+	tFrozen, tStart, tApplyRow, tApplied logpoint.ID
+	// LogRecordAdder
+	lraBegin, lraAppend, lraSync, lraError logpoint.ID
+	// CommitLog
+	clCheck, clTrim, clNothing logpoint.ID
+	// Memtable flush
+	mtFreeze, mtSerialize, mtWrite, mtInstall, mtError logpoint.ID
+	// CompactionManager
+	cmBegin, cmRead, cmMergeMinor, cmMergeMajor, cmWrite, cmDone, cmError logpoint.ID
+	// WorkerProcess
+	wpRecv, wpApply, wpFlushEngage, wpRespond, wpStoreHint, wpFail logpoint.ID
+	// LocalReadRunnable
+	lrBegin, lrDigest, lrMemHit, lrSSTable, lrMiss, lrDone logpoint.ID
+	// IncomingTcpConnection
+	itcAccept, itcRead, itcDispatch logpoint.ID
+	// OutboundTcpConnection
+	otcConnect, otcSend, otcAck, otcTimeout logpoint.ID
+	// GCInspector
+	gcBegin, gcDone, gcLong logpoint.ID
+	// HintedHandOffManager
+	hhBegin, hhDeliver, hhTimeout, hhDone, hhEmpty logpoint.ID
+	// Gossiper
+	ggBegin, ggSyn, ggAck, ggUnreachable, ggDone logpoint.ID
+	// error-level points (for the log-grep baseline)
+	errWAL, errOOM, errFlush logpoint.ID
+}
+
+// hint is a buffered write owed to a dead/unreachable replica.
+type hint struct {
+	target uint16
+	key    string
+	value  []byte
+}
+
+// node is one Cassandra process.
+type node struct {
+	host  *cluster.Host
+	store *lsm.Store
+	// heap models buffered writes that cannot complete (memory pressure).
+	heap int
+	// frozenUntil: while the virtual clock is before this, the memtable is
+	// frozen by a stuck WAL appender. A zero value means not frozen.
+	frozenUntil time.Time
+	// permanentFreeze marks a freeze that outlives the fault (the stuck
+	// thread never recovers); cleared only by crash/restart.
+	permanentFreeze bool
+	hints           []hint
+	lastGC          time.Time
+	lastHintReplay  time.Time
+	lastGossip      time.Time
+	// flushPending marks a memtable over threshold whose flush failed and
+	// must be retried.
+	flushPending  bool
+	lastFlushTry  time.Time
+	crashErrCount int
+}
+
+// Cassandra is the simulated cluster.
+type Cassandra struct {
+	cfg     Config
+	cluster *cluster.Cluster
+	stages  stages
+	points  points
+	nodes   []*node
+	rr      int
+	// completedWrites/Reads count successful client operations.
+	completedWrites, completedReads uint64
+	failedOps                       uint64
+}
+
+// New builds the cluster and registers its stages and log points.
+func New(cfg Config) (*Cassandra, error) {
+	cfg.applyDefaults()
+	cl := cluster.New(cluster.Config{
+		Hosts:    cfg.Hosts,
+		Seed:     cfg.Seed,
+		Profile:  cfg.Profile,
+		Injector: cfg.Injector,
+		Hogs:     cfg.Hogs,
+		Sink:     cfg.Sink,
+		Epoch:    cfg.Epoch,
+	})
+	c := &Cassandra{cfg: cfg, cluster: cl}
+	if err := c.register(); err != nil {
+		return nil, err
+	}
+	for _, h := range cl.Hosts() {
+		c.nodes = append(c.nodes, &node{
+			host: h,
+			store: lsm.NewStore(lsm.StoreConfig{
+				FlushBytes:    cfg.FlushBytes,
+				CompactTables: cfg.CompactTables,
+				MajorTables:   cfg.MajorTables,
+				Seed:          cfg.Seed + uint64(h.ID)*7919,
+			}),
+			lastGC:         cfg.Epoch,
+			lastHintReplay: cfg.Epoch,
+			lastGossip:     cfg.Epoch,
+		})
+	}
+	return c, nil
+}
+
+func (c *Cassandra) register() error {
+	d := c.cluster.Dict
+	var regErr error
+	reg := func(name string, model logpoint.StagingModel) logpoint.StageID {
+		id, err := d.RegisterStage(name, model)
+		if err != nil && regErr == nil {
+			regErr = fmt.Errorf("cassandra: register stage %s: %w", name, err)
+		}
+		return id
+	}
+	c.stages = stages{
+		Daemon:         reg("CassandraDaemon", logpoint.ProducerConsumer),
+		StorageProxy:   reg("StorageProxy", logpoint.ProducerConsumer),
+		Table:          reg("Table", logpoint.ProducerConsumer),
+		LogRecordAdder: reg("LogRecordAdder", logpoint.ProducerConsumer),
+		CommitLog:      reg("CommitLog", logpoint.ProducerConsumer),
+		Memtable:       reg("Memtable", logpoint.DispatcherWorker),
+		Compaction:     reg("CompactionManager", logpoint.DispatcherWorker),
+		Worker:         reg("WorkerProcess", logpoint.ProducerConsumer),
+		LocalRead:      reg("LocalReadRunnable", logpoint.ProducerConsumer),
+		IncomingTCP:    reg("IncomingTcpConnection", logpoint.ProducerConsumer),
+		OutboundTCP:    reg("OutboundTcpConnection", logpoint.ProducerConsumer),
+		GCInspector:    reg("GCInspector", logpoint.DispatcherWorker),
+		HintedHandOff:  reg("HintedHandOffManager", logpoint.DispatcherWorker),
+		Gossiper:       reg("Gossiper", logpoint.DispatcherWorker),
+	}
+	s := c.stages
+	pt := func(stage logpoint.StageID, level logpoint.Level, tpl string) logpoint.ID {
+		id, err := d.RegisterPoint(stage, level, tpl)
+		if err != nil && regErr == nil {
+			regErr = fmt.Errorf("cassandra: register point %q: %w", tpl, err)
+		}
+		return id
+	}
+	c.points = points{
+		cdReceive:       pt(s.Daemon, logpoint.LevelDebug, "Received client request"),
+		cdParse:         pt(s.Daemon, logpoint.LevelDebug, "Parsed thrift frame"),
+		cdAuth:          pt(s.Daemon, logpoint.LevelDebug, "Authenticated session; switching keyspace"),
+		cdDispatchWrite: pt(s.Daemon, logpoint.LevelDebug, "Dispatching mutation to StorageProxy"),
+		cdDispatchRead:  pt(s.Daemon, logpoint.LevelDebug, "Dispatching read to StorageProxy"),
+		cdRespond:       pt(s.Daemon, logpoint.LevelDebug, "Sending response to client"),
+		cdOverload:      pt(s.Daemon, logpoint.LevelWarn, "Dropping client request under load"),
+
+		spBegin:       pt(s.StorageProxy, logpoint.LevelDebug, "Determining replica endpoints for key"),
+		spLocalApply:  pt(s.StorageProxy, logpoint.LevelDebug, "Applying mutation locally"),
+		spSendReplica: pt(s.StorageProxy, logpoint.LevelDebug, "Sending mutation to remote replica"),
+		spQuorum:      pt(s.StorageProxy, logpoint.LevelDebug, "Quorum of replica acks received"),
+		spHint:        pt(s.StorageProxy, logpoint.LevelDebug, "Scheduling hinted handoff for unreachable replica"),
+		spDone:        pt(s.StorageProxy, logpoint.LevelDebug, "Write complete. Responding"),
+		spFail:        pt(s.StorageProxy, logpoint.LevelWarn, "Write failed: insufficient replica acks"),
+
+		tFrozen:   pt(s.Table, logpoint.LevelDebug, "MemTable is already frozen; another thread must be flushing it"),
+		tStart:    pt(s.Table, logpoint.LevelDebug, "Start applying update to MemTable"),
+		tApplyRow: pt(s.Table, logpoint.LevelDebug, "Applying mutation of row"),
+		tApplied:  pt(s.Table, logpoint.LevelDebug, "Applied mutation. Sending response"),
+
+		lraBegin:  pt(s.LogRecordAdder, logpoint.LevelDebug, "Adding record to commit log"),
+		lraAppend: pt(s.LogRecordAdder, logpoint.LevelDebug, "Appended mutation to WAL segment"),
+		lraSync:   pt(s.LogRecordAdder, logpoint.LevelDebug, "Synced WAL segment to disk"),
+		lraError:  pt(s.LogRecordAdder, logpoint.LevelError, "Commit log append failed"),
+
+		clCheck:   pt(s.CommitLog, logpoint.LevelDebug, "Checking flushed memtables for WAL trim"),
+		clTrim:    pt(s.CommitLog, logpoint.LevelDebug, "Discarding obsolete commit log segments"),
+		clNothing: pt(s.CommitLog, logpoint.LevelDebug, "No segments eligible for discard"),
+
+		mtFreeze:    pt(s.Memtable, logpoint.LevelDebug, "Freezing memtable for flush"),
+		mtSerialize: pt(s.Memtable, logpoint.LevelDebug, "Serializing memtable to SSTable format"),
+		mtWrite:     pt(s.Memtable, logpoint.LevelDebug, "Writing SSTable data file"),
+		mtInstall:   pt(s.Memtable, logpoint.LevelDebug, "SSTable installed; memtable swapped"),
+		mtError:     pt(s.Memtable, logpoint.LevelWarn, "SSTable write failed; will retry flush"),
+
+		cmBegin:      pt(s.Compaction, logpoint.LevelDebug, "Compaction candidates selected"),
+		cmRead:       pt(s.Compaction, logpoint.LevelDebug, "Reading SSTable for compaction"),
+		cmMergeMinor: pt(s.Compaction, logpoint.LevelDebug, "Merging SSTables (minor compaction)"),
+		cmMergeMajor: pt(s.Compaction, logpoint.LevelDebug, "Merging SSTables (major compaction)"),
+		cmWrite:      pt(s.Compaction, logpoint.LevelDebug, "Writing compacted SSTable"),
+		cmDone:       pt(s.Compaction, logpoint.LevelDebug, "Compaction finished"),
+		cmError:      pt(s.Compaction, logpoint.LevelWarn, "Compaction failed; candidates requeued"),
+
+		wpRecv:        pt(s.Worker, logpoint.LevelDebug, "Worker received row mutation"),
+		wpApply:       pt(s.Worker, logpoint.LevelDebug, "Worker applying mutation to table"),
+		wpFlushEngage: pt(s.Worker, logpoint.LevelDebug, "Memtable over threshold; initiating flush"),
+		wpRespond:     pt(s.Worker, logpoint.LevelDebug, "Worker acking mutation"),
+		wpStoreHint:   pt(s.Worker, logpoint.LevelDebug, "Storing hinted handoff row for unreachable endpoint"),
+		wpFail:        pt(s.Worker, logpoint.LevelDebug, "Worker mutation failed"),
+
+		lrBegin:   pt(s.LocalRead, logpoint.LevelDebug, "Executing local read"),
+		lrDigest:  pt(s.LocalRead, logpoint.LevelDebug, "Computing digest for read repair"),
+		lrMemHit:  pt(s.LocalRead, logpoint.LevelDebug, "Row found in memtable"),
+		lrSSTable: pt(s.LocalRead, logpoint.LevelDebug, "Merging row fragments from SSTables"),
+		lrMiss:    pt(s.LocalRead, logpoint.LevelDebug, "Key not found"),
+		lrDone:    pt(s.LocalRead, logpoint.LevelDebug, "Read complete"),
+
+		itcAccept:   pt(s.IncomingTCP, logpoint.LevelDebug, "Accepted internode connection frame"),
+		itcRead:     pt(s.IncomingTCP, logpoint.LevelDebug, "Read message from peer"),
+		itcDispatch: pt(s.IncomingTCP, logpoint.LevelDebug, "Dispatched message to stage"),
+
+		otcConnect: pt(s.OutboundTCP, logpoint.LevelDebug, "Writing message to peer socket"),
+		otcSend:    pt(s.OutboundTCP, logpoint.LevelDebug, "Message flushed to peer"),
+		otcAck:     pt(s.OutboundTCP, logpoint.LevelDebug, "Peer ack received"),
+		otcTimeout: pt(s.OutboundTCP, logpoint.LevelWarn, "Peer did not ack within timeout"),
+
+		gcBegin: pt(s.GCInspector, logpoint.LevelDebug, "GC inspection pass"),
+		gcDone:  pt(s.GCInspector, logpoint.LevelDebug, "Heap inspection complete"),
+		gcLong:  pt(s.GCInspector, logpoint.LevelWarn, "Heap is under pressure; long GC pause observed"),
+
+		hhBegin:   pt(s.HintedHandOff, logpoint.LevelDebug, "Replaying stored hints"),
+		hhDeliver: pt(s.HintedHandOff, logpoint.LevelDebug, "Delivered hinted row to endpoint"),
+		hhTimeout: pt(s.HintedHandOff, logpoint.LevelWarn, "Hint delivery timed out; endpoint still unreachable"),
+		hhDone:    pt(s.HintedHandOff, logpoint.LevelDebug, "Hint replay pass finished"),
+		hhEmpty:   pt(s.HintedHandOff, logpoint.LevelDebug, "No hints pending"),
+
+		ggBegin:       pt(s.Gossiper, logpoint.LevelDebug, "Gossip round starting"),
+		ggSyn:         pt(s.Gossiper, logpoint.LevelDebug, "Sending gossip digest syn to endpoint"),
+		ggAck:         pt(s.Gossiper, logpoint.LevelDebug, "Received gossip digest ack"),
+		ggUnreachable: pt(s.Gossiper, logpoint.LevelDebug, "InetAddress is now DOWN"),
+		ggDone:        pt(s.Gossiper, logpoint.LevelDebug, "Gossip round complete"),
+
+		errWAL:   pt(s.LogRecordAdder, logpoint.LevelError, "IOException on commit log write"),
+		errOOM:   pt(s.Daemon, logpoint.LevelError, "OutOfMemory: heap exhausted; shutting down"),
+		errFlush: pt(s.Memtable, logpoint.LevelError, "IOException flushing memtable"),
+	}
+	return regErr
+}
+
+// Dict exposes the cluster dictionary (for reporting and model building).
+func (c *Cassandra) Dict() *logpoint.Dictionary { return c.cluster.Dict }
+
+// Cluster exposes the underlying substrate (error events, hosts).
+func (c *Cassandra) Cluster() *cluster.Cluster { return c.cluster }
+
+// Stage returns the stage id registered under name (empty ok == false).
+func (c *Cassandra) Stage(name string) (logpoint.StageID, bool) {
+	return c.cluster.Dict.StageByName(name)
+}
+
+// TablePoints returns the Table-stage log points in the order of the
+// paper's Table 1: frozen, start, apply-row, applied.
+func (c *Cassandra) TablePoints() []logpoint.ID {
+	p := c.points
+	return []logpoint.ID{p.tFrozen, p.tStart, p.tApplyRow, p.tApplied}
+}
+
+// CompletedOps returns the successful write and read counts.
+func (c *Cassandra) CompletedOps() (writes, reads uint64) {
+	return c.completedWrites, c.completedReads
+}
+
+// FailedOps returns the count of failed client operations.
+func (c *Cassandra) FailedOps() uint64 { return c.failedOps }
+
+// replicasFor returns the ReplicationFactor ring successors of the key's
+// token, as node indexes.
+func (c *Cassandra) replicasFor(key string) []int {
+	h := fnv64(key)
+	n := len(c.nodes)
+	first := int(h % uint64(n))
+	rf := ReplicationFactor
+	if rf > n {
+		rf = n
+	}
+	out := make([]int, 0, rf)
+	for i := 0; i < rf; i++ {
+		out = append(out, (first+i)%n)
+	}
+	return out
+}
+
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// aliveCoordinator picks the next round-robin non-crashed node, or -1 if
+// the whole cluster is down.
+func (c *Cassandra) aliveCoordinator() int {
+	n := len(c.nodes)
+	for i := 0; i < n; i++ {
+		idx := c.rr % n
+		c.rr++
+		if !c.nodes[idx].host.Crashed() {
+			return idx
+		}
+	}
+	return -1
+}
+
+// frozen reports whether the node's memtable is frozen at now.
+func (nd *node) frozen(now time.Time) bool {
+	if nd.permanentFreeze {
+		return true
+	}
+	return !nd.frozenUntil.IsZero() && now.Before(nd.frozenUntil)
+}
+
+// Execute runs one client operation arriving at `at` and returns its
+// completion time. Failed operations also complete (with err != nil); the
+// closed-loop driver treats both as latency. Background work due by `at`
+// runs first so periodic stages stay on schedule.
+func (c *Cassandra) Execute(op workload.Op, at time.Time) (time.Time, error) {
+	c.tick(at)
+	coord := c.aliveCoordinator()
+	if coord < 0 {
+		c.failedOps++
+		return at, fmt.Errorf("cassandra: no live coordinator")
+	}
+	var (
+		done time.Time
+		err  error
+	)
+	switch op.Type {
+	case workload.OpRead, workload.OpScan:
+		done, err = c.executeRead(coord, op, at)
+		if err == nil {
+			c.completedReads++
+		}
+	default:
+		done, err = c.executeWrite(coord, op, at)
+		if err == nil {
+			c.completedWrites++
+		}
+	}
+	if err != nil {
+		c.failedOps++
+	}
+	c.cluster.Clock.AdvanceTo(done)
+	return done, err
+}
+
+// rngOf returns the per-node RNG (deterministic stream).
+func (c *Cassandra) rngOf(idx int) *vtime.RNG { return c.nodes[idx].host.RNG }

@@ -1,0 +1,421 @@
+package cassandra
+
+import (
+	"fmt"
+	"time"
+
+	"saad/internal/faults"
+	"saad/internal/vtime"
+	"saad/internal/workload"
+)
+
+// executeRead runs the read path at consistency level ONE with probabilistic
+// read repair: CassandraDaemon on the coordinator, LocalReadRunnable on the
+// closest live replica (the coordinator itself when it is one), and — with
+// ReadRepairChance — a digest read on a second replica.
+func (c *Cassandra) executeRead(coord int, op workload.Op, at time.Time) (time.Time, error) {
+	nd := c.nodes[coord]
+	host := nd.host
+	p := c.points
+
+	cur := vtime.NewCursor(at)
+	daemon := host.BeginTask(c.stages.Daemon, cur)
+	daemon.Hit(p.cdReceive, cur.Now())
+	host.Compute(cur, 0.5)
+	daemon.Hit(p.cdParse, cur.Now())
+	if host.RNG.Bool(0.04) {
+		daemon.Hit(p.cdAuth, cur.Now())
+		host.Compute(cur, 0.3)
+	}
+	daemon.Hit(p.cdDispatchRead, cur.Now())
+
+	replicas := c.replicasFor(op.Key)
+	target := -1
+	for _, r := range replicas {
+		if r == coord && !c.nodes[r].host.Crashed() {
+			target = r
+			break
+		}
+	}
+	if target < 0 {
+		for _, r := range replicas {
+			if !c.nodes[r].host.Crashed() {
+				target = r
+				break
+			}
+		}
+	}
+	if target < 0 {
+		daemon.Hit(p.cdOverload, cur.Now())
+		daemon.End(cur.Now())
+		return cur.Now(), fmt.Errorf("cassandra: no live replica for key %q", op.Key)
+	}
+
+	var doneAt time.Time
+	if target == coord {
+		rCur := vtime.NewCursor(cur.Now())
+		c.localRead(target, op, rCur)
+		doneAt = rCur.Now()
+	} else {
+		// Remote read: one hop out, local read there, one hop back.
+		outCur := vtime.NewCursor(cur.Now())
+		out := host.BeginTask(c.stages.OutboundTCP, outCur)
+		out.Hit(p.otcConnect, outCur.Now())
+		_ = host.NetSend(outCur)
+		out.Hit(p.otcSend, outCur.Now())
+
+		dst := c.nodes[target].host
+		inCur := vtime.NewCursor(outCur.Now())
+		in := dst.BeginTask(c.stages.IncomingTCP, inCur)
+		in.Hit(p.itcAccept, inCur.Now())
+		dst.Compute(inCur, 0.2)
+		in.Hit(p.itcRead, inCur.Now())
+		in.Hit(p.itcDispatch, inCur.Now())
+		in.End(inCur.Now())
+
+		rCur := vtime.NewCursor(inCur.Now())
+		c.localRead(target, op, rCur)
+		back := vtime.NewCursor(rCur.Now())
+		_ = dst.NetSend(back)
+		out.Hit(p.otcAck, back.Now())
+		out.End(back.Now())
+		doneAt = back.Now()
+	}
+
+	// Read repair: compare with a digest from one more replica.
+	if c.rngOf(coord).Bool(c.cfg.ReadRepairChance) {
+		for _, r := range replicas {
+			if r != target && !c.nodes[r].host.Crashed() {
+				rrCur := vtime.NewCursor(cur.Now())
+				c.digestRead(r, op, rrCur)
+				if rrCur.Now().After(doneAt) {
+					doneAt = rrCur.Now()
+				}
+				break
+			}
+		}
+	}
+
+	if doneAt.After(cur.Now()) {
+		cur.Add(doneAt.Sub(cur.Now()))
+	}
+	daemon.Hit(p.cdRespond, cur.Now())
+	daemon.End(cur.Now())
+	return cur.Now(), nil
+}
+
+// digestRead is the read-repair variant of localRead: the replica computes
+// a digest of the row rather than returning it, a distinct execution flow.
+func (c *Cassandra) digestRead(idx int, op workload.Op, cur *vtime.Cursor) {
+	nd := c.nodes[idx]
+	host := nd.host
+	p := c.points
+
+	lr := host.BeginTask(c.stages.LocalRead, cur)
+	lr.Hit(p.lrBegin, cur.Now())
+	lr.Hit(p.lrDigest, cur.Now())
+	host.Compute(cur, 0.5)
+	if nd.store.TablesSearched(op.Key) > 0 {
+		lr.Hit(p.lrSSTable, cur.Now())
+		_ = host.DiskRead(cur, faults.PointDiskRead)
+	}
+	lr.Hit(p.lrDone, cur.Now())
+	lr.End(cur.Now())
+}
+
+// localRead performs the LocalReadRunnable stage on node idx: memtable
+// probe, then SSTable merges charged as disk reads.
+func (c *Cassandra) localRead(idx int, op workload.Op, cur *vtime.Cursor) {
+	nd := c.nodes[idx]
+	host := nd.host
+	p := c.points
+
+	lr := host.BeginTask(c.stages.LocalRead, cur)
+	lr.Hit(p.lrBegin, cur.Now())
+	host.Compute(cur, 0.3)
+
+	n := op.ScanLen
+	if n < 1 {
+		n = 1
+	}
+	// Scans read a run of keys; point reads one.
+	foundAny := false
+	tablesTouched := nd.store.TablesSearched(op.Key)
+	if tablesTouched == 0 {
+		lr.Hit(p.lrMemHit, cur.Now())
+		foundAny = true
+	} else {
+		for i := 0; i < tablesTouched; i++ {
+			lr.Hit(p.lrSSTable, cur.Now())
+			_ = host.DiskRead(cur, faults.PointDiskRead)
+		}
+		if _, ok := nd.store.Get(op.Key); ok {
+			foundAny = true
+		}
+	}
+	if n > 1 { // scan continuation: sequential I/O over the run
+		host.Compute(cur, float64(n)*0.1)
+		_ = host.DiskRead(cur, faults.PointDiskRead)
+		foundAny = true
+	}
+	if !foundAny {
+		lr.Hit(p.lrMiss, cur.Now())
+	}
+	lr.Hit(p.lrDone, cur.Now())
+	lr.End(cur.Now())
+}
+
+// flushMemtable runs the Memtable flush stage on node idx, charging the
+// SSTable write to the caller's cursor (the flush is synchronous with the
+// mutator that crossed the threshold). On success the CommitLog stage trims
+// the WAL; on injected failure the memtable stays and the flush is retried
+// by tick.
+func (c *Cassandra) flushMemtable(idx int, cur *vtime.Cursor) {
+	nd := c.nodes[idx]
+	host := nd.host
+	p := c.points
+
+	mtCur := vtime.NewCursor(cur.Now())
+	mt := host.BeginTask(c.stages.Memtable, mtCur)
+	mt.Hit(p.mtFreeze, mtCur.Now())
+	host.Compute(mtCur, 1)
+	mt.Hit(p.mtSerialize, mtCur.Now())
+	host.Compute(mtCur, 2)
+
+	// Write the SSTable in chunks; each chunk is a disk write on the
+	// memtable.flush fault point.
+	chunks := nd.store.Memtable().Bytes()/(16<<10) + 1
+	var flushErr error
+	for i := 0; i < chunks; i++ {
+		mt.Hit(p.mtWrite, mtCur.Now())
+		if err := host.DiskWrite(mtCur, faults.PointMemtableFlush); err != nil {
+			flushErr = err
+			break
+		}
+	}
+	if flushErr != nil {
+		mt.Hit(p.mtError, mtCur.Now())
+		mt.End(mtCur.Now())
+		syncCursor(cur, mtCur)
+		nd.flushPending = true
+		nd.lastFlushTry = mtCur.Now()
+		// Unflushed memtable keeps growing: memory pressure. A minority of
+		// flush failures surfaces as an ERROR message (most are swallowed
+		// and retried — the paper's point about log-grep blindness).
+		if host.RNG.Bool(0.2) {
+			host.LogError(c.stages.Memtable, c.points.errFlush, mtCur.Now())
+		}
+		return
+	}
+	flushStart := mtCur.Start()
+	nd.store.Flush()
+	nd.flushPending = false
+	mt.Hit(p.mtInstall, mtCur.Now())
+	mt.End(mtCur.Now())
+	syncCursor(cur, mtCur)
+
+	// CommitLog trims the WAL once the flush is durable. Its task spans
+	// from the flush start, so a slow flush shows up as slow CommitLog
+	// tasks (fig 9(d)).
+	clCur := vtime.NewCursor(flushStart)
+	clTask := host.BeginTask(c.stages.CommitLog, clCur)
+	clTask.Hit(p.clCheck, clCur.Now())
+	syncCursor(clCur, mtCur)
+	_ = host.DiskWrite(clCur, faults.PointDiskWrite)
+	clTask.Hit(p.clTrim, clCur.Now())
+	clTask.End(clCur.Now())
+
+	// Compaction when enough SSTables piled up.
+	if nd.store.NeedsMajorCompaction() {
+		c.compact(idx, cur, true)
+	} else if nd.store.NeedsCompaction() {
+		c.compact(idx, cur, false)
+	}
+}
+
+// compact runs the CompactionManager stage (minor or major).
+func (c *Cassandra) compact(idx int, cur *vtime.Cursor, major bool) {
+	nd := c.nodes[idx]
+	host := nd.host
+	p := c.points
+
+	cmCur := vtime.NewCursor(cur.Now())
+	cm := host.BeginTask(c.stages.Compaction, cmCur)
+	cm.Hit(p.cmBegin, cmCur.Now())
+
+	tables := len(nd.store.Tables())
+	victims := 2
+	if major {
+		victims = tables
+	}
+	for i := 0; i < victims; i++ {
+		cm.Hit(p.cmRead, cmCur.Now())
+		if err := host.DiskRead(cmCur, faults.PointDiskRead); err != nil {
+			cm.Hit(p.cmError, cmCur.Now())
+			cm.End(cmCur.Now())
+			return
+		}
+	}
+	if major {
+		cm.Hit(p.cmMergeMajor, cmCur.Now())
+	} else {
+		cm.Hit(p.cmMergeMinor, cmCur.Now())
+	}
+	host.Compute(cmCur, float64(victims))
+
+	// Compacted output is SSTable writes — the same fault point as memtable
+	// flushes ("write to SSTable", Table 3).
+	cm.Hit(p.cmWrite, cmCur.Now())
+	if err := host.DiskWrite(cmCur, faults.PointMemtableFlush); err != nil {
+		cm.Hit(p.cmError, cmCur.Now())
+		cm.End(cmCur.Now())
+		return
+	}
+	if major {
+		nd.store.CompactAll()
+	} else {
+		nd.store.Compact(2)
+	}
+	cm.Hit(p.cmDone, cmCur.Now())
+	cm.End(cmCur.Now())
+	// Compactions run in a background executor; their latency does not
+	// block the mutator, so the caller's cursor is not advanced.
+}
+
+// tick runs the periodic background stages due by `now` on every node:
+// GCInspector, hinted-hand-off replay, and flush retries.
+func (c *Cassandra) tick(now time.Time) {
+	for idx, nd := range c.nodes {
+		if nd.host.Crashed() {
+			continue
+		}
+		for !nd.lastGC.Add(c.cfg.GCEvery).After(now) {
+			nd.lastGC = nd.lastGC.Add(c.cfg.GCEvery)
+			c.runGC(idx, nd.lastGC)
+		}
+		for !nd.lastHintReplay.Add(c.cfg.HintReplayEvery).After(now) {
+			nd.lastHintReplay = nd.lastHintReplay.Add(c.cfg.HintReplayEvery)
+			c.replayHints(idx, nd.lastHintReplay)
+		}
+		for !nd.lastGossip.Add(c.cfg.GossipEvery).After(now) {
+			nd.lastGossip = nd.lastGossip.Add(c.cfg.GossipEvery)
+			c.gossipRound(idx, nd.lastGossip)
+		}
+		if nd.flushPending && now.Sub(nd.lastFlushTry) >= 5*time.Second {
+			cur := vtime.NewCursor(now)
+			nd.lastFlushTry = now
+			c.flushMemtable(idx, cur)
+		}
+	}
+}
+
+// runGC executes one GCInspector pass; its duration scales with heap
+// pressure (buffered writes + oversized memtable), and heavy pressure emits
+// the long-pause warning flow.
+func (c *Cassandra) runGC(idx int, at time.Time) {
+	nd := c.nodes[idx]
+	host := nd.host
+	p := c.points
+
+	cur := vtime.NewCursor(at)
+	gc := host.BeginTask(c.stages.GCInspector, cur)
+	gc.Hit(p.gcBegin, cur.Now())
+	pressure := nd.heap
+	if over := nd.store.Memtable().Bytes() - c.cfg.FlushBytes; over > 0 {
+		pressure += over
+	}
+	// Base pass ~0.5 ms; each 64 KiB of pressure adds ~5 ms.
+	cur.Add(500*time.Microsecond + time.Duration(pressure/64/1024)*5*time.Millisecond)
+	if pressure > c.cfg.GCPressureBytes {
+		gc.Hit(p.gcLong, cur.Now())
+	}
+	gc.Hit(p.gcDone, cur.Now())
+	gc.End(cur.Now())
+	// Unless a stuck appender holds the freeze forever, buffered requests
+	// time out and each GC pass reclaims about half the backlog — memory
+	// pressure lingers after a transient fault but eventually drains. A
+	// permanent freeze keeps accumulating until the node dies (fig 9(a)).
+	if !nd.permanentFreeze {
+		nd.heap /= 2
+	}
+}
+
+// gossipRound executes one Gossiper pass: exchange digests with a random
+// peer. A dead peer produces the "now DOWN" flow — how the cluster notices
+// the crash of fig 9(a)'s host 4.
+func (c *Cassandra) gossipRound(idx int, at time.Time) {
+	nd := c.nodes[idx]
+	host := nd.host
+	p := c.points
+
+	peer := c.rngOf(idx).Intn(len(c.nodes) - 1)
+	if peer >= idx {
+		peer++
+	}
+	cur := vtime.NewCursor(at)
+	gg := host.BeginTask(c.stages.Gossiper, cur)
+	gg.Hit(p.ggBegin, cur.Now())
+	gg.Hit(p.ggSyn, cur.Now())
+	if err := host.NetSend(cur); err != nil || c.nodes[peer].host.Crashed() {
+		cur.Add(c.cfg.RPCTimeout)
+		gg.Hit(p.ggUnreachable, cur.Now())
+		gg.End(cur.Now())
+		return
+	}
+	_ = c.nodes[peer].host.NetSend(cur)
+	gg.Hit(p.ggAck, cur.Now())
+	host.Compute(cur, 0.2)
+	gg.Hit(p.ggDone, cur.Now())
+	gg.End(cur.Now())
+}
+
+// replayHints executes one HintedHandOffManager pass: attempt delivery of
+// up to 8 stored hints.
+func (c *Cassandra) replayHints(idx int, at time.Time) {
+	nd := c.nodes[idx]
+	host := nd.host
+	p := c.points
+	if len(nd.hints) == 0 {
+		// An empty pass is cheap and common — a distinct normal flow.
+		cur := vtime.NewCursor(at)
+		hh := host.BeginTask(c.stages.HintedHandOff, cur)
+		hh.Hit(p.hhBegin, cur.Now())
+		hh.Hit(p.hhEmpty, cur.Now())
+		hh.End(cur.Now())
+		return
+	}
+	cur := vtime.NewCursor(at)
+	hh := host.BeginTask(c.stages.HintedHandOff, cur)
+	hh.Hit(p.hhBegin, cur.Now())
+	budget := 8
+	kept := nd.hints[:0]
+	for i, h := range nd.hints {
+		if budget == 0 {
+			kept = append(kept, nd.hints[i:]...)
+			break
+		}
+		budget--
+		target := c.nodes[h.target-1]
+		if target.host.Crashed() || target.frozen(cur.Now()) {
+			cur.Add(c.cfg.RPCTimeout)
+			hh.Hit(p.hhTimeout, cur.Now())
+			kept = append(kept, h)
+			continue
+		}
+		if _, err := c.remoteApply(idx, int(h.target-1), h.key, h.value, cur.Now()); err != nil {
+			cur.Add(c.cfg.RPCTimeout)
+			hh.Hit(p.hhTimeout, cur.Now())
+			kept = append(kept, h)
+			continue
+		}
+		host.Compute(cur, 0.2)
+		hh.Hit(p.hhDeliver, cur.Now())
+		nd.heap -= len(h.key) + len(h.value)
+		if nd.heap < 0 {
+			nd.heap = 0
+		}
+	}
+	nd.hints = kept
+	hh.Hit(p.hhDone, cur.Now())
+	hh.End(cur.Now())
+}

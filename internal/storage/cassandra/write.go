@@ -1,0 +1,355 @@
+package cassandra
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"saad/internal/faults"
+	"saad/internal/logpoint"
+	"saad/internal/vtime"
+	"saad/internal/workload"
+)
+
+// errNoQuorum reports a write that could not reach a quorum of replicas.
+var errNoQuorum = errors.New("cassandra: quorum not reached")
+
+// executeWrite runs the full write path: CassandraDaemon receive on the
+// coordinator, StorageProxy replication (local apply inline, remote applies
+// via Outbound/Incoming TCP and WorkerProcess on each replica), quorum wait,
+// hinted hand-off for unreachable replicas.
+func (c *Cassandra) executeWrite(coord int, op workload.Op, at time.Time) (time.Time, error) {
+	nd := c.nodes[coord]
+	host := nd.host
+	p := c.points
+
+	cur := vtime.NewCursor(at)
+	daemon := host.BeginTask(c.stages.Daemon, cur)
+	daemon.Hit(p.cdReceive, cur.Now())
+	host.Compute(cur, 0.5)
+	daemon.Hit(p.cdParse, cur.Now())
+	// A few percent of connections re-authenticate and switch keyspace.
+	if host.RNG.Bool(0.04) {
+		daemon.Hit(p.cdAuth, cur.Now())
+		host.Compute(cur, 0.3)
+	}
+	daemon.Hit(p.cdDispatchWrite, cur.Now())
+
+	// StorageProxy task on the coordinator.
+	spCur := vtime.NewCursor(cur.Now())
+	sp := host.BeginTask(c.stages.StorageProxy, spCur)
+	sp.Hit(p.spBegin, spCur.Now())
+	host.Compute(spCur, 0.3)
+
+	replicas := c.replicasFor(op.Key)
+	needed := ReplicationFactor/2 + 1 // quorum = 2 for RF 3
+
+	acks := 0
+	var ackTimes []time.Time
+	coordIsReplica := false
+	for _, r := range replicas {
+		if r == coord {
+			coordIsReplica = true
+		}
+	}
+
+	// Local apply runs inline in the StorageProxy thread (charged to the
+	// coordinator's StorageProxy task), as the paper's fig 9(c) analysis of
+	// WAL-delay slowdowns in StorageProxy implies.
+	if coordIsReplica {
+		sp.Hit(p.spLocalApply, spCur.Now())
+		if err := c.applyMutation(coord, op.Key, op.Value, spCur, sp); err == nil {
+			acks++
+			ackTimes = append(ackTimes, spCur.Now())
+		}
+	}
+
+	// Remote applies proceed in parallel, each on its own cursor anchored
+	// at the send instant.
+	sendAt := spCur.Now()
+	var remoteDone []time.Time
+	var hintsNeeded []int
+	for _, r := range replicas {
+		if r == coord {
+			continue
+		}
+		sp.Hit(p.spSendReplica, spCur.Now())
+		host.Compute(spCur, 0.1)
+		ackAt, err := c.remoteApply(coord, r, op.Key, op.Value, sendAt)
+		if err != nil {
+			hintsNeeded = append(hintsNeeded, r)
+			continue
+		}
+		remoteDone = append(remoteDone, ackAt)
+	}
+
+	// Quorum wait: the coordinator blocks until enough acks arrived.
+	for _, t := range remoteDone {
+		acks++
+		ackTimes = append(ackTimes, t)
+	}
+	if acks >= needed {
+		// Advance the proxy cursor to the time the `needed`-th ack landed.
+		sortTimes(ackTimes)
+		quorumAt := ackTimes[needed-1]
+		if quorumAt.After(spCur.Now()) {
+			spCur.Add(quorumAt.Sub(spCur.Now()))
+		}
+		sp.Hit(p.spQuorum, spCur.Now())
+	}
+
+	// Unreachable replicas get hinted hand-off, scheduled asynchronously
+	// after the RPC timeout on a random healthy node (the paper's
+	// "delegation to random nodes for a later retry").
+	for _, target := range hintsNeeded {
+		sp.Hit(p.spHint, spCur.Now())
+		c.storeHintAsync(coord, target, op.Key, op.Value, sendAt.Add(c.cfg.RPCTimeout))
+	}
+
+	var err error
+	if acks >= needed {
+		sp.Hit(p.spDone, spCur.Now())
+	} else {
+		sp.Hit(p.spFail, spCur.Now())
+		err = fmt.Errorf("%w: %d/%d acks for key %q", errNoQuorum, acks, needed, op.Key)
+	}
+	sp.End(spCur.Now())
+
+	// Daemon responds when the proxy finished.
+	if spCur.Now().After(cur.Now()) {
+		cur.Add(spCur.Now().Sub(cur.Now()))
+	}
+	daemon.Hit(p.cdRespond, cur.Now())
+	daemon.End(cur.Now())
+	return cur.Now(), err
+}
+
+// remoteApply ships the mutation to replica r: OutboundTcpConnection task on
+// the coordinator, IncomingTcpConnection + WorkerProcess tasks on the
+// replica. It returns the virtual time the coordinator would observe the
+// ack.
+func (c *Cassandra) remoteApply(coord, r int, key string, value []byte, sendAt time.Time) (time.Time, error) {
+	src := c.nodes[coord].host
+	dstNode := c.nodes[r]
+	dst := dstNode.host
+	p := c.points
+
+	// Outbound side.
+	outCur := vtime.NewCursor(sendAt)
+	out := src.BeginTask(c.stages.OutboundTCP, outCur)
+	out.Hit(p.otcConnect, outCur.Now())
+	sendErr := src.NetSend(outCur)
+	out.Hit(p.otcSend, outCur.Now())
+
+	if dst.Crashed() || sendErr != nil {
+		// No ack will ever come; the coordinator times out.
+		outCur.Add(c.cfg.RPCTimeout)
+		out.Hit(p.otcTimeout, outCur.Now())
+		out.End(outCur.Now())
+		return time.Time{}, fmt.Errorf("cassandra: replica %d unreachable", r)
+	}
+
+	// Replica side: incoming connection handling.
+	inCur := vtime.NewCursor(outCur.Now())
+	in := dst.BeginTask(c.stages.IncomingTCP, inCur)
+	in.Hit(p.itcAccept, inCur.Now())
+	dst.Compute(inCur, 0.2)
+	in.Hit(p.itcRead, inCur.Now())
+	in.Hit(p.itcDispatch, inCur.Now())
+	in.End(inCur.Now())
+
+	// WorkerProcess applies the mutation.
+	wpCur := vtime.NewCursor(inCur.Now())
+	wp := dst.BeginTask(c.stages.Worker, wpCur)
+	wp.Hit(p.wpRecv, wpCur.Now())
+	dst.Compute(wpCur, 0.3)
+	wp.Hit(p.wpApply, wpCur.Now())
+	applyErr := c.applyMutation(r, key, value, wpCur, wp)
+	if applyErr != nil {
+		wp.Hit(p.wpFail, wpCur.Now())
+		wp.End(wpCur.Now())
+		// The replica does not ack a failed mutation; the coordinator's
+		// view is a timeout.
+		return time.Time{}, applyErr
+	}
+	wp.Hit(p.wpRespond, wpCur.Now())
+	wp.End(wpCur.Now())
+
+	// Ack travels back.
+	ackCur := vtime.NewCursor(wpCur.Now())
+	_ = dst.NetSend(ackCur)
+	out.Hit(p.otcAck, ackCur.Now())
+	out.End(ackCur.Now())
+	return ackCur.Now(), nil
+}
+
+// applyMutation performs the replica-local mutation: Table stage apply with
+// the WAL append (LogRecordAdder stage) and memtable update, plus the
+// synchronous flush when the memtable crosses the threshold. `parent` is
+// the enclosing task (WorkerProcess or StorageProxy) whose cursor pays for
+// the work; the Table/LogRecordAdder stages run nested tasks on the same
+// timeline.
+func (c *Cassandra) applyMutation(idx int, key string, value []byte, cur *vtime.Cursor, parent taskHitter) error {
+	nd := c.nodes[idx]
+	host := nd.host
+	p := c.points
+
+	tCur := vtime.NewCursor(cur.Now())
+	table := host.BeginTask(c.stages.Table, tCur)
+
+	if nd.frozen(tCur.Now()) {
+		// The Table 1 anomalous flow: the frozen point is the only one the
+		// task hits before terminating prematurely.
+		table.Hit(p.tFrozen, tCur.Now())
+		host.Compute(tCur, 0.5) // brief spin on the lock
+		table.End(tCur.Now())
+		syncCursor(cur, tCur)
+		nd.heap += len(key) + len(value) // buffered, never applied
+		c.maybeCrashOnHeap(idx, cur.Now())
+		return fmt.Errorf("cassandra: node %d memtable frozen", idx)
+	}
+
+	// In normal operation a writer occasionally finds the memtable briefly
+	// frozen by a concurrent flusher, waits, and proceeds — the paper's
+	// Table 1 normal flow begins with the same "already frozen" statement
+	// the anomalous flow ends at.
+	if host.RNG.Bool(0.03) {
+		table.Hit(p.tFrozen, tCur.Now())
+		host.Compute(tCur, 1.5) // wait for the flusher to release the lock
+	}
+
+	table.Hit(p.tStart, tCur.Now())
+
+	// WAL append through the LogRecordAdder stage.
+	lraCur := vtime.NewCursor(tCur.Now())
+	lra := host.BeginTask(c.stages.LogRecordAdder, lraCur)
+	lra.Hit(p.lraBegin, lraCur.Now())
+	walErr := host.DiskWrite(lraCur, faults.PointWALAppend)
+	if walErr != nil {
+		// The paper's scenario: the appender gets stuck holding the
+		// memtable lock. The lock is reclaimed only after FreezeRecovery;
+		// under a 100% fault the next append re-freezes immediately. Only
+		// a small fraction of these failures surfaces as an ERROR log —
+		// that is exactly why log-grep monitoring misses this fault.
+		lra.Hit(p.lraError, lraCur.Now())
+		lra.End(lraCur.Now())
+		nd.frozenUntil = lraCur.Now().Add(c.cfg.FreezeRecovery)
+		if c.isHighIntensityWALError(idx, lraCur.Now()) {
+			nd.permanentFreeze = true
+		}
+		if host.RNG.Bool(0.02) {
+			host.LogError(c.stages.LogRecordAdder, p.errWAL, lraCur.Now())
+		}
+		table.End(tCur.Now())
+		syncCursor(cur, lraCur)
+		nd.heap += len(key) + len(value)
+		c.maybeCrashOnHeap(idx, cur.Now())
+		return walErr
+	}
+	lra.Hit(p.lraAppend, lraCur.Now())
+	lra.Hit(p.lraSync, lraCur.Now())
+	lra.End(lraCur.Now())
+	syncCursor(tCur, lraCur)
+
+	table.Hit(p.tApplyRow, tCur.Now())
+	host.Compute(tCur, 0.4)
+	if err := nd.store.Put(key, value); err != nil {
+		table.End(tCur.Now())
+		syncCursor(cur, tCur)
+		return err
+	}
+	table.Hit(p.tApplied, tCur.Now())
+	table.End(tCur.Now())
+	syncCursor(cur, tCur)
+
+	// The mutator that fills the memtable performs the flush synchronously
+	// (fig 9(d): "tasks that engage in flushing MemTables are slowed down").
+	// After a failed flush the retry is paced by the background tick, not
+	// re-attempted on every subsequent put.
+	if nd.store.NeedsFlush() && !nd.frozen(cur.Now()) && !nd.flushPending {
+		parent.Hit(p.wpFlushEngage, cur.Now())
+		c.flushMemtable(idx, cur)
+	}
+	return nil
+}
+
+// taskHitter is the slice of tracker.Task the mutation path needs from its
+// parent task.
+type taskHitter interface {
+	Hit(id logpoint.ID, now time.Time)
+}
+
+// syncCursor advances parent to at least the child's current time.
+func syncCursor(parent, child *vtime.Cursor) {
+	if child.Now().After(parent.Now()) {
+		parent.Add(child.Now().Sub(parent.Now()))
+	}
+}
+
+func sortTimes(ts []time.Time) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j].Before(ts[j-1]); j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}
+
+// isHighIntensityWALError reports whether a 100%-probability WAL error
+// fault is active for the node — the condition under which the stuck
+// appender never recovers (the paper's crash-inducing scenario).
+func (c *Cassandra) isHighIntensityWALError(idx int, now time.Time) bool {
+	if c.cfg.Injector == nil {
+		return false
+	}
+	for _, f := range c.cfg.Injector.Faults() {
+		if f.Mode == faults.ModeError && f.Probability >= 1 &&
+			f.ActiveAt(idx+1, faults.PointWALAppend, now) {
+			return true
+		}
+	}
+	return false
+}
+
+// storeHintAsync records a hinted hand-off for target on a random healthy
+// node, as a WorkerProcess task starting at `at` (after the RPC timeout).
+func (c *Cassandra) storeHintAsync(coord, target int, key string, value []byte, at time.Time) {
+	// Pick a healthy node other than the target (often the coordinator).
+	holder := -1
+	n := len(c.nodes)
+	start := c.rngOf(coord).Intn(n)
+	for i := 0; i < n; i++ {
+		cand := (start + i) % n
+		if cand != target && !c.nodes[cand].host.Crashed() {
+			holder = cand
+			break
+		}
+	}
+	if holder < 0 {
+		return
+	}
+	nd := c.nodes[holder]
+	host := nd.host
+	p := c.points
+	cur := vtime.NewCursor(at)
+	wp := host.BeginTask(c.stages.Worker, cur)
+	wp.Hit(p.wpRecv, cur.Now())
+	host.Compute(cur, 0.3)
+	wp.Hit(p.wpStoreHint, cur.Now())
+	wp.End(cur.Now())
+	nd.hints = append(nd.hints, hint{target: uint16(target + 1), key: key, value: append([]byte(nil), value...)})
+	nd.heap += len(key) + len(value)
+}
+
+// maybeCrashOnHeap kills the node once buffered writes exhaust the heap,
+// emitting the burst of error messages the paper observes just before the
+// Cassandra process dies.
+func (c *Cassandra) maybeCrashOnHeap(idx int, now time.Time) {
+	nd := c.nodes[idx]
+	if nd.host.Crashed() || nd.heap < c.cfg.CrashHeapBytes {
+		return
+	}
+	for i := 0; i < 12; i++ {
+		nd.host.LogError(c.stages.Daemon, c.points.errOOM, now)
+	}
+	nd.host.Crash(now)
+}

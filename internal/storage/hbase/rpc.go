@@ -1,0 +1,248 @@
+package hbase
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"saad/internal/logpoint"
+	"saad/internal/storage/hdfs"
+	"saad/internal/vtime"
+	"saad/internal/workload"
+)
+
+// ErrRegionBlocked is returned while a RegionServer refuses writes during
+// WAL block recovery (the persistence rule of Section 5.5).
+var ErrRegionBlocked = errors.New("hbase: region blocked waiting for log recovery")
+
+// executeCall runs one RPC (single op or multi) on RegionServer idx: the
+// Listener/Connection/Call/Handler stage chain, then the operation body.
+func (h *HBase) executeCall(idx int, ops []workload.Op, at time.Time) (time.Time, error) {
+	rs := h.rs[idx]
+	host := rs.host
+	p := h.points
+
+	// Listener accepts, Connection reads the frame.
+	liCur := vtime.NewCursor(at)
+	li := host.BeginTask(h.stages.Listener, liCur)
+	li.Hit(p.liAccept, liCur.Now())
+	host.Compute(liCur, 0.1)
+	li.End(liCur.Now())
+
+	coCur := vtime.NewCursor(liCur.Now())
+	co := host.BeginTask(h.stages.Connection, coCur)
+	co.Hit(p.coRead, coCur.Now())
+	host.Compute(coCur, 0.2)
+	co.Hit(p.coDispatch, coCur.Now())
+	co.End(coCur.Now())
+
+	// The Call task spans queueing through response serialization; the
+	// paper's medium-fault analysis isolates slow 'get' calls here.
+	callCur := vtime.NewCursor(coCur.Now())
+	call := host.BeginTask(h.stages.Call, callCur)
+	switch {
+	case len(ops) > 1:
+		call.Hit(p.callMulti, callCur.Now())
+	case ops[0].Type == workload.OpRead:
+		call.Hit(p.callGet, callCur.Now())
+	case ops[0].Type == workload.OpScan:
+		call.Hit(p.callScan, callCur.Now())
+	default:
+		call.Hit(p.callPut, callCur.Now())
+	}
+	call.Hit(p.callQueue, callCur.Now())
+
+	// Handler executes the call body.
+	haCur := vtime.NewCursor(callCur.Now())
+	ha := host.BeginTask(h.stages.Handler, haCur)
+	ha.Hit(p.haBegin, haCur.Now())
+	var err error
+	switch {
+	case len(ops) > 1:
+		err = h.handlePuts(idx, ops, haCur, ha)
+	case ops[0].Type == workload.OpRead:
+		err = h.handleGet(idx, ops[0], haCur, ha)
+	case ops[0].Type == workload.OpScan:
+		err = h.handleScan(idx, ops[0], haCur, ha)
+	default:
+		err = h.handlePuts(idx, ops, haCur, ha)
+	}
+	ha.Hit(p.haDone, haCur.Now())
+	ha.End(haCur.Now())
+
+	syncCursor(callCur, haCur)
+	call.Hit(p.callDone, callCur.Now())
+	call.End(callCur.Now())
+	return callCur.Now(), err
+}
+
+// handlePuts applies one or more puts: WAL append + HLog sync through the
+// HDFS pipeline (one sync per call — batched puts share it), MemStore
+// updates, and a region flush when the MemStore crosses its limit.
+func (h *HBase) handlePuts(idx int, ops []workload.Op, cur *vtime.Cursor, ha taskHitter) error {
+	rs := h.rs[idx]
+	host := rs.host
+	p := h.points
+
+	if rs.recovering {
+		// The persistence rule: no writes until the WAL block recovery is
+		// confirmed.
+		ha.Hit(p.haBlocked, cur.Now())
+		host.Compute(cur, 0.3)
+		return fmt.Errorf("%w (rs %d)", ErrRegionBlocked, idx+1)
+	}
+
+	for _, op := range ops {
+		if err := rs.store.Put(op.Key, op.Value); err != nil {
+			return err
+		}
+		ha.Hit(p.haWALAppend, cur.Now())
+		host.Compute(cur, 0.2)
+	}
+
+	// One HLog sync per call: a small pipeline write through the RS's HDFS
+	// client stages.
+	ha.Hit(p.haLogSync, cur.Now())
+	syncStart := cur.Now()
+	doneAt, err := h.pipelineWrite(idx, 16<<10, cur.Now())
+	if err != nil {
+		host.LogError(h.stages.Handler, p.errWALSync, cur.Now())
+		return err
+	}
+	if doneAt.After(cur.Now()) {
+		cur.Add(doneAt.Sub(cur.Now()))
+	}
+	syncDur := cur.Now().Sub(syncStart)
+	rs.syncEMA = (rs.syncEMA*9 + syncDur) / 10
+
+	// The recovery bug trigger: on the susceptible RegionServer, sustained
+	// slow syncs make the HDFS client believe the WAL block is corrupt.
+	if h.cfg.RecoveryBugHost == idx+1 && !rs.recovering && rs.syncEMA > h.cfg.RecoveryTriggerLatency {
+		ha.Hit(p.haRecoveryStart, cur.Now())
+		rs.recovering = true
+		rs.recoveryRetries = 0
+		rs.nextRetry = cur.Now()
+	}
+
+	for _, op := range ops {
+		ha.Hit(p.haMemstore, cur.Now())
+		host.Compute(cur, 0.2)
+		_ = op
+	}
+
+	// MemStore flush when over limit: write an HFile block through HDFS.
+	if rs.store.NeedsFlush() {
+		ha.Hit(p.haFlushEngage, cur.Now())
+		h.flushRegion(idx, cur)
+	}
+	return nil
+}
+
+// handleGet serves a read from the MemStore or the store files (HFile reads
+// through HDFS).
+func (h *HBase) handleGet(idx int, op workload.Op, cur *vtime.Cursor, ha taskHitter) error {
+	rs := h.rs[idx]
+	host := rs.host
+	p := h.points
+
+	tables := rs.store.TablesSearched(op.Key)
+	if tables == 0 {
+		ha.Hit(p.haGetMem, cur.Now())
+		host.Compute(cur, 0.3)
+		return nil
+	}
+	ha.Hit(p.haGetHFile, cur.Now())
+	for i := 0; i < tables; i++ {
+		doneAt, err := h.dfs.ReadBlock(idx, 32<<10, cur.Now())
+		if err != nil {
+			return err
+		}
+		if doneAt.After(cur.Now()) {
+			cur.Add(doneAt.Sub(cur.Now()))
+		}
+	}
+	if _, ok := rs.store.Get(op.Key); !ok {
+		ha.Hit(p.haGetMiss, cur.Now())
+	}
+	return nil
+}
+
+// handleScan serves a scan: sequential HFile reads proportional to the
+// scan length.
+func (h *HBase) handleScan(idx int, op workload.Op, cur *vtime.Cursor, ha taskHitter) error {
+	host := h.rs[idx].host
+	p := h.points
+	ha.Hit(p.haScan, cur.Now())
+	blocks := op.ScanLen/16 + 1
+	for i := 0; i < blocks; i++ {
+		doneAt, err := h.dfs.ReadBlock(idx, 64<<10, cur.Now())
+		if err != nil {
+			return err
+		}
+		if doneAt.After(cur.Now()) {
+			cur.Add(doneAt.Sub(cur.Now()))
+		}
+	}
+	host.Compute(cur, float64(op.ScanLen)*0.05)
+	return nil
+}
+
+// pipelineWrite performs an HDFS block write with the RegionServer's client
+// stages (DataStreamer pumping packets, ResponseProcessor consuming acks)
+// wrapped around the DataNode-side pipeline.
+func (h *HBase) pipelineWrite(idx int, size int, at time.Time) (time.Time, error) {
+	host := h.rs[idx].host
+	p := h.points
+	packets := (size + hdfs.PacketBytes - 1) / hdfs.PacketBytes
+	if packets < 1 {
+		packets = 1
+	}
+
+	dsCur := vtime.NewCursor(at)
+	ds := host.BeginTask(h.stages.DataStreamer, dsCur)
+	for i := 0; i < packets; i++ {
+		ds.Hit(p.dsQueue, dsCur.Now())
+		ds.Hit(p.dsSend, dsCur.Now())
+		host.Compute(dsCur, 0.1)
+	}
+
+	ackAt, err := h.dfs.WriteBlock(idx, size, dsCur.Now())
+	ds.Hit(p.dsClose, dsCur.Now())
+	ds.End(dsCur.Now())
+
+	rpCur := vtime.NewCursor(ackAt)
+	rp := host.BeginTask(h.stages.ResponseProc, rpCur)
+	for i := 0; i < packets; i++ {
+		rp.Hit(p.rpAck, rpCur.Now())
+	}
+	host.Compute(rpCur, 0.1)
+	rp.Hit(p.rpDone, rpCur.Now())
+	rp.End(rpCur.Now())
+	return rpCur.Now(), err
+}
+
+// flushRegion flushes the MemStore to a new store file on HDFS.
+func (h *HBase) flushRegion(idx int, cur *vtime.Cursor) {
+	rs := h.rs[idx]
+	size := rs.store.Memtable().Bytes()
+	doneAt, err := h.pipelineWrite(idx, size, cur.Now())
+	if doneAt.After(cur.Now()) {
+		cur.Add(doneAt.Sub(cur.Now()))
+	}
+	if err != nil {
+		return // flush retried on the next put over threshold
+	}
+	rs.store.Flush()
+	rs.storeFiles++
+}
+
+// taskHitter is the minimal task surface the handlers need.
+type taskHitter interface {
+	Hit(id logpoint.ID, now time.Time)
+}
+
+func syncCursor(parent, child *vtime.Cursor) {
+	if child.Now().After(parent.Now()) {
+		parent.Add(child.Now().Sub(parent.Now()))
+	}
+}

@@ -1,0 +1,468 @@
+// Package hdfs implements a miniature HDFS DataNode tier (modeled on the
+// 1.0 line the paper evaluates): 3-way replicated block write pipelines
+// through the DataXceiver and PacketResponder stages (the paper's
+// motivating example, Figures 2-4), block reads, the DataNode IPC server
+// stages (Listener/Reader/Handler), block recovery (RecoverBlocks — the
+// stage where the paper's premature-recovery-termination bug surfaces), and
+// re-replication (DataTransfer).
+//
+// The simulator shares its cluster substrate with the HBase tier: the paper
+// collocates a DataNode and a RegionServer on every host.
+package hdfs
+
+import (
+	"fmt"
+	"time"
+
+	"saad/internal/cluster"
+	"saad/internal/faults"
+	"saad/internal/logpoint"
+	"saad/internal/vtime"
+)
+
+// Replication is HDFS's default 3-way block replication.
+const Replication = 3
+
+// PacketBytes is the pipeline packet size (64 KiB in HDFS).
+const PacketBytes = 64 << 10
+
+// Config tunes the DataNode tier.
+type Config struct {
+	// HeartbeatEvery is the DN-to-NN heartbeat period. Default 3 s.
+	HeartbeatEvery time.Duration
+	// BlockReportEvery is the full block report period. Default 60 s.
+	BlockReportEvery time.Duration
+	// EmptyPacketChance is the probability a pipeline packet is empty (the
+	// rare L3 flow of Figure 4). Default 0.001.
+	EmptyPacketChance float64
+	// RecoveryDuration is how long one block recovery occupies a DataNode.
+	// Default 2 s.
+	RecoveryDuration time.Duration
+}
+
+func (c *Config) applyDefaults() {
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = 3 * time.Second
+	}
+	if c.BlockReportEvery <= 0 {
+		c.BlockReportEvery = 60 * time.Second
+	}
+	if c.EmptyPacketChance <= 0 {
+		c.EmptyPacketChance = 0.001
+	}
+	if c.RecoveryDuration <= 0 {
+		c.RecoveryDuration = 2 * time.Second
+	}
+}
+
+type stages struct {
+	DataXceiver     logpoint.StageID
+	PacketResponder logpoint.StageID
+	RecoverBlocks   logpoint.StageID
+	DataTransfer    logpoint.StageID
+	Handler         logpoint.StageID
+	Listener        logpoint.StageID
+	Reader          logpoint.StageID
+}
+
+type points struct {
+	// DataXceiver write flow (Figure 3's L1..L5).
+	dxReceiveBlock, dxReceivePacket, dxEmptyPacket, dxWriteBlockfile, dxClose logpoint.ID
+	// DataXceiver read flow.
+	dxReadBlock, dxSendChunk, dxChecksumRetry, dxReadDone logpoint.ID
+	// PacketResponder.
+	prBegin, prAck, prPersist, prSlowAck, prDone logpoint.ID
+	// RecoverBlocks.
+	rbBegin, rbAlready, rbMeta, rbCopy, rbSync, rbDone logpoint.ID
+	// DataTransfer (re-replication).
+	dtBegin, dtCopy, dtDone logpoint.ID
+	// IPC server stages.
+	liAccept, rdRead, rdDispatch, haHeartbeat, haBlockReport, haCommand logpoint.ID
+	// error points
+	errDisk logpoint.ID
+}
+
+type dnState struct {
+	lastHeartbeat   time.Time
+	lastBlockReport time.Time
+	recoveringUntil time.Time
+	blocks          int
+	lastRereplicate time.Time
+}
+
+// HDFS is the simulated DataNode tier over a shared cluster substrate.
+type HDFS struct {
+	cfg    Config
+	cl     *cluster.Cluster
+	stages stages
+	points points
+	dns    []*dnState
+	seq    uint64
+}
+
+// New registers the HDFS stages and log points on the shared cluster.
+func New(cl *cluster.Cluster, cfg Config) (*HDFS, error) {
+	cfg.applyDefaults()
+	h := &HDFS{cfg: cfg, cl: cl}
+	if err := h.register(); err != nil {
+		return nil, err
+	}
+	epoch := cl.Clock.Now()
+	for range cl.Hosts() {
+		h.dns = append(h.dns, &dnState{lastHeartbeat: epoch, lastBlockReport: epoch})
+	}
+	return h, nil
+}
+
+func (h *HDFS) register() error {
+	d := h.cl.Dict
+	var regErr error
+	reg := func(name string, model logpoint.StagingModel) logpoint.StageID {
+		id, err := d.RegisterStage(name, model)
+		if err != nil && regErr == nil {
+			regErr = fmt.Errorf("hdfs: register stage %s: %w", name, err)
+		}
+		return id
+	}
+	h.stages = stages{
+		DataXceiver:     reg("DataXceiver", logpoint.DispatcherWorker),
+		PacketResponder: reg("PacketResponder", logpoint.DispatcherWorker),
+		RecoverBlocks:   reg("RecoverBlocks", logpoint.ProducerConsumer),
+		DataTransfer:    reg("DataTransfer", logpoint.DispatcherWorker),
+		Handler:         reg("Handler", logpoint.ProducerConsumer),
+		Listener:        reg("Listener", logpoint.ProducerConsumer),
+		Reader:          reg("Reader", logpoint.ProducerConsumer),
+	}
+	s := h.stages
+	pt := func(stage logpoint.StageID, level logpoint.Level, tpl string) logpoint.ID {
+		id, err := d.RegisterPoint(stage, level, tpl)
+		if err != nil && regErr == nil {
+			regErr = fmt.Errorf("hdfs: register point %q: %w", tpl, err)
+		}
+		return id
+	}
+	h.points = points{
+		dxReceiveBlock:   pt(s.DataXceiver, logpoint.LevelDebug, "Receiving block blk_"),
+		dxReceivePacket:  pt(s.DataXceiver, logpoint.LevelDebug, "Receiving one packet for blk_"),
+		dxEmptyPacket:    pt(s.DataXceiver, logpoint.LevelDebug, "Receiving empty packet for blk_"),
+		dxWriteBlockfile: pt(s.DataXceiver, logpoint.LevelDebug, "WriteTo blockfile of size"),
+		dxClose:          pt(s.DataXceiver, logpoint.LevelDebug, "Closing down."),
+		dxReadBlock:      pt(s.DataXceiver, logpoint.LevelDebug, "Opened block blk_ for read"),
+		dxSendChunk:      pt(s.DataXceiver, logpoint.LevelDebug, "Sending chunk to client"),
+		dxChecksumRetry:  pt(s.DataXceiver, logpoint.LevelWarn, "Checksum mismatch on chunk; re-reading"),
+		dxReadDone:       pt(s.DataXceiver, logpoint.LevelDebug, "Finished sending block"),
+
+		prBegin:   pt(s.PacketResponder, logpoint.LevelDebug, "PacketResponder started for blk_"),
+		prAck:     pt(s.PacketResponder, logpoint.LevelDebug, "Forwarding ack upstream"),
+		prPersist: pt(s.PacketResponder, logpoint.LevelDebug, "Packet persisted; acking"),
+		prSlowAck: pt(s.PacketResponder, logpoint.LevelWarn, "Slow ack from downstream in pipeline"),
+		prDone:    pt(s.PacketResponder, logpoint.LevelDebug, "PacketResponder terminating"),
+
+		rbBegin:   pt(s.RecoverBlocks, logpoint.LevelDebug, "Client invoking recoverBlock for blk_"),
+		rbAlready: pt(s.RecoverBlocks, logpoint.LevelWarn, "Block is already being recovered; ignoring request"),
+		rbMeta:    pt(s.RecoverBlocks, logpoint.LevelDebug, "Reading block metadata for recovery"),
+		rbCopy:    pt(s.RecoverBlocks, logpoint.LevelDebug, "Synchronizing replica state"),
+		rbSync:    pt(s.RecoverBlocks, logpoint.LevelDebug, "Committing recovered generation stamp"),
+		rbDone:    pt(s.RecoverBlocks, logpoint.LevelDebug, "Block recovery complete"),
+
+		dtBegin: pt(s.DataTransfer, logpoint.LevelDebug, "Starting replica transfer to target"),
+		dtCopy:  pt(s.DataTransfer, logpoint.LevelDebug, "Copied block data to target"),
+		dtDone:  pt(s.DataTransfer, logpoint.LevelDebug, "Replica transfer finished"),
+
+		liAccept:      pt(s.Listener, logpoint.LevelDebug, "Accepted IPC connection"),
+		rdRead:        pt(s.Reader, logpoint.LevelDebug, "Read call frame from connection"),
+		rdDispatch:    pt(s.Reader, logpoint.LevelDebug, "Queued call for handler"),
+		haHeartbeat:   pt(s.Handler, logpoint.LevelDebug, "Processing heartbeat command"),
+		haBlockReport: pt(s.Handler, logpoint.LevelDebug, "Processing block report"),
+		haCommand:     pt(s.Handler, logpoint.LevelDebug, "Executing namenode command"),
+
+		errDisk: pt(s.DataXceiver, logpoint.LevelError, "IOException writing block file"),
+	}
+	return regErr
+}
+
+// Cluster returns the shared substrate.
+func (h *HDFS) Cluster() *cluster.Cluster { return h.cl }
+
+// Stage resolves a registered HDFS stage by name.
+func (h *HDFS) Stage(name string) (logpoint.StageID, bool) { return h.cl.Dict.StageByName(name) }
+
+// WriteFlowPoints returns the Figure 3 write-flow log points L1..L5.
+func (h *HDFS) WriteFlowPoints() []logpoint.ID {
+	p := h.points
+	return []logpoint.ID{p.dxReceiveBlock, p.dxReceivePacket, p.dxEmptyPacket, p.dxWriteBlockfile, p.dxClose}
+}
+
+// pipelineFor picks the Replication DataNodes for a new block: the client's
+// local DN first (standard HDFS placement), then ring successors.
+func (h *HDFS) pipelineFor(clientHost int) []int {
+	n := len(h.cl.Hosts())
+	out := make([]int, 0, Replication)
+	for i := 0; i < n && len(out) < Replication; i++ {
+		dn := (clientHost + i) % n
+		if !h.cl.Hosts()[dn].Crashed() {
+			out = append(out, dn)
+		}
+	}
+	return out
+}
+
+// WriteBlock writes a block of the given size through the replication
+// pipeline (Figure 2), starting from the client's local DataNode, at
+// virtual time `at`. It returns the time the client would observe the final
+// ack. Pipelines shorter than the replication factor (due to crashed DNs)
+// still succeed, like HDFS under reduced replication.
+func (h *HDFS) WriteBlock(clientHost int, size int, at time.Time) (time.Time, error) {
+	pipeline := h.pipelineFor(clientHost)
+	if len(pipeline) == 0 {
+		return at, fmt.Errorf("hdfs: no live datanode for client host %d", clientHost)
+	}
+	h.seq++
+	packets := (size + PacketBytes - 1) / PacketBytes
+	if packets < 1 {
+		packets = 1
+	}
+
+	// Each DN's DataXceiver receives packets from upstream and relays them
+	// downstream; cursors stagger by one network hop per hop in the chain.
+	type dnRun struct {
+		cur  *vtime.Cursor
+		task *trackerTask
+	}
+	runs := make([]dnRun, len(pipeline))
+	cur0 := vtime.NewCursor(at)
+	for i, dn := range pipeline {
+		host := h.cl.Hosts()[dn]
+		var cur *vtime.Cursor
+		if i == 0 {
+			cur = cur0
+		} else {
+			prev := runs[i-1].cur
+			hop := vtime.NewCursor(prev.Now())
+			_ = h.cl.Hosts()[pipeline[i-1]].NetSend(hop)
+			cur = vtime.NewCursor(hop.Now())
+		}
+		task := host.BeginTask(h.stages.DataXceiver, cur)
+		task.Hit(h.points.dxReceiveBlock, cur.Now())
+		runs[i] = dnRun{cur: cur, task: &trackerTask{t: task}}
+	}
+
+	var writeErr error
+	for pkt := 0; pkt < packets; pkt++ {
+		for i, dn := range pipeline {
+			host := h.cl.Hosts()[dn]
+			run := runs[i]
+			run.task.t.Hit(h.points.dxReceivePacket, run.cur.Now())
+			if host.RNG.Bool(h.cfg.EmptyPacketChance) {
+				// The rare empty-packet flow (Figure 4's 0.1% signature).
+				run.task.t.Hit(h.points.dxEmptyPacket, run.cur.Now())
+				continue
+			}
+			if err := host.DiskWrite(run.cur, faults.PointDiskWrite); err != nil {
+				host.LogError(h.stages.DataXceiver, h.points.errDisk, run.cur.Now())
+				if writeErr == nil {
+					writeErr = err
+				}
+				continue
+			}
+			run.task.t.Hit(h.points.dxWriteBlockfile, run.cur.Now())
+		}
+	}
+
+	// Close down xceivers; PacketResponders ack upstream from the tail.
+	for i := len(pipeline) - 1; i >= 0; i-- {
+		run := runs[i]
+		run.task.t.Hit(h.points.dxClose, run.cur.Now())
+		run.task.t.End(run.cur.Now())
+	}
+	ackAt := runs[len(runs)-1].cur.Now()
+	for i := len(pipeline) - 1; i >= 0; i-- {
+		dn := pipeline[i]
+		host := h.cl.Hosts()[dn]
+		prCur := vtime.NewCursor(ackAt)
+		pr := host.BeginTask(h.stages.PacketResponder, prCur)
+		pr.Hit(h.points.prBegin, prCur.Now())
+		for pkt := 0; pkt < packets; pkt++ {
+			pr.Hit(h.points.prPersist, prCur.Now())
+			if i > 0 {
+				pr.Hit(h.points.prAck, prCur.Now())
+			}
+		}
+		if host.RNG.Bool(0.003) {
+			// Rare pipeline hiccup: the downstream ack stalls.
+			pr.Hit(h.points.prSlowAck, prCur.Now())
+			prCur.Add(20 * time.Millisecond)
+		}
+		host.Compute(prCur, 0.2)
+		_ = host.NetSend(prCur)
+		pr.Hit(h.points.prDone, prCur.Now())
+		pr.End(prCur.Now())
+		ackAt = prCur.Now()
+		h.dns[dn].blocks++
+	}
+	if writeErr != nil {
+		return ackAt, fmt.Errorf("hdfs: pipeline write: %w", writeErr)
+	}
+	return ackAt, nil
+}
+
+// ReadBlock reads a block of the given size from the client's nearest live
+// replica.
+func (h *HDFS) ReadBlock(clientHost int, size int, at time.Time) (time.Time, error) {
+	pipeline := h.pipelineFor(clientHost)
+	if len(pipeline) == 0 {
+		return at, fmt.Errorf("hdfs: no live datanode for read")
+	}
+	dn := pipeline[0]
+	host := h.cl.Hosts()[dn]
+	cur := vtime.NewCursor(at)
+	task := host.BeginTask(h.stages.DataXceiver, cur)
+	task.Hit(h.points.dxReadBlock, cur.Now())
+	chunks := (size + PacketBytes - 1) / PacketBytes
+	if chunks < 1 {
+		chunks = 1
+	}
+	for i := 0; i < chunks; i++ {
+		if err := host.DiskRead(cur, faults.PointDiskRead); err != nil {
+			host.LogError(h.stages.DataXceiver, h.points.errDisk, cur.Now())
+			task.End(cur.Now())
+			return cur.Now(), err
+		}
+		if host.RNG.Bool(0.002) {
+			// Rare checksum mismatch: re-read the chunk.
+			task.Hit(h.points.dxChecksumRetry, cur.Now())
+			_ = host.DiskRead(cur, faults.PointDiskRead)
+		}
+		task.Hit(h.points.dxSendChunk, cur.Now())
+		_ = host.NetSend(cur)
+	}
+	task.Hit(h.points.dxReadDone, cur.Now())
+	task.End(cur.Now())
+	return cur.Now(), nil
+}
+
+// RecoverBlock asks DataNode dn to recover a block at `at`. If a recovery
+// is already in progress the request is rejected with busy=true — the
+// response the buggy HDFS client misinterprets as an exception, producing
+// the repetitive recovery cycle of Section 5.5.
+func (h *HDFS) RecoverBlock(dn int, at time.Time) (done time.Time, busy bool) {
+	host := h.cl.Hosts()[dn]
+	st := h.dns[dn]
+	cur := vtime.NewCursor(at)
+	task := host.BeginTask(h.stages.RecoverBlocks, cur)
+	task.Hit(h.points.rbBegin, cur.Now())
+	if at.Before(st.recoveringUntil) {
+		// Premature flow: begin + already-recovering, nothing else.
+		host.Compute(cur, 0.2)
+		task.Hit(h.points.rbAlready, cur.Now())
+		task.End(cur.Now())
+		return cur.Now(), true
+	}
+	st.recoveringUntil = at.Add(h.cfg.RecoveryDuration)
+	task.Hit(h.points.rbMeta, cur.Now())
+	_ = host.DiskRead(cur, faults.PointDiskRead)
+	task.Hit(h.points.rbCopy, cur.Now())
+	_ = host.DiskWrite(cur, faults.PointDiskWrite)
+	cur.Add(h.cfg.RecoveryDuration / 4) // replica coordination
+	task.Hit(h.points.rbSync, cur.Now())
+	_ = host.DiskWrite(cur, faults.PointDiskWrite)
+	task.Hit(h.points.rbDone, cur.Now())
+	task.End(cur.Now())
+	return cur.Now(), false
+}
+
+// Rereplicate runs a DataTransfer task copying one block from dn to a peer
+// (triggered by the NameNode when replication drops).
+func (h *HDFS) Rereplicate(dn int, at time.Time) time.Time {
+	host := h.cl.Hosts()[dn]
+	cur := vtime.NewCursor(at)
+	task := host.BeginTask(h.stages.DataTransfer, cur)
+	task.Hit(h.points.dtBegin, cur.Now())
+	_ = host.DiskRead(cur, faults.PointDiskRead)
+	_ = host.NetSend(cur)
+	task.Hit(h.points.dtCopy, cur.Now())
+	host.Compute(cur, 0.5)
+	task.Hit(h.points.dtDone, cur.Now())
+	task.End(cur.Now())
+	return cur.Now()
+}
+
+// Tick runs due heartbeats and block reports on every DataNode (the IPC
+// Listener/Reader/Handler stages), and — when a DataNode is down — the
+// NameNode-commanded re-replication of its under-replicated blocks via
+// DataTransfer tasks on the survivors.
+func (h *HDFS) Tick(now time.Time) {
+	anyDown := false
+	for _, host := range h.cl.Hosts() {
+		if host.Crashed() {
+			anyDown = true
+			break
+		}
+	}
+	for dn, st := range h.dns {
+		host := h.cl.Hosts()[dn]
+		if host.Crashed() {
+			continue
+		}
+		for !st.lastHeartbeat.Add(h.cfg.HeartbeatEvery).After(now) {
+			st.lastHeartbeat = st.lastHeartbeat.Add(h.cfg.HeartbeatEvery)
+			h.ipcRound(dn, st.lastHeartbeat, false)
+			// Heartbeat replies carry replication commands while the
+			// cluster is under-replicated.
+			if anyDown && now.Sub(st.lastRereplicate) >= h.cfg.HeartbeatEvery {
+				st.lastRereplicate = now
+				h.Rereplicate(dn, st.lastHeartbeat)
+			}
+		}
+		for !st.lastBlockReport.Add(h.cfg.BlockReportEvery).After(now) {
+			st.lastBlockReport = st.lastBlockReport.Add(h.cfg.BlockReportEvery)
+			h.ipcRound(dn, st.lastBlockReport, true)
+		}
+	}
+}
+
+// ipcRound simulates one IPC exchange: Listener accept, Reader frame read,
+// Handler processing (heartbeat or block report).
+func (h *HDFS) ipcRound(dn int, at time.Time, blockReport bool) {
+	host := h.cl.Hosts()[dn]
+	p := h.points
+
+	liCur := vtime.NewCursor(at)
+	li := host.BeginTask(h.stages.Listener, liCur)
+	li.Hit(p.liAccept, liCur.Now())
+	host.Compute(liCur, 0.1)
+	li.End(liCur.Now())
+
+	rdCur := vtime.NewCursor(liCur.Now())
+	rd := host.BeginTask(h.stages.Reader, rdCur)
+	rd.Hit(p.rdRead, rdCur.Now())
+	host.Compute(rdCur, 0.1)
+	rd.Hit(p.rdDispatch, rdCur.Now())
+	rd.End(rdCur.Now())
+
+	haCur := vtime.NewCursor(rdCur.Now())
+	ha := host.BeginTask(h.stages.Handler, haCur)
+	if blockReport {
+		ha.Hit(p.haBlockReport, haCur.Now())
+		host.Compute(haCur, 2+float64(h.dns[dn].blocks)/100)
+	} else {
+		ha.Hit(p.haHeartbeat, haCur.Now())
+		host.Compute(haCur, 0.3)
+		// Occasionally the namenode piggybacks a command.
+		if host.RNG.Bool(0.05) {
+			ha.Hit(p.haCommand, haCur.Now())
+			host.Compute(haCur, 0.5)
+		}
+	}
+	_ = host.NetSend(haCur)
+	ha.End(haCur.Now())
+}
+
+// trackerTask lets the pipeline hold tasks uniformly (thin indirection for
+// readability in WriteBlock).
+type trackerTask struct{ t taskLike }
+
+type taskLike interface {
+	Hit(logpoint.ID, time.Time)
+	End(time.Time)
+}

@@ -1,0 +1,323 @@
+package hdfs
+
+import (
+	"testing"
+	"time"
+
+	"saad/internal/cluster"
+	"saad/internal/faults"
+	"saad/internal/stream"
+	"saad/internal/synopsis"
+)
+
+var epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func newTier(t *testing.T, sink *stream.Channel, hogs *faults.HogSchedule) *HDFS {
+	t.Helper()
+	cl := cluster.New(cluster.Config{Hosts: 4, Seed: 11, Sink: sink, Epoch: epoch, Hogs: hogs})
+	h, err := New(cl, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestWriteBlockPipeline(t *testing.T) {
+	sink := stream.NewChannel(1 << 16)
+	h := newTier(t, sink, nil)
+	done, err := h.WriteBlock(0, 256<<10, epoch) // 4 packets
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !done.After(epoch) {
+		t.Fatal("write consumed no time")
+	}
+	syns := sink.Drain()
+	dx, _ := h.Stage("DataXceiver")
+	pr, _ := h.Stage("PacketResponder")
+	var dxTasks, prTasks int
+	for _, s := range syns {
+		switch s.Stage {
+		case dx:
+			dxTasks++
+			// Write flow must contain receive-block and close.
+			sig := s.Signature()
+			if !sig.Contains(h.points.dxReceiveBlock) || !sig.Contains(h.points.dxClose) {
+				t.Fatalf("unexpected xceiver flow %v", sig)
+			}
+		case pr:
+			prTasks++
+		}
+	}
+	if dxTasks != Replication || prTasks != Replication {
+		t.Fatalf("dx=%d pr=%d tasks, want %d each", dxTasks, prTasks, Replication)
+	}
+}
+
+func TestWriteBlockPacketFrequency(t *testing.T) {
+	sink := stream.NewChannel(1 << 16)
+	h := newTier(t, sink, nil)
+	const size = 256 << 10 // 4 packets
+	if _, err := h.WriteBlock(1, size, epoch); err != nil {
+		t.Fatal(err)
+	}
+	dx, _ := h.Stage("DataXceiver")
+	for _, s := range sink.Drain() {
+		if s.Stage != dx {
+			continue
+		}
+		for _, pc := range s.Points {
+			if pc.Point == h.points.dxReceivePacket && pc.Count != 4 {
+				t.Fatalf("packet count = %d, want 4", pc.Count)
+			}
+		}
+	}
+}
+
+func TestEmptyPacketRareFlow(t *testing.T) {
+	sink := stream.NewChannel(1 << 20)
+	cl := cluster.New(cluster.Config{Hosts: 4, Seed: 11, Sink: sink, Epoch: epoch})
+	h, err := New(cl, Config{EmptyPacketChance: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := epoch
+	for i := 0; i < 300; i++ {
+		at, err = h.WriteBlock(i%4, 128<<10, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	dx, _ := h.Stage("DataXceiver")
+	withEmpty, without := 0, 0
+	for _, s := range sink.Drain() {
+		if s.Stage != dx {
+			continue
+		}
+		if s.Signature().Contains(h.points.dxEmptyPacket) {
+			withEmpty++
+		} else {
+			without++
+		}
+	}
+	if withEmpty == 0 {
+		t.Fatal("no empty-packet flows at 5% chance")
+	}
+	if withEmpty >= without {
+		t.Fatalf("empty flows dominate: %d vs %d", withEmpty, without)
+	}
+}
+
+func TestReadBlock(t *testing.T) {
+	sink := stream.NewChannel(1 << 16)
+	h := newTier(t, sink, nil)
+	done, err := h.ReadBlock(2, 128<<10, epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !done.After(epoch) {
+		t.Fatal("read consumed no time")
+	}
+	dx, _ := h.Stage("DataXceiver")
+	found := false
+	for _, s := range sink.Drain() {
+		if s.Stage == dx && s.Signature().Contains(h.points.dxReadBlock) {
+			found = true
+			if s.Signature().Contains(h.points.dxReceiveBlock) {
+				t.Fatal("read flow mixed with write flow")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no read flow emitted")
+	}
+}
+
+func TestCrashedDNSkipped(t *testing.T) {
+	sink := stream.NewChannel(1 << 16)
+	h := newTier(t, sink, nil)
+	h.Cluster().Host(1).Crash(epoch) // host id 1 = index 0
+	if _, err := h.WriteBlock(0, 64<<10, epoch); err != nil {
+		t.Fatalf("write with one dead DN failed: %v", err)
+	}
+	for _, s := range sink.Drain() {
+		if s.Host == 1 {
+			t.Fatalf("crashed DN emitted task: %+v", s)
+		}
+	}
+	// All DNs down: error.
+	for _, hst := range h.Cluster().Hosts() {
+		hst.Crash(epoch)
+	}
+	if _, err := h.WriteBlock(0, 64<<10, epoch); err == nil {
+		t.Fatal("write succeeded with no live DN")
+	}
+	if _, err := h.ReadBlock(0, 64<<10, epoch); err == nil {
+		t.Fatal("read succeeded with no live DN")
+	}
+}
+
+func TestRecoverBlockBusyFlow(t *testing.T) {
+	sink := stream.NewChannel(1 << 16)
+	h := newTier(t, sink, nil)
+	done1, busy1 := h.RecoverBlock(2, epoch)
+	if busy1 {
+		t.Fatal("first recovery reported busy")
+	}
+	if !done1.After(epoch) {
+		t.Fatal("recovery consumed no time")
+	}
+	// Second request while the first is still in progress: the busy reply
+	// that triggers the paper's client-side retry bug.
+	_, busy2 := h.RecoverBlock(2, epoch.Add(100*time.Millisecond))
+	if !busy2 {
+		t.Fatal("overlapping recovery not reported busy")
+	}
+	// After the recovery window, a new request proceeds.
+	_, busy3 := h.RecoverBlock(2, epoch.Add(10*time.Second))
+	if busy3 {
+		t.Fatal("recovery slot not released")
+	}
+	rb, _ := h.Stage("RecoverBlocks")
+	fullFlows, busyFlows := 0, 0
+	for _, s := range sink.Drain() {
+		if s.Stage != rb {
+			continue
+		}
+		if s.Signature().Contains(h.points.rbAlready) {
+			busyFlows++
+		} else if s.Signature().Contains(h.points.rbDone) {
+			fullFlows++
+		}
+	}
+	if fullFlows != 2 || busyFlows != 1 {
+		t.Fatalf("flows: full=%d busy=%d", fullFlows, busyFlows)
+	}
+}
+
+func TestTickHeartbeatsAndBlockReports(t *testing.T) {
+	sink := stream.NewChannel(1 << 20)
+	h := newTier(t, sink, nil)
+	h.Tick(epoch.Add(2 * time.Minute))
+	li, _ := h.Stage("Listener")
+	rd, _ := h.Stage("Reader")
+	ha, _ := h.Stage("Handler")
+	counts := map[string]int{}
+	var blockReports int
+	for _, s := range sink.Drain() {
+		switch s.Stage {
+		case li:
+			counts["listener"]++
+		case rd:
+			counts["reader"]++
+		case ha:
+			counts["handler"]++
+			if s.Signature().Contains(h.points.haBlockReport) {
+				blockReports++
+			}
+		}
+	}
+	// 2 minutes / 3s heartbeats = 40 per DN, 4 DNs = 160, plus 2 block
+	// reports per DN.
+	if counts["handler"] < 160 {
+		t.Fatalf("handler tasks = %d", counts["handler"])
+	}
+	if counts["listener"] != counts["handler"] || counts["reader"] != counts["handler"] {
+		t.Fatalf("ipc stage counts diverge: %v", counts)
+	}
+	if blockReports != 8 {
+		t.Fatalf("block reports = %d, want 8", blockReports)
+	}
+	// Crashed hosts stop heartbeating.
+	h.Cluster().Host(2).Crash(epoch.Add(2 * time.Minute))
+	h.Tick(epoch.Add(4 * time.Minute))
+	for _, s := range sink.Drain() {
+		if s.Host == 2 {
+			t.Fatal("crashed DN heartbeated")
+		}
+	}
+}
+
+func TestHogSlowsPipeline(t *testing.T) {
+	measure := func(hogs *faults.HogSchedule) time.Duration {
+		sink := stream.NewChannel(1 << 16)
+		h := newTier(t, sink, hogs)
+		var total time.Duration
+		at := epoch
+		for i := 0; i < 50; i++ {
+			done, err := h.WriteBlock(0, 128<<10, at)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += done.Sub(at)
+			at = done
+		}
+		return total
+	}
+	fast := measure(nil)
+	slow := measure(faults.NewHogSchedule(faults.HogWindow{
+		From: epoch, To: epoch.Add(time.Hour), Procs: 4, Host: faults.AllHosts,
+	}))
+	if float64(slow) < 3*float64(fast) {
+		t.Fatalf("hog speedup ratio too small: %v vs %v", slow, fast)
+	}
+}
+
+func TestRereplicate(t *testing.T) {
+	sink := stream.NewChannel(1 << 16)
+	h := newTier(t, sink, nil)
+	done := h.Rereplicate(1, epoch)
+	if !done.After(epoch) {
+		t.Fatal("transfer consumed no time")
+	}
+	dt, _ := h.Stage("DataTransfer")
+	var seen *synopsis.Synopsis
+	for _, s := range sink.Drain() {
+		if s.Stage == dt {
+			seen = s
+		}
+	}
+	if seen == nil || !seen.Signature().Contains(h.points.dtDone) {
+		t.Fatalf("transfer flow missing: %v", seen)
+	}
+}
+
+func TestWriteFlowPointsOrder(t *testing.T) {
+	h := newTier(t, stream.NewChannel(16), nil)
+	pts := h.WriteFlowPoints()
+	if len(pts) != 5 {
+		t.Fatalf("write flow points = %d", len(pts))
+	}
+	// L1..L5 in Figure 3 order.
+	if pts[0] != h.points.dxReceiveBlock || pts[2] != h.points.dxEmptyPacket || pts[4] != h.points.dxClose {
+		t.Fatalf("points order wrong: %v", pts)
+	}
+}
+
+func TestRereplicationAfterDNLoss(t *testing.T) {
+	sink := stream.NewChannel(1 << 18)
+	h := newTier(t, sink, nil)
+	// Healthy ticks: no DataTransfer work.
+	h.Tick(epoch.Add(30 * time.Second))
+	dt, _ := h.Stage("DataTransfer")
+	for _, s := range sink.Drain() {
+		if s.Stage == dt {
+			t.Fatal("re-replication ran with all DNs healthy")
+		}
+	}
+	// Lose DN 2: the NameNode commands transfers on the survivors.
+	h.Cluster().Host(2).Crash(epoch.Add(30 * time.Second))
+	h.Tick(epoch.Add(60 * time.Second))
+	transfers := map[uint16]int{}
+	for _, s := range sink.Drain() {
+		if s.Stage == dt {
+			transfers[s.Host]++
+		}
+	}
+	if len(transfers) == 0 {
+		t.Fatal("no DataTransfer tasks after DN loss")
+	}
+	if transfers[2] != 0 {
+		t.Fatal("dead DN ran transfers")
+	}
+}

@@ -1,0 +1,205 @@
+package lsm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// StoreConfig tunes a Store.
+type StoreConfig struct {
+	// FlushBytes is the memtable size that triggers a flush. Default 1 MiB.
+	FlushBytes int
+	// CompactTables is the SSTable count that triggers a minor merge.
+	// Default 6.
+	CompactTables int
+	// MajorTables is the SSTable count considered for a major compaction
+	// (merge everything into one). Default 12.
+	MajorTables int
+	// Seed feeds the memtable skip lists.
+	Seed uint64
+}
+
+func (c *StoreConfig) applyDefaults() {
+	if c.FlushBytes <= 0 {
+		c.FlushBytes = 1 << 20
+	}
+	if c.CompactTables <= 0 {
+		c.CompactTables = 6
+	}
+	if c.MajorTables <= 0 {
+		c.MajorTables = 12
+	}
+}
+
+// ErrFrozen is returned by Put while the memtable is frozen (a flush is in
+// progress, or — in the fault scenarios — a writer died holding the freeze).
+var ErrFrozen = errors.New("lsm: memtable is frozen")
+
+// Store is a single-node LSM store: active memtable + WAL + SSTable stack.
+// It is the storage engine under both simulated systems. Not safe for
+// concurrent use.
+type Store struct {
+	cfg      StoreConfig
+	mem      *Memtable
+	wal      *WAL
+	tables   []*SSTable
+	nextSeq  uint64
+	frozen   bool
+	memSeed  uint64
+	flushes  uint64
+	compacts uint64
+}
+
+// NewStore returns an empty store.
+func NewStore(cfg StoreConfig) *Store {
+	cfg.applyDefaults()
+	return &Store{
+		cfg:     cfg,
+		mem:     NewMemtable(cfg.Seed),
+		wal:     NewWAL(),
+		nextSeq: 1,
+		memSeed: cfg.Seed,
+	}
+}
+
+// WAL exposes the write-ahead log (the simulators charge I/O per append).
+func (s *Store) WAL() *WAL { return s.wal }
+
+// Memtable exposes the active memtable.
+func (s *Store) Memtable() *Memtable { return s.mem }
+
+// Tables returns the current SSTables, newest first.
+func (s *Store) Tables() []*SSTable {
+	out := make([]*SSTable, len(s.tables))
+	copy(out, s.tables)
+	return out
+}
+
+// Frozen reports whether the memtable is frozen.
+func (s *Store) Frozen() bool { return s.frozen }
+
+// Freeze marks the memtable frozen (a flush holds it, or a fault left a
+// writer stuck holding the lock — the Table 1 scenario).
+func (s *Store) Freeze() { s.frozen = true }
+
+// Unfreeze releases the freeze.
+func (s *Store) Unfreeze() { s.frozen = false }
+
+// Put appends to the WAL and applies to the memtable. It fails with
+// ErrFrozen while the memtable is frozen. The caller is responsible for
+// charging WAL-append and memtable-update I/O costs and for invoking Flush
+// when NeedsFlush reports true.
+func (s *Store) Put(key string, value []byte) error {
+	if s.frozen {
+		return ErrFrozen
+	}
+	s.wal.Append(key, value)
+	s.mem.Put(key, value)
+	return nil
+}
+
+// Get looks up key through the memtable and then the SSTables newest-first.
+func (s *Store) Get(key string) ([]byte, bool) {
+	if v, ok := s.mem.Get(key); ok {
+		return v, true
+	}
+	for i := len(s.tables) - 1; i >= 0; i-- {
+		if v, ok := s.tables[i].Get(key); ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// TablesSearched returns how many SSTables a Get for key would touch before
+// finding it (or all of them on a miss); simulators use it to charge read
+// I/O proportionally.
+func (s *Store) TablesSearched(key string) int {
+	if _, ok := s.mem.Get(key); ok {
+		return 0
+	}
+	n := 0
+	for i := len(s.tables) - 1; i >= 0; i-- {
+		n++
+		if _, ok := s.tables[i].Get(key); ok {
+			return n
+		}
+	}
+	return n
+}
+
+// NeedsFlush reports whether the memtable exceeded the flush threshold.
+func (s *Store) NeedsFlush() bool { return s.mem.Bytes() >= s.cfg.FlushBytes }
+
+// Flush converts the memtable into a new SSTable, installs it, resets the
+// memtable and trims the WAL. The caller charges the disk I/O and calls
+// AbortFlush instead when the simulated I/O failed.
+func (s *Store) Flush() *SSTable {
+	entries := s.mem.Entries()
+	table := BuildSSTable(s.nextSeq, entries)
+	s.nextSeq++
+	s.tables = append(s.tables, table)
+	covered := s.wal.LastSeq()
+	s.memSeed++
+	s.mem = NewMemtable(s.memSeed)
+	s.wal.Trim(covered)
+	s.frozen = false
+	s.flushes++
+	return table
+}
+
+// NeedsCompaction reports whether a minor compaction is due.
+func (s *Store) NeedsCompaction() bool { return len(s.tables) >= s.cfg.CompactTables }
+
+// NeedsMajorCompaction reports whether a major compaction is due.
+func (s *Store) NeedsMajorCompaction() bool { return len(s.tables) >= s.cfg.MajorTables }
+
+// Compact merges the oldest n SSTables into one (minor compaction); n < 2
+// or n greater than the table count is clamped. It returns the bytes read
+// and written for I/O accounting.
+func (s *Store) Compact(n int) (read, written int) {
+	if len(s.tables) < 2 {
+		return 0, 0
+	}
+	if n < 2 {
+		n = 2
+	}
+	if n > len(s.tables) {
+		n = len(s.tables)
+	}
+	victims := s.tables[:n]
+	var maxSeq uint64
+	for _, t := range victims {
+		read += t.Bytes()
+		if t.Seq > maxSeq {
+			maxSeq = t.Seq
+		}
+	}
+	// The merged table inherits the newest victim's sequence so its entries
+	// keep losing to the surviving newer tables in future merges.
+	merged := BuildSSTable(maxSeq, MergeTables(victims))
+	written = merged.Bytes()
+	rest := make([]*SSTable, 0, len(s.tables)-n+1)
+	rest = append(rest, merged)
+	rest = append(rest, s.tables[n:]...)
+	s.tables = rest
+	s.compacts++
+	return read, written
+}
+
+// CompactAll performs a major compaction (everything into one table).
+func (s *Store) CompactAll() (read, written int) {
+	return s.Compact(len(s.tables))
+}
+
+// Stats summarizes the store for diagnostics.
+func (s *Store) Stats() string {
+	return fmt.Sprintf("lsm: mem=%dB wal=%d tables=%d flushes=%d compactions=%d",
+		s.mem.Bytes(), s.wal.Len(), len(s.tables), s.flushes, s.compacts)
+}
+
+// Flushes returns the number of completed flushes.
+func (s *Store) Flushes() uint64 { return s.flushes }
+
+// Compactions returns the number of completed compactions.
+func (s *Store) Compactions() uint64 { return s.compacts }

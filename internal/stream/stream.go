@@ -1,0 +1,142 @@
+// Package stream moves task synopses from the per-node task execution
+// trackers to the centralized statistical analyzer (paper Section 3.1: the
+// synopses are "streamed out to a centralized statistical analyzer",
+// in-memory, with no persistent storage on the way).
+//
+// Two transports are provided: an in-process channel transport used by the
+// simulation harness, and a TCP transport (client + server) used by
+// cmd/saad-analyzer to demonstrate the deployment shape the paper describes.
+package stream
+
+import (
+	"sync"
+
+	"saad/internal/synopsis"
+	"saad/internal/tracker"
+)
+
+// Channel is an in-process transport: trackers emit into it and a consumer
+// drains it. It implements tracker.Sink. The zero value is not usable;
+// construct with NewChannel.
+type Channel struct {
+	ch      chan *synopsis.Synopsis
+	mu      sync.Mutex
+	closed  bool
+	dropped uint64
+}
+
+var _ tracker.Sink = (*Channel)(nil)
+
+// NewChannel returns a channel transport with the given buffer capacity.
+// Capacity 0 is clamped to 1 so emitters in the simulated hot path never
+// block forever on an abandoned consumer.
+func NewChannel(capacity int) *Channel {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Channel{ch: make(chan *synopsis.Synopsis, capacity)}
+}
+
+// Emit implements tracker.Sink. When the buffer is full the synopsis is
+// dropped and counted: SAAD is a monitoring layer and must never apply
+// backpressure to the server it observes.
+func (c *Channel) Emit(s *synopsis.Synopsis) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		c.dropped++
+		return
+	}
+	select {
+	case c.ch <- s:
+	default:
+		c.dropped++
+	}
+}
+
+// C returns the receive side.
+func (c *Channel) C() <-chan *synopsis.Synopsis { return c.ch }
+
+// Dropped returns the number of synopses dropped due to a full buffer or a
+// closed channel.
+func (c *Channel) Dropped() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}
+
+// Close closes the receive side. Emit calls after Close count as drops.
+// Close is idempotent.
+func (c *Channel) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.closed {
+		c.closed = true
+		close(c.ch)
+	}
+}
+
+// Drain consumes everything currently buffered without blocking and returns
+// it; useful for step-driven simulations that alternate produce/consume.
+func (c *Channel) Drain() []*synopsis.Synopsis {
+	var out []*synopsis.Synopsis
+	for {
+		select {
+		case s, ok := <-c.ch:
+			if !ok {
+				return out
+			}
+			out = append(out, s)
+		default:
+			return out
+		}
+	}
+}
+
+// Tee duplicates synopses to several sinks, e.g. a live analyzer plus a
+// volume accountant.
+type Tee []tracker.Sink
+
+var _ tracker.Sink = Tee(nil)
+
+// Emit implements tracker.Sink.
+func (t Tee) Emit(s *synopsis.Synopsis) {
+	for _, sink := range t {
+		if sink != nil {
+			sink.Emit(s)
+		}
+	}
+}
+
+// Counter is a sink that counts synopses and their encoded volume; it backs
+// the Figure 8 storage-overhead measurements.
+type Counter struct {
+	mu    sync.Mutex
+	count uint64
+	bytes uint64
+}
+
+var _ tracker.Sink = (*Counter)(nil)
+
+// Emit implements tracker.Sink.
+func (c *Counter) Emit(s *synopsis.Synopsis) {
+	n := synopsis.EncodedSize(s)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.count++
+	c.bytes += uint64(n)
+}
+
+// Count returns the number of synopses observed.
+func (c *Counter) Count() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.count
+}
+
+// Bytes returns the total encoded volume observed.
+func (c *Counter) Bytes() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}

@@ -1,0 +1,211 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"saad/internal/synopsis"
+	"saad/internal/tracker"
+)
+
+// Client streams synopses to a remote analyzer over TCP using the compact
+// binary codec. It implements tracker.Sink. Emit never blocks on the
+// network beyond the kernel send buffer plus the encoder's user-space
+// buffer; encoding errors latch and subsequent emits are dropped, because a
+// monitoring layer must not take the server down with it.
+type Client struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	enc    *synopsis.Encoder
+	err    error
+	closed bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+var _ tracker.Sink = (*Client)(nil)
+
+// Dial connects to a synopsis server at addr. flushEvery bounds how long a
+// synopsis may sit in the user-space buffer (0 disables the background
+// flusher; Close still flushes).
+func Dial(addr string, flushEvery time.Duration) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("stream: dial %s: %w", addr, err)
+	}
+	c := &Client{
+		conn: conn,
+		enc:  synopsis.NewEncoder(conn),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	if flushEvery > 0 {
+		go c.flushLoop(flushEvery)
+	} else {
+		close(c.done)
+	}
+	return c, nil
+}
+
+func (c *Client) flushLoop(every time.Duration) {
+	defer close(c.done)
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			c.mu.Lock()
+			if c.err == nil && !c.closed {
+				c.err = c.enc.Flush()
+			}
+			c.mu.Unlock()
+		case <-c.stop:
+			return
+		}
+	}
+}
+
+// Emit implements tracker.Sink.
+func (c *Client) Emit(s *synopsis.Synopsis) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil || c.closed {
+		return
+	}
+	c.err = c.enc.Encode(s)
+}
+
+// Err returns the latched transport error, if any.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Close flushes buffered synopses, stops the background flusher and closes
+// the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		<-c.done
+		return nil
+	}
+	c.closed = true
+	flushErr := c.enc.Flush()
+	closeErr := c.conn.Close()
+	c.mu.Unlock()
+
+	close(c.stop)
+	<-c.done
+
+	if flushErr != nil {
+		return fmt.Errorf("stream: close flush: %w", flushErr)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("stream: close conn: %w", closeErr)
+	}
+	return nil
+}
+
+// Server accepts TCP connections carrying synopsis streams and forwards
+// every decoded synopsis to a sink. Construct with Listen; stop with Close,
+// which waits for connection handlers to exit.
+type Server struct {
+	ln   net.Listener
+	sink tracker.Sink
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// Listen starts a server on addr (e.g. "127.0.0.1:0") delivering synopses
+// to sink.
+func Listen(addr string, sink tracker.Sink) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("stream: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, sink: sink, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := synopsis.NewDecoder(conn)
+	for {
+		var syn synopsis.Synopsis
+		if err := dec.Decode(&syn); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				// Truncated stream on teardown is routine; anything else is
+				// a protocol error from this connection — drop the
+				// connection either way, monitoring must keep running.
+				return
+			}
+			return
+		}
+		if s.sink != nil {
+			s.sink.Emit(syn.Clone())
+		}
+	}
+}
+
+// Close stops accepting, closes live connections and waits for handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	err := s.ln.Close()
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	if err != nil {
+		return fmt.Errorf("stream: close listener: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,186 @@
+package synopsis
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"saad/internal/logpoint"
+)
+
+// Codec framing: each record is a uvarint length prefix followed by the
+// record body. The body packs all fields as uvarints with delta-encoded
+// log point ids, which keeps a typical synopsis under 30 bytes — the paper
+// reports ~48 bytes average for its Java encoding; the volume comparison in
+// Figure 8 hinges on this compactness.
+
+// maxRecordSize bounds a single encoded record to keep a corrupt or
+// malicious length prefix from allocating unbounded memory.
+const maxRecordSize = 1 << 20
+
+// ErrRecordTooLarge is returned when a length prefix exceeds maxRecordSize.
+var ErrRecordTooLarge = errors.New("synopsis: record exceeds size limit")
+
+// AppendRecord appends the canonical binary encoding of s to dst and returns
+// the extended slice. The synopsis should be normalized.
+func AppendRecord(dst []byte, s *Synopsis) []byte {
+	bodyBuf := make([]byte, 0, 16+6*len(s.Points))
+	bodyBuf = binary.AppendUvarint(bodyBuf, uint64(s.Stage))
+	bodyBuf = binary.AppendUvarint(bodyBuf, uint64(s.Host))
+	bodyBuf = binary.AppendUvarint(bodyBuf, s.TaskID)
+	bodyBuf = binary.AppendUvarint(bodyBuf, uint64(s.Start.UnixMicro()))
+	bodyBuf = binary.AppendUvarint(bodyBuf, uint64(s.Duration.Microseconds()))
+	bodyBuf = binary.AppendUvarint(bodyBuf, uint64(len(s.Points)))
+	var prev logpoint.ID
+	for _, pc := range s.Points {
+		bodyBuf = binary.AppendUvarint(bodyBuf, uint64(pc.Point-prev))
+		bodyBuf = binary.AppendUvarint(bodyBuf, uint64(pc.Count))
+		prev = pc.Point
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(bodyBuf)))
+	return append(dst, bodyBuf...)
+}
+
+// EncodedSize returns the number of bytes AppendRecord would emit for s.
+func EncodedSize(s *Synopsis) int {
+	return len(AppendRecord(nil, s))
+}
+
+// Encoder writes length-prefixed synopsis records to an io.Writer.
+// Construct with NewEncoder; call Flush (or Close on the underlying sink)
+// when done. Encoder is not safe for concurrent use.
+type Encoder struct {
+	w   *bufio.Writer
+	buf []byte
+	n   int64
+}
+
+// NewEncoder returns an encoder writing to w.
+func NewEncoder(w io.Writer) *Encoder {
+	return &Encoder{w: bufio.NewWriter(w)}
+}
+
+// Encode writes one record.
+func (e *Encoder) Encode(s *Synopsis) error {
+	e.buf = AppendRecord(e.buf[:0], s)
+	n, err := e.w.Write(e.buf)
+	e.n += int64(n)
+	if err != nil {
+		return fmt.Errorf("synopsis: write record: %w", err)
+	}
+	return nil
+}
+
+// Flush flushes buffered records to the underlying writer.
+func (e *Encoder) Flush() error {
+	if err := e.w.Flush(); err != nil {
+		return fmt.Errorf("synopsis: flush: %w", err)
+	}
+	return nil
+}
+
+// BytesWritten returns the total bytes produced so far (pre-flush bytes
+// included).
+func (e *Encoder) BytesWritten() int64 { return e.n }
+
+// Decoder reads length-prefixed synopsis records from an io.Reader.
+// Decoder is not safe for concurrent use.
+type Decoder struct {
+	r   *bufio.Reader
+	buf []byte
+}
+
+// NewDecoder returns a decoder reading from r.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{r: bufio.NewReader(r)}
+}
+
+// Decode reads the next record into s. It returns io.EOF at a clean end of
+// stream and io.ErrUnexpectedEOF for a truncated record.
+func (d *Decoder) Decode(s *Synopsis) error {
+	size, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return io.EOF
+		}
+		return fmt.Errorf("synopsis: read length: %w", err)
+	}
+	if size > maxRecordSize {
+		return fmt.Errorf("%w: %d bytes", ErrRecordTooLarge, size)
+	}
+	if cap(d.buf) < int(size) {
+		d.buf = make([]byte, size)
+	}
+	d.buf = d.buf[:size]
+	if _, err := io.ReadFull(d.r, d.buf); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return io.ErrUnexpectedEOF
+		}
+		return fmt.Errorf("synopsis: read body: %w", err)
+	}
+	return decodeBody(d.buf, s)
+}
+
+func decodeBody(buf []byte, s *Synopsis) error {
+	get := func() (uint64, error) {
+		v, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return 0, io.ErrUnexpectedEOF
+		}
+		buf = buf[n:]
+		return v, nil
+	}
+	stage, err := get()
+	if err != nil {
+		return fmt.Errorf("synopsis: decode stage: %w", err)
+	}
+	host, err := get()
+	if err != nil {
+		return fmt.Errorf("synopsis: decode host: %w", err)
+	}
+	task, err := get()
+	if err != nil {
+		return fmt.Errorf("synopsis: decode task id: %w", err)
+	}
+	startUs, err := get()
+	if err != nil {
+		return fmt.Errorf("synopsis: decode start: %w", err)
+	}
+	durUs, err := get()
+	if err != nil {
+		return fmt.Errorf("synopsis: decode duration: %w", err)
+	}
+	npts, err := get()
+	if err != nil {
+		return fmt.Errorf("synopsis: decode point count: %w", err)
+	}
+	if npts > uint64(len(buf)) { // each point needs >= 2 bytes; cheap sanity bound
+		return fmt.Errorf("synopsis: %d points exceeds remaining %d bytes", npts, len(buf))
+	}
+	s.Stage = logpoint.StageID(stage)
+	s.Host = uint16(host)
+	s.TaskID = task
+	s.Start = time.UnixMicro(int64(startUs)).UTC()
+	s.Duration = time.Duration(durUs) * time.Microsecond
+	if cap(s.Points) < int(npts) {
+		s.Points = make([]PointCount, npts)
+	}
+	s.Points = s.Points[:npts]
+	var prev logpoint.ID
+	for i := range s.Points {
+		delta, err := get()
+		if err != nil {
+			return fmt.Errorf("synopsis: decode point %d id: %w", i, err)
+		}
+		count, err := get()
+		if err != nil {
+			return fmt.Errorf("synopsis: decode point %d count: %w", i, err)
+		}
+		prev += logpoint.ID(delta)
+		s.Points[i] = PointCount{Point: prev, Count: uint32(count)}
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+// Package synopsis defines the task execution synopsis — the few-tens-of-
+// bytes record the tracker emits when a task terminates (paper Section 3.2.2
+// and 4.1) — together with its compact binary codec and the task signature
+// derivation used by the analyzer.
+package synopsis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"saad/internal/logpoint"
+)
+
+// PointCount records how many times a task encountered one log point.
+type PointCount struct {
+	Point logpoint.ID
+	Count uint32
+}
+
+// Synopsis summarizes one task execution. It mirrors the paper's struct:
+//
+//	struct synopsis{
+//	  byte sid; int uid; int ts; int duration;
+//	  struct { short int lpid; int count; } log_points[];
+//	}
+//
+// extended with the host id used to tag synopses with semantic information
+// before streaming (Section 3.1).
+type Synopsis struct {
+	// Stage is the stage this task is an instance of.
+	Stage logpoint.StageID
+	// Host identifies the cluster node the task ran on.
+	Host uint16
+	// TaskID is unique per task within a host.
+	TaskID uint64
+	// Start is the task start time.
+	Start time.Time
+	// Duration is the time between the task start and the last log point it
+	// encountered (the paper's duration feature, Section 3.3.1).
+	Duration time.Duration
+	// Points lists the distinct log points encountered with their visit
+	// frequencies, sorted by point id.
+	Points []PointCount
+}
+
+// Clone returns a deep copy.
+func (s *Synopsis) Clone() *Synopsis {
+	c := *s
+	c.Points = make([]PointCount, len(s.Points))
+	copy(c.Points, s.Points)
+	return &c
+}
+
+// Normalize sorts Points by id and merges duplicates, establishing the
+// canonical form the codec and Signature rely on.
+func (s *Synopsis) Normalize() {
+	if len(s.Points) < 2 {
+		return
+	}
+	sort.Slice(s.Points, func(i, j int) bool { return s.Points[i].Point < s.Points[j].Point })
+	out := s.Points[:1]
+	for _, pc := range s.Points[1:] {
+		if last := &out[len(out)-1]; last.Point == pc.Point {
+			last.Count += pc.Count
+		} else {
+			out = append(out, pc)
+		}
+	}
+	s.Points = out
+}
+
+// Signature returns the task signature: the set of distinct log points
+// encountered, independent of order and frequency (Section 3.3.1). The
+// synopsis must be in canonical form (Normalize).
+func (s *Synopsis) Signature() Signature {
+	ids := make([]logpoint.ID, len(s.Points))
+	for i, pc := range s.Points {
+		ids[i] = pc.Point
+	}
+	return Compute(ids)
+}
+
+// TotalHits returns the total number of log point encounters.
+func (s *Synopsis) TotalHits() int {
+	var n uint64
+	for _, pc := range s.Points {
+		n += uint64(pc.Count)
+	}
+	return int(n)
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (s *Synopsis) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "synopsis{stage=%d host=%d task=%d dur=%s points=[", s.Stage, s.Host, s.TaskID, s.Duration)
+	for i, pc := range s.Points {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d×%d", pc.Point, pc.Count)
+	}
+	b.WriteString("]}")
+	return b.String()
+}
+
+// Signature is the canonical encoding of a set of log points: the sorted
+// distinct ids packed two bytes each into a string, so it is directly usable
+// as a map key. The empty signature (task hit no log points) is valid.
+type Signature string
+
+// Compute builds a Signature from ids (sorted and deduplicated internally;
+// the input slice is not modified).
+func Compute(ids []logpoint.ID) Signature {
+	if len(ids) == 0 {
+		return ""
+	}
+	sorted := make([]logpoint.ID, len(ids))
+	copy(sorted, ids)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	buf := make([]byte, 0, 2*len(sorted))
+	var prev logpoint.ID
+	for i, id := range sorted {
+		if i > 0 && id == prev {
+			continue
+		}
+		buf = append(buf, byte(id>>8), byte(id))
+		prev = id
+	}
+	return Signature(buf)
+}
+
+// Points decodes the signature back into its sorted distinct ids.
+func (s Signature) Points() []logpoint.ID {
+	if len(s)%2 != 0 {
+		return nil
+	}
+	out := make([]logpoint.ID, 0, len(s)/2)
+	for i := 0; i+1 < len(s); i += 2 {
+		out = append(out, logpoint.ID(s[i])<<8|logpoint.ID(s[i+1]))
+	}
+	return out
+}
+
+// Len returns the number of distinct log points in the signature.
+func (s Signature) Len() int { return len(s) / 2 }
+
+// Contains reports whether the signature includes id.
+func (s Signature) Contains(id logpoint.ID) bool {
+	pts := s.Points()
+	i := sort.Search(len(pts), func(i int) bool { return pts[i] >= id })
+	return i < len(pts) && pts[i] == id
+}
+
+// String implements fmt.Stringer with a readable form like "{3,7,12}".
+func (s Signature) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, id := range s.Points() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", id)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,135 @@
+package synopsis
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"saad/internal/logpoint"
+)
+
+func TestNormalizeSortsAndMerges(t *testing.T) {
+	s := &Synopsis{Points: []PointCount{{7, 1}, {3, 2}, {7, 4}, {1, 1}}}
+	s.Normalize()
+	want := []PointCount{{1, 1}, {3, 2}, {7, 5}}
+	if len(s.Points) != len(want) {
+		t.Fatalf("points = %v", s.Points)
+	}
+	for i := range want {
+		if s.Points[i] != want[i] {
+			t.Fatalf("points = %v, want %v", s.Points, want)
+		}
+	}
+}
+
+func TestNormalizeSmall(t *testing.T) {
+	s := &Synopsis{}
+	s.Normalize()
+	if len(s.Points) != 0 {
+		t.Fatal("empty changed")
+	}
+	s = &Synopsis{Points: []PointCount{{5, 2}}}
+	s.Normalize()
+	if len(s.Points) != 1 || s.Points[0] != (PointCount{5, 2}) {
+		t.Fatalf("single = %v", s.Points)
+	}
+}
+
+func TestSignatureIgnoresFrequencyAndOrder(t *testing.T) {
+	a := &Synopsis{Points: []PointCount{{1, 1}, {2, 9}, {4, 1}}}
+	b := &Synopsis{Points: []PointCount{{4, 3}, {1, 2}, {2, 1}}}
+	a.Normalize()
+	b.Normalize()
+	if a.Signature() != b.Signature() {
+		t.Fatalf("signatures differ: %v vs %v", a.Signature(), b.Signature())
+	}
+	c := &Synopsis{Points: []PointCount{{1, 1}, {2, 1}, {3, 1}, {4, 1}}}
+	c.Normalize()
+	if a.Signature() == c.Signature() {
+		t.Fatal("distinct point sets collided")
+	}
+}
+
+func TestSignatureStringAndPoints(t *testing.T) {
+	sig := Compute([]logpoint.ID{300, 5, 5, 12})
+	if got := sig.String(); got != "{5,12,300}" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := sig.Len(); got != 3 {
+		t.Fatalf("Len = %d", got)
+	}
+	pts := sig.Points()
+	if len(pts) != 3 || pts[0] != 5 || pts[1] != 12 || pts[2] != 300 {
+		t.Fatalf("Points = %v", pts)
+	}
+	for _, id := range []logpoint.ID{5, 12, 300} {
+		if !sig.Contains(id) {
+			t.Fatalf("Contains(%d) = false", id)
+		}
+	}
+	if sig.Contains(6) || sig.Contains(0) {
+		t.Fatal("Contains matched absent id")
+	}
+	empty := Compute(nil)
+	if empty != "" || empty.Len() != 0 || empty.String() != "{}" {
+		t.Fatalf("empty signature misbehaves: %q %d %q", string(empty), empty.Len(), empty.String())
+	}
+}
+
+// Property: Compute is invariant under permutation and duplication, and
+// Points round-trips the sorted distinct input.
+func TestSignatureCanonicalProperty(t *testing.T) {
+	f := func(raw []uint16, dupIdx uint8) bool {
+		ids := make([]logpoint.ID, len(raw))
+		for i, v := range raw {
+			ids[i] = logpoint.ID(v)
+		}
+		sig1 := Compute(ids)
+		// Reverse and duplicate an element.
+		rev := make([]logpoint.ID, 0, len(ids)+1)
+		for i := len(ids) - 1; i >= 0; i-- {
+			rev = append(rev, ids[i])
+		}
+		if len(ids) > 0 {
+			rev = append(rev, ids[int(dupIdx)%len(ids)])
+		}
+		sig2 := Compute(rev)
+		if sig1 != sig2 {
+			return false
+		}
+		pts := sig1.Points()
+		for i := 1; i < len(pts); i++ {
+			if pts[i] <= pts[i-1] {
+				return false
+			}
+		}
+		return Compute(pts) == sig1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := &Synopsis{Stage: 2, TaskID: 7, Points: []PointCount{{1, 1}}}
+	c := s.Clone()
+	c.Points[0].Count = 99
+	if s.Points[0].Count != 1 {
+		t.Fatal("clone shares Points")
+	}
+}
+
+func TestTotalHitsAndString(t *testing.T) {
+	s := &Synopsis{Stage: 1, Host: 2, TaskID: 3, Duration: time.Millisecond,
+		Points: []PointCount{{1, 2}, {4, 3}}}
+	if got := s.TotalHits(); got != 5 {
+		t.Fatalf("TotalHits = %d", got)
+	}
+	str := s.String()
+	for _, want := range []string{"stage=1", "host=2", "task=3", "1×2", "4×3"} {
+		if !strings.Contains(str, want) {
+			t.Fatalf("String() = %q missing %q", str, want)
+		}
+	}
+}

@@ -1,0 +1,270 @@
+package tracker
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"saad/internal/logpoint"
+	"saad/internal/synopsis"
+)
+
+var epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// collectSink gathers synopses for assertions.
+type collectSink struct {
+	mu   sync.Mutex
+	syns []*synopsis.Synopsis
+}
+
+func (c *collectSink) Emit(s *synopsis.Synopsis) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.syns = append(c.syns, s)
+}
+
+func (c *collectSink) all() []*synopsis.Synopsis {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*synopsis.Synopsis(nil), c.syns...)
+}
+
+func TestTaskLifecycle(t *testing.T) {
+	sink := &collectSink{}
+	tr := New(3, sink)
+	task := tr.Begin(7, epoch)
+	if task == nil {
+		t.Fatal("Begin returned nil on enabled tracker")
+	}
+	if task.Stage() != 7 || task.ID() == 0 || !task.Start().Equal(epoch) {
+		t.Fatalf("task meta: stage=%d id=%d start=%v", task.Stage(), task.ID(), task.Start())
+	}
+	task.Hit(1, epoch.Add(1*time.Millisecond))
+	task.Hit(2, epoch.Add(2*time.Millisecond))
+	task.Hit(2, epoch.Add(3*time.Millisecond))
+	task.Hit(5, epoch.Add(10*time.Millisecond))
+	task.End(epoch.Add(50 * time.Millisecond))
+
+	syns := sink.all()
+	if len(syns) != 1 {
+		t.Fatalf("emitted %d synopses", len(syns))
+	}
+	s := syns[0]
+	if s.Stage != 7 || s.Host != 3 {
+		t.Fatalf("synopsis meta: %+v", s)
+	}
+	// Duration = last log point - start, NOT end - start (paper Section 3.3.1).
+	if s.Duration != 10*time.Millisecond {
+		t.Fatalf("duration = %v, want 10ms", s.Duration)
+	}
+	want := []synopsis.PointCount{
+		{Point: 1, Count: 1},
+		{Point: 2, Count: 2},
+		{Point: 5, Count: 1},
+	}
+	if len(s.Points) != len(want) {
+		t.Fatalf("points = %v", s.Points)
+	}
+	for i := range want {
+		if s.Points[i] != want[i] {
+			t.Fatalf("points = %v, want %v", s.Points, want)
+		}
+	}
+	if tr.Emitted() != 1 {
+		t.Fatalf("Emitted = %d", tr.Emitted())
+	}
+}
+
+func TestTaskNoLogPointsDurationFallsBack(t *testing.T) {
+	sink := &collectSink{}
+	tr := New(0, sink)
+	task := tr.Begin(1, epoch)
+	task.End(epoch.Add(4 * time.Millisecond))
+	s := sink.all()[0]
+	if s.Duration != 4*time.Millisecond {
+		t.Fatalf("duration = %v, want 4ms fallback", s.Duration)
+	}
+	if len(s.Points) != 0 {
+		t.Fatalf("points = %v", s.Points)
+	}
+}
+
+func TestTaskNegativeDurationClamped(t *testing.T) {
+	sink := &collectSink{}
+	tr := New(0, sink)
+	task := tr.Begin(1, epoch)
+	task.End(epoch.Add(-time.Second))
+	if d := sink.all()[0].Duration; d != 0 {
+		t.Fatalf("duration = %v, want 0", d)
+	}
+}
+
+func TestDisabledTrackerIsNilSafe(t *testing.T) {
+	sink := &collectSink{}
+	tr := New(0, sink)
+	tr.SetEnabled(false)
+	task := tr.Begin(1, epoch)
+	if task != nil {
+		t.Fatal("Begin returned non-nil while disabled")
+	}
+	// All operations on the nil task must be harmless no-ops.
+	task.Hit(1, epoch)
+	task.End(epoch)
+	if task.ID() != 0 || task.Stage() != 0 || !task.Start().IsZero() {
+		t.Fatal("nil task accessors not zero")
+	}
+	if len(sink.all()) != 0 {
+		t.Fatal("disabled tracker emitted")
+	}
+	var nilTr *Tracker
+	if nilTr.Enabled() || nilTr.Emitted() != 0 {
+		t.Fatal("nil tracker accessors not zero")
+	}
+	if nilTr.Begin(1, epoch) != nil {
+		t.Fatal("nil tracker Begin != nil")
+	}
+}
+
+func TestTrackerReenable(t *testing.T) {
+	sink := &collectSink{}
+	tr := New(0, sink)
+	tr.SetEnabled(false)
+	tr.SetEnabled(true)
+	if !tr.Enabled() {
+		t.Fatal("not re-enabled")
+	}
+	tr.Begin(1, epoch).End(epoch)
+	if len(sink.all()) != 1 {
+		t.Fatal("no synopsis after re-enable")
+	}
+}
+
+func TestNilSinkDropsSynopses(t *testing.T) {
+	tr := New(0, nil)
+	task := tr.Begin(1, epoch)
+	task.Hit(1, epoch)
+	task.End(epoch.Add(time.Millisecond)) // must not panic
+	if tr.Emitted() != 1 {
+		t.Fatalf("Emitted = %d", tr.Emitted())
+	}
+}
+
+func TestUniqueTaskIDsAcrossGoroutines(t *testing.T) {
+	tr := New(0, nil)
+	const (
+		workers = 8
+		each    = 500
+	)
+	ids := make([][]uint64, workers)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				task := tr.Begin(1, epoch)
+				ids[g] = append(ids[g], task.ID())
+				task.End(epoch)
+			}
+		}(g)
+	}
+	wg.Wait()
+	seen := make(map[uint64]bool, workers*each)
+	for _, batch := range ids {
+		for _, id := range batch {
+			if seen[id] {
+				t.Fatalf("duplicate task id %d", id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestWorkerThreadReuseEndsPreviousTask(t *testing.T) {
+	sink := &collectSink{}
+	tr := New(0, sink)
+	w := NewWorker(tr)
+
+	t1 := w.StartTask(1, epoch)
+	t1.Hit(10, epoch.Add(time.Millisecond))
+	// Starting the next task terminates the previous one (thread reuse).
+	t2 := w.StartTask(1, epoch.Add(5*time.Millisecond))
+	if w.Current() != t2 {
+		t.Fatal("Current != new task")
+	}
+	syns := sink.all()
+	if len(syns) != 1 {
+		t.Fatalf("emitted %d, want 1 (previous task)", len(syns))
+	}
+	if syns[0].Duration != time.Millisecond {
+		t.Fatalf("previous task duration = %v", syns[0].Duration)
+	}
+	w.Finish(epoch.Add(8 * time.Millisecond))
+	if len(sink.all()) != 2 {
+		t.Fatal("Finish did not emit")
+	}
+	if w.Current() != nil {
+		t.Fatal("Current after Finish != nil")
+	}
+	w.Finish(epoch) // second Finish is a no-op
+	if len(sink.all()) != 2 {
+		t.Fatal("double Finish emitted")
+	}
+}
+
+func TestWorkerWithDisabledTracker(t *testing.T) {
+	tr := New(0, nil)
+	tr.SetEnabled(false)
+	w := NewWorker(tr)
+	if task := w.StartTask(1, epoch); task != nil {
+		t.Fatal("StartTask on disabled tracker returned task")
+	}
+	w.Finish(epoch) // no panic
+}
+
+func TestSinkFunc(t *testing.T) {
+	var got *synopsis.Synopsis
+	sink := SinkFunc(func(s *synopsis.Synopsis) { got = s })
+	tr := New(0, sink)
+	tr.Begin(4, epoch).End(epoch)
+	if got == nil || got.Stage != 4 {
+		t.Fatalf("SinkFunc got %+v", got)
+	}
+}
+
+func TestTaskPointVectorIsIndependentCopy(t *testing.T) {
+	sink := &collectSink{}
+	tr := New(0, sink)
+	// Run two tasks back to back; pooling must not leak state between them.
+	a := tr.Begin(1, epoch)
+	a.Hit(1, epoch)
+	a.Hit(2, epoch)
+	a.End(epoch.Add(time.Millisecond))
+	b := tr.Begin(1, epoch)
+	b.Hit(9, epoch)
+	b.End(epoch.Add(time.Millisecond))
+	syns := sink.all()
+	if len(syns[0].Points) != 2 {
+		t.Fatalf("first synopsis points = %v", syns[0].Points)
+	}
+	if len(syns[1].Points) != 1 || syns[1].Points[0].Point != logpoint.ID(9) {
+		t.Fatalf("second synopsis points = %v (pool leak?)", syns[1].Points)
+	}
+}
+
+func TestHitManyDistinctPoints(t *testing.T) {
+	sink := &collectSink{}
+	tr := New(0, sink)
+	task := tr.Begin(1, epoch)
+	for i := 1; i <= 64; i++ {
+		task.Hit(logpoint.ID(i), epoch.Add(time.Duration(i)*time.Microsecond))
+	}
+	task.End(epoch.Add(time.Second))
+	s := sink.all()[0]
+	if len(s.Points) != 64 {
+		t.Fatalf("points = %d, want 64", len(s.Points))
+	}
+	if s.Duration != 64*time.Microsecond {
+		t.Fatalf("duration = %v", s.Duration)
+	}
+}

@@ -1,0 +1,96 @@
+// Package vtime provides a deterministic virtual clock and latency
+// distributions for the SAAD simulation substrate.
+//
+// All experiment timelines in this repository run on virtual time: I/O
+// operations report a sampled virtual cost instead of sleeping, so a
+// "50-minute" fault-injection experiment completes in milliseconds while
+// producing reproducible timestamps, durations and windows.
+package vtime
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Clock is a monotonic virtual clock. The zero value is not usable; construct
+// with NewClock. Clock is safe for concurrent use.
+type Clock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewClock returns a clock positioned at the given epoch.
+func NewClock(epoch time.Time) *Clock {
+	return &Clock{now: epoch}
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d and returns the new time. Negative
+// durations are ignored so the clock stays monotonic.
+func (c *Clock) Advance(d time.Duration) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d > 0 {
+		c.now = c.now.Add(d)
+	}
+	return c.now
+}
+
+// AdvanceTo moves the clock forward to t if t is later than the current
+// virtual time, and returns the (possibly unchanged) current time.
+func (c *Clock) AdvanceTo(t time.Time) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.After(c.now) {
+		c.now = t
+	}
+	return c.now
+}
+
+// Since returns the elapsed virtual time since t.
+func (c *Clock) Since(t time.Time) time.Duration {
+	return c.Now().Sub(t)
+}
+
+// Cursor is a single-goroutine view of virtual time used by one simulated
+// task: it starts at a point on the parent clock and accumulates the virtual
+// cost of the operations the task performs. Cursors never move the parent
+// clock; the caller decides whether to publish the cursor's end time back via
+// Clock.AdvanceTo.
+type Cursor struct {
+	start   time.Time
+	elapsed time.Duration
+}
+
+// NewCursor returns a cursor anchored at start.
+func NewCursor(start time.Time) *Cursor {
+	return &Cursor{start: start}
+}
+
+// Add accumulates virtual cost d (negative values are ignored).
+func (c *Cursor) Add(d time.Duration) {
+	if d > 0 {
+		c.elapsed += d
+	}
+}
+
+// Now returns the cursor's current virtual time (start + accumulated cost).
+func (c *Cursor) Now() time.Time { return c.start.Add(c.elapsed) }
+
+// Start returns the cursor's anchor time.
+func (c *Cursor) Start() time.Time { return c.start }
+
+// Elapsed returns the accumulated virtual cost.
+func (c *Cursor) Elapsed() time.Duration { return c.elapsed }
+
+// String implements fmt.Stringer for debugging.
+func (c *Cursor) String() string {
+	return fmt.Sprintf("vtime.Cursor{start: %s, elapsed: %s}", c.start.Format(time.RFC3339Nano), c.elapsed)
+}

@@ -1,0 +1,278 @@
+package vtime
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock(epoch)
+	if got := c.Now(); !got.Equal(epoch) {
+		t.Fatalf("Now() = %v, want %v", got, epoch)
+	}
+	got := c.Advance(5 * time.Second)
+	want := epoch.Add(5 * time.Second)
+	if !got.Equal(want) {
+		t.Fatalf("Advance = %v, want %v", got, want)
+	}
+	if got := c.Since(epoch); got != 5*time.Second {
+		t.Fatalf("Since = %v, want 5s", got)
+	}
+}
+
+func TestClockAdvanceNegativeIgnored(t *testing.T) {
+	c := NewClock(epoch)
+	c.Advance(-time.Hour)
+	if got := c.Now(); !got.Equal(epoch) {
+		t.Fatalf("negative advance moved clock to %v", got)
+	}
+}
+
+func TestClockAdvanceToMonotonic(t *testing.T) {
+	c := NewClock(epoch)
+	c.AdvanceTo(epoch.Add(time.Minute))
+	c.AdvanceTo(epoch.Add(30 * time.Second)) // earlier: must not rewind
+	if got := c.Now(); !got.Equal(epoch.Add(time.Minute)) {
+		t.Fatalf("AdvanceTo rewound clock to %v", got)
+	}
+}
+
+func TestClockConcurrentAdvance(t *testing.T) {
+	c := NewClock(epoch)
+	const (
+		workers = 8
+		steps   = 1000
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < steps; j++ {
+				c.Advance(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	want := epoch.Add(workers * steps * time.Millisecond)
+	if got := c.Now(); !got.Equal(want) {
+		t.Fatalf("concurrent advance = %v, want %v", got, want)
+	}
+}
+
+func TestCursorAccumulates(t *testing.T) {
+	cur := NewCursor(epoch)
+	cur.Add(10 * time.Millisecond)
+	cur.Add(5 * time.Millisecond)
+	cur.Add(-time.Second) // ignored
+	if got := cur.Elapsed(); got != 15*time.Millisecond {
+		t.Fatalf("Elapsed = %v, want 15ms", got)
+	}
+	if got := cur.Now(); !got.Equal(epoch.Add(15 * time.Millisecond)) {
+		t.Fatalf("Now = %v", got)
+	}
+	if got := cur.Start(); !got.Equal(epoch) {
+		t.Fatalf("Start = %v", got)
+	}
+	if cur.String() == "" {
+		t.Fatal("String() empty")
+	}
+}
+
+func TestRNGDeterministic(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed RNGs diverged at step %d", i)
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical values", same)
+	}
+}
+
+func TestRNGSplitIndependent(t *testing.T) {
+	r := NewRNG(7)
+	s1 := r.Split(1)
+	s2 := r.Split(2)
+	if s1.Uint64() == s2.Uint64() {
+		t.Fatal("split streams start identically")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGIntn(t *testing.T) {
+	r := NewRNG(1)
+	if got := r.Intn(0); got != 0 {
+		t.Fatalf("Intn(0) = %d", got)
+	}
+	if got := r.Intn(-5); got != 0 {
+		t.Fatalf("Intn(-5) = %d", got)
+	}
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("Intn(10) covered only %d values", len(seen))
+	}
+}
+
+func TestRNGBoolEdges(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 100; i++ {
+		if r.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !r.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+	trues := 0
+	for i := 0; i < 10000; i++ {
+		if r.Bool(0.3) {
+			trues++
+		}
+	}
+	if trues < 2700 || trues > 3300 {
+		t.Fatalf("Bool(0.3) true rate %d/10000 outside [2700,3300]", trues)
+	}
+}
+
+func TestRNGNormFloat64Moments(t *testing.T) {
+	r := NewRNG(99)
+	const n = 50000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if mean < -0.05 || mean > 0.05 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if variance < 0.9 || variance > 1.1 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestRNGExpFloat64Mean(t *testing.T) {
+	r := NewRNG(5)
+	const n = 50000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.ExpFloat64()
+	}
+	mean := sum / n
+	if mean < 0.95 || mean > 1.05 {
+		t.Fatalf("exponential mean = %v, want ~1", mean)
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(3)
+	p := r.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestLatencyModels(t *testing.T) {
+	r := NewRNG(11)
+	tests := []struct {
+		name  string
+		model LatencyModel
+		min   time.Duration
+		max   time.Duration
+	}{
+		{"fixed", Fixed(3 * time.Millisecond), 3 * time.Millisecond, 3 * time.Millisecond},
+		{"uniform", Uniform{Min: time.Millisecond, Max: 2 * time.Millisecond}, time.Millisecond, 2 * time.Millisecond},
+		{"lognormal-clamped", LogNormal{Median: time.Millisecond, Sigma: 1, Max: 10 * time.Millisecond}, 0, 10 * time.Millisecond},
+		{"exponential", Exponential{Mean: time.Millisecond}, 0, time.Hour},
+		{"scaled", Scaled{Base: Fixed(time.Millisecond), Factor: 4}, 4 * time.Millisecond, 4 * time.Millisecond},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			for i := 0; i < 1000; i++ {
+				d := tt.model.Sample(r)
+				if d < tt.min || d > tt.max {
+					t.Fatalf("sample %v outside [%v, %v]", d, tt.min, tt.max)
+				}
+			}
+		})
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	r := NewRNG(13)
+	m := LogNormal{Median: 10 * time.Millisecond, Sigma: 0.5}
+	const n = 20001
+	samples := make([]time.Duration, n)
+	for i := range samples {
+		samples[i] = m.Sample(r)
+	}
+	// Median of samples should be near the configured median.
+	below := 0
+	for _, s := range samples {
+		if s < 10*time.Millisecond {
+			below++
+		}
+	}
+	frac := float64(below) / n
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("fraction below median = %v, want ~0.5", frac)
+	}
+}
+
+func TestLatencyDegenerateCases(t *testing.T) {
+	r := NewRNG(1)
+	if d := (LogNormal{Median: 0, Sigma: 1}).Sample(r); d != 0 {
+		t.Fatalf("zero-median lognormal = %v", d)
+	}
+	if d := (LogNormal{Median: time.Second, Sigma: 0}).Sample(r); d != time.Second {
+		t.Fatalf("zero-sigma lognormal = %v", d)
+	}
+	if d := (Exponential{Mean: 0}).Sample(r); d != 0 {
+		t.Fatalf("zero-mean exponential = %v", d)
+	}
+	if d := (Scaled{Base: nil, Factor: 2}).Sample(r); d != 0 {
+		t.Fatalf("nil-base scaled = %v", d)
+	}
+	if d := (Scaled{Base: Fixed(time.Second), Factor: 0}).Sample(r); d != time.Second {
+		t.Fatalf("zero-factor scaled = %v", d)
+	}
+	if d := (Uniform{Min: time.Second, Max: time.Second}).Sample(r); d != time.Second {
+		t.Fatalf("degenerate uniform = %v", d)
+	}
+}

@@ -1,0 +1,113 @@
+package vtime
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// LatencyModel samples virtual durations for a simulated operation (a disk
+// write, a network hop, a lock wait). Implementations must be deterministic
+// given the RNG they are handed.
+type LatencyModel interface {
+	// Sample draws one duration.
+	Sample(r *RNG) time.Duration
+}
+
+// Fixed is a latency model that always returns the same duration.
+type Fixed time.Duration
+
+var _ LatencyModel = Fixed(0)
+
+// Sample implements LatencyModel.
+func (f Fixed) Sample(*RNG) time.Duration { return time.Duration(f) }
+
+// LogNormal models latency as a log-normal distribution, the standard choice
+// for I/O and RPC service times: most samples cluster near the median with a
+// heavy right tail.
+type LogNormal struct {
+	// Median is the distribution median (exp(mu)).
+	Median time.Duration
+	// Sigma is the shape parameter; 0.25-0.5 gives a mild tail, >1 a heavy
+	// tail. Non-positive sigma degenerates to Fixed(Median).
+	Sigma float64
+	// Max optionally clamps samples; zero means no clamp.
+	Max time.Duration
+}
+
+var _ LatencyModel = LogNormal{}
+
+// Sample implements LatencyModel.
+func (l LogNormal) Sample(r *RNG) time.Duration {
+	if l.Median <= 0 {
+		return 0
+	}
+	if l.Sigma <= 0 {
+		return l.Median
+	}
+	d := time.Duration(float64(l.Median) * math.Exp(l.Sigma*r.NormFloat64()))
+	if l.Max > 0 && d > l.Max {
+		d = l.Max
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// String implements fmt.Stringer.
+func (l LogNormal) String() string {
+	return fmt.Sprintf("lognormal(median=%s, sigma=%.2f)", l.Median, l.Sigma)
+}
+
+// Uniform samples uniformly in [Min, Max].
+type Uniform struct {
+	Min, Max time.Duration
+}
+
+var _ LatencyModel = Uniform{}
+
+// Sample implements LatencyModel.
+func (u Uniform) Sample(r *RNG) time.Duration {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + time.Duration(r.Float64()*float64(u.Max-u.Min))
+}
+
+// Exponential samples an exponential distribution with the given mean,
+// typically used for inter-arrival times.
+type Exponential struct {
+	Mean time.Duration
+}
+
+var _ LatencyModel = Exponential{}
+
+// Sample implements LatencyModel.
+func (e Exponential) Sample(r *RNG) time.Duration {
+	if e.Mean <= 0 {
+		return 0
+	}
+	return time.Duration(float64(e.Mean) * r.ExpFloat64())
+}
+
+// Scaled wraps a model and multiplies every sample by Factor; the fault
+// injector uses it to model slowdowns such as disk hogs.
+type Scaled struct {
+	Base   LatencyModel
+	Factor float64
+}
+
+var _ LatencyModel = Scaled{}
+
+// Sample implements LatencyModel.
+func (s Scaled) Sample(r *RNG) time.Duration {
+	if s.Base == nil {
+		return 0
+	}
+	d := s.Base.Sample(r)
+	if s.Factor <= 0 {
+		return d
+	}
+	return time.Duration(float64(d) * s.Factor)
+}

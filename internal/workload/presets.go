@@ -1,0 +1,25 @@
+package workload
+
+// YCSB core workload presets (Cooper et al., SoCC 2010), provided for
+// comparison runs beyond the paper's write-heavy mix.
+
+// WorkloadA is YCSB A: update heavy (50/50 read/update, zipfian).
+func WorkloadA() Mix { return Mix{Read: 0.5, Update: 0.5} }
+
+// WorkloadB is YCSB B: read mostly (95/5 read/update, zipfian).
+func WorkloadB() Mix { return Mix{Read: 0.95, Update: 0.05} }
+
+// WorkloadC is YCSB C: read only.
+func WorkloadC() Mix { return Mix{Read: 1} }
+
+// WorkloadD is YCSB D: read latest (95/5 read/insert; pair with
+// NewLatestChooser).
+func WorkloadD() Mix { return Mix{Read: 0.95, Insert: 0.05} }
+
+// WorkloadE is YCSB E: short ranges (95/5 scan/insert).
+func WorkloadE() Mix { return Mix{Scan: 0.95, Insert: 0.05} }
+
+// WorkloadF is YCSB F: read-modify-write, approximated as an even
+// read/update split at the storage tier (each RMW issues one read and one
+// update).
+func WorkloadF() Mix { return Mix{Read: 0.5, Update: 0.5} }

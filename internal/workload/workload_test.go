@@ -1,0 +1,262 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"saad/internal/vtime"
+)
+
+var epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestOpTypeStringsAndIsWrite(t *testing.T) {
+	if OpRead.String() != "read" || OpUpdate.String() != "update" ||
+		OpInsert.String() != "insert" || OpScan.String() != "scan" {
+		t.Fatal("op strings wrong")
+	}
+	if !strings.Contains(OpType(9).String(), "OpType") {
+		t.Fatal("unknown op string wrong")
+	}
+	if OpRead.IsWrite() || OpScan.IsWrite() || !OpUpdate.IsWrite() || !OpInsert.IsWrite() {
+		t.Fatal("IsWrite wrong")
+	}
+}
+
+func TestUniformChooserRange(t *testing.T) {
+	r := vtime.NewRNG(1)
+	c := UniformChooser{}
+	seen := make(map[int]int)
+	for i := 0; i < 10000; i++ {
+		v := c.Next(r, 10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("out of range: %d", v)
+		}
+		seen[v]++
+	}
+	for v, n := range seen {
+		if n < 700 || n > 1300 {
+			t.Fatalf("uniform bucket %d has %d/10000", v, n)
+		}
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	r := vtime.NewRNG(2)
+	z := NewZipfianChooser(false)
+	const n = 1000
+	counts := make([]int, n)
+	for i := 0; i < 100000; i++ {
+		v := z.Next(r, n)
+		if v < 0 || v >= n {
+			t.Fatalf("out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// Item 0 must dominate, and the head must be heavy: YCSB zipfian 0.99
+	// gives item 0 roughly 7-8% of the mass for n=1000.
+	if counts[0] < 40000/10 {
+		t.Fatalf("head count = %d, not zipfian", counts[0])
+	}
+	if counts[0] <= counts[1] || counts[1] <= counts[10] {
+		t.Fatalf("not monotone: c0=%d c1=%d c10=%d", counts[0], counts[1], counts[10])
+	}
+	tail := 0
+	for _, c := range counts[n/2:] {
+		tail += c
+	}
+	if tail > 20000 {
+		t.Fatalf("tail mass = %d, distribution too flat", tail)
+	}
+}
+
+func TestScrambledZipfianSpreadsHotKeys(t *testing.T) {
+	r := vtime.NewRNG(3)
+	z := NewZipfianChooser(true)
+	const n = 1000
+	counts := make([]int, n)
+	for i := 0; i < 100000; i++ {
+		counts[z.Next(r, n)]++
+	}
+	// Still skewed: some item has far more than average...
+	max, maxIdx := 0, 0
+	for i, c := range counts {
+		if c > max {
+			max, maxIdx = c, i
+		}
+	}
+	if max < 3000 {
+		t.Fatalf("max count = %d, scrambling destroyed skew", max)
+	}
+	// ...but the hottest item need not be item 0.
+	_ = maxIdx
+}
+
+func TestZipfianAdaptsToN(t *testing.T) {
+	r := vtime.NewRNG(4)
+	z := NewZipfianChooser(false)
+	if v := z.Next(r, 10); v < 0 || v >= 10 {
+		t.Fatalf("n=10: %d", v)
+	}
+	if v := z.Next(r, 100000); v < 0 || v >= 100000 {
+		t.Fatalf("n=100000: %d", v)
+	}
+	if v := z.Next(r, 0); v != 0 {
+		t.Fatalf("n=0: %d", v)
+	}
+}
+
+func TestLatestChooserSkewsToNewest(t *testing.T) {
+	r := vtime.NewRNG(5)
+	l := NewLatestChooser()
+	const n = 1000
+	newest := 0
+	for i := 0; i < 10000; i++ {
+		v := l.Next(r, n)
+		if v < 0 || v >= n {
+			t.Fatalf("out of range: %d", v)
+		}
+		if v >= n-10 {
+			newest++
+		}
+	}
+	if newest < 2000 {
+		t.Fatalf("newest-10 share = %d/10000, not latest-skewed", newest)
+	}
+	if l.Next(r, 0) != 0 {
+		t.Fatal("n=0 not handled")
+	}
+}
+
+func TestGeneratorMix(t *testing.T) {
+	g := NewGenerator(Config{Records: 1000, Seed: 6, Mix: WriteHeavy()})
+	var reads, updates, inserts, scans int
+	for i := 0; i < 10000; i++ {
+		op := g.Next()
+		switch op.Type {
+		case OpRead:
+			reads++
+		case OpUpdate:
+			updates++
+			if len(op.Value) == 0 {
+				t.Fatal("update without value")
+			}
+		case OpInsert:
+			inserts++
+		case OpScan:
+			scans++
+		}
+		if op.Key == "" {
+			t.Fatal("empty key")
+		}
+	}
+	if updates < 7500 || updates > 8500 {
+		t.Fatalf("updates = %d, want ~8000", updates)
+	}
+	if reads < 700 || reads > 1300 {
+		t.Fatalf("reads = %d, want ~1000", reads)
+	}
+	if scans != 0 {
+		t.Fatalf("scans = %d in WriteHeavy", scans)
+	}
+	if g.Records() != 1000+inserts {
+		t.Fatalf("Records = %d after %d inserts", g.Records(), inserts)
+	}
+}
+
+func TestGeneratorScan(t *testing.T) {
+	g := NewGenerator(Config{Records: 100, Seed: 7, Mix: Mix{Scan: 1}, MaxScanLen: 10})
+	for i := 0; i < 100; i++ {
+		op := g.Next()
+		if op.Type != OpScan {
+			t.Fatalf("op = %v", op.Type)
+		}
+		if op.ScanLen < 1 || op.ScanLen > 10 {
+			t.Fatalf("scan len = %d", op.ScanLen)
+		}
+	}
+}
+
+func TestGeneratorDefaults(t *testing.T) {
+	g := NewGenerator(Config{Seed: 1})
+	op := g.Next()
+	if op.Key == "" {
+		t.Fatal("default generator broken")
+	}
+	if g.Records() < 1000 {
+		t.Fatalf("default records = %d", g.Records())
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a := NewGenerator(Config{Records: 500, Seed: 11})
+	b := NewGenerator(Config{Records: 500, Seed: 11})
+	for i := 0; i < 1000; i++ {
+		x, y := a.Next(), b.Next()
+		if x.Type != y.Type || x.Key != y.Key {
+			t.Fatalf("generators diverged at %d: %+v vs %+v", i, x, y)
+		}
+	}
+}
+
+func TestKeyFormat(t *testing.T) {
+	if Key(42) != "user42" {
+		t.Fatalf("Key = %q", Key(42))
+	}
+}
+
+func TestClientPoolClosedLoop(t *testing.T) {
+	p := NewClientPool(3, epoch, 10*time.Millisecond)
+	if p.Len() != 3 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	id1, at1 := p.Acquire()
+	if !at1.Equal(epoch) {
+		t.Fatalf("first acquire at %v", at1)
+	}
+	id2, _ := p.Acquire()
+	id3, _ := p.Acquire()
+	if id1 == id2 || id2 == id3 || id1 == id3 {
+		t.Fatal("duplicate client ids")
+	}
+	if p.Len() != 0 {
+		t.Fatalf("Len after 3 acquires = %d", p.Len())
+	}
+	// Client 1 finishes quickly, client 2 slowly.
+	p.Release(id1, epoch.Add(5*time.Millisecond))
+	p.Release(id2, epoch.Add(100*time.Millisecond))
+	p.Release(id3, epoch.Add(200*time.Millisecond))
+	gotID, gotAt := p.Acquire()
+	if gotID != id1 {
+		t.Fatalf("next client = %d, want fastest %d", gotID, id1)
+	}
+	if !gotAt.Equal(epoch.Add(15 * time.Millisecond)) { // 5ms done + 10ms think
+		t.Fatalf("next at %v", gotAt)
+	}
+}
+
+func TestClientPoolThroughputRespondsToLatency(t *testing.T) {
+	// With closed-loop clients, doubling service time roughly halves
+	// completions in a fixed horizon.
+	run := func(service time.Duration) int {
+		p := NewClientPool(10, epoch, 0)
+		horizon := epoch.Add(time.Second)
+		completions := 0
+		for {
+			id, at := p.Acquire()
+			if at.After(horizon) {
+				break
+			}
+			done := at.Add(service)
+			completions++
+			p.Release(id, done)
+		}
+		return completions
+	}
+	fast := run(time.Millisecond)
+	slow := run(2 * time.Millisecond)
+	ratio := float64(fast) / float64(slow)
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("throughput ratio = %v, want ~2", ratio)
+	}
+}

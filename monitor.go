@@ -1,0 +1,229 @@
+package saad
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"saad/internal/analyzer"
+	"saad/internal/stream"
+)
+
+// Monitor wires a dictionary, a tracker and the analyzer together for a
+// single-process server: instrument stages against Monitor.Tracker(),
+// collect a fault-free trace in training mode, call Train, and then poll
+// for anomalies while the server runs.
+//
+// Monitor's Poll/Train methods are meant to be called from one goroutine;
+// the tracker side (Begin/Hit/End inside your stages) is safe from any
+// number of goroutines.
+type Monitor struct {
+	dict *Dictionary
+	tr   *Tracker
+	ch   *stream.Channel
+
+	mu       sync.Mutex
+	mode     monitorMode
+	trainer  *analyzer.Trainer
+	model    *Model
+	detector *Detector
+	filter   *AlarmFilter
+	filterMW int
+	filterSp int
+}
+
+type monitorMode int
+
+const (
+	modeTraining monitorMode = iota + 1
+	modeDetecting
+)
+
+// Errors returned by Monitor lifecycle methods.
+var (
+	ErrNotTraining  = errors.New("saad: monitor is not in training mode")
+	ErrNotDetecting = errors.New("saad: monitor has no trained model")
+)
+
+// MonitorOption customizes a Monitor.
+type MonitorOption func(*monitorOptions)
+
+type monitorOptions struct {
+	host             uint16
+	buffer           int
+	analyzer         AnalyzerConfig
+	filterMinWindows int
+	filterSpan       int
+}
+
+// WithHost sets the host id stamped on synopses (default 1).
+func WithHost(host uint16) MonitorOption {
+	return func(o *monitorOptions) { o.host = host }
+}
+
+// WithBuffer sets the synopsis buffer capacity (default 65536).
+func WithBuffer(n int) MonitorOption {
+	return func(o *monitorOptions) { o.buffer = n }
+}
+
+// WithAnalyzerConfig overrides the analyzer settings (default
+// DefaultAnalyzerConfig).
+func WithAnalyzerConfig(cfg AnalyzerConfig) MonitorOption {
+	return func(o *monitorOptions) { o.analyzer = cfg }
+}
+
+// WithAlarmFilter de-bounces the monitor's anomalies: Poll and Flush pass
+// an anomaly only when its (host, stage, kind) group alarmed in minWindows
+// of the last span windows.
+func WithAlarmFilter(minWindows, span int) MonitorOption {
+	return func(o *monitorOptions) {
+		o.filterMinWindows = minWindows
+		o.filterSpan = span
+	}
+}
+
+// NewMonitor creates a monitor in training mode.
+func NewMonitor(opts ...MonitorOption) (*Monitor, error) {
+	o := monitorOptions{host: 1, buffer: 1 << 16, analyzer: DefaultAnalyzerConfig()}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	trainer, err := analyzer.NewTrainer(o.analyzer)
+	if err != nil {
+		return nil, err
+	}
+	ch := stream.NewChannel(o.buffer)
+	return &Monitor{
+		dict:     NewDictionary(),
+		tr:       NewTracker(o.host, ch),
+		ch:       ch,
+		mode:     modeTraining,
+		trainer:  trainer,
+		filterMW: o.filterMinWindows,
+		filterSp: o.filterSpan,
+	}, nil
+}
+
+// Dictionary returns the monitor's dictionary for registering stages and
+// log points.
+func (m *Monitor) Dictionary() *Dictionary { return m.dict }
+
+// Tracker returns the tracker to instrument stages with.
+func (m *Monitor) Tracker() *Tracker { return m.tr }
+
+// NewExecutor starts a producer-consumer stage wired to this monitor.
+func (m *Monitor) NewExecutor(name string, workers, queueCap int, now func() time.Time, handler StageHandler) (*Executor, error) {
+	return NewExecutor(m.dict, m.tr, name, workers, queueCap, now, handler)
+}
+
+// NewSpawner starts a dispatcher-worker stage wired to this monitor.
+func (m *Monitor) NewSpawner(name string, now func() time.Time) (*Spawner, error) {
+	return NewSpawner(m.dict, m.tr, name, now)
+}
+
+// PollTraining drains pending synopses into the training trace and returns
+// how many were absorbed. Call it periodically while exercising the system
+// fault-free.
+func (m *Monitor) PollTraining() (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.mode != modeTraining {
+		return 0, ErrNotTraining
+	}
+	syns := m.ch.Drain()
+	for _, s := range syns {
+		m.trainer.Add(s)
+	}
+	return len(syns), nil
+}
+
+// Train finishes training: it absorbs any pending synopses, builds the
+// model and switches the monitor to detection mode.
+func (m *Monitor) Train() (*Model, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.mode != modeTraining {
+		return nil, ErrNotTraining
+	}
+	for _, s := range m.ch.Drain() {
+		m.trainer.Add(s)
+	}
+	model, err := m.trainer.Train()
+	if err != nil {
+		return nil, fmt.Errorf("saad: train monitor: %w", err)
+	}
+	m.model = model
+	m.detector = analyzer.NewDetector(model)
+	m.installFilter(model)
+	m.mode = modeDetecting
+	return model, nil
+}
+
+// installFilter builds the alarm filter when one was requested.
+func (m *Monitor) installFilter(model *Model) {
+	if m.filterMW > 0 {
+		m.filter = analyzer.NewAlarmFilter(m.filterMW, m.filterSp, model.Config.Window)
+	}
+}
+
+// SetModel installs a previously trained model (e.g. loaded with
+// ReadModel) and switches to detection mode.
+func (m *Monitor) SetModel(model *Model) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.model = model
+	m.detector = analyzer.NewDetector(model)
+	m.installFilter(model)
+	m.mode = modeDetecting
+	m.trainer = nil
+}
+
+// Model returns the trained model (nil while training).
+func (m *Monitor) Model() *Model {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.model
+}
+
+// Poll drains pending synopses through the detector and returns any
+// anomalies from windows that closed.
+func (m *Monitor) Poll() ([]Anomaly, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.mode != modeDetecting {
+		return nil, ErrNotDetecting
+	}
+	var out []Anomaly
+	for _, s := range m.ch.Drain() {
+		out = append(out, m.applyFilter(m.detector.Feed(s))...)
+	}
+	return out, nil
+}
+
+// applyFilter passes anomalies through the optional de-bouncer.
+func (m *Monitor) applyFilter(anoms []Anomaly) []Anomaly {
+	if m.filter == nil {
+		return anoms
+	}
+	return m.filter.Filter(anoms)
+}
+
+// Flush closes all open detection windows and returns their anomalies;
+// call at shutdown.
+func (m *Monitor) Flush() ([]Anomaly, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.mode != modeDetecting {
+		return nil, ErrNotDetecting
+	}
+	var out []Anomaly
+	for _, s := range m.ch.Drain() {
+		out = append(out, m.applyFilter(m.detector.Feed(s))...)
+	}
+	return append(out, m.applyFilter(m.detector.Flush())...), nil
+}
+
+// Dropped reports synopses lost to buffer overflow (monitoring never
+// applies backpressure to the server).
+func (m *Monitor) Dropped() uint64 { return m.ch.Dropped() }
