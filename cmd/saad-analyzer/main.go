@@ -10,6 +10,12 @@
 // Detect in real time (with an optional dictionary for readable reports):
 //
 //	saad-analyzer -listen :7077 -model model.json -dict dict.json
+//
+// Self-observability (all opt-in):
+//
+//	-http :9090            Prometheus /metrics, /debug/vars and pprof
+//	-events anomalies.jsonl one self-describing JSON object per anomaly
+//	-stats-interval 30s    periodic heartbeat line on stderr
 package main
 
 import (
@@ -17,11 +23,13 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
 	"saad/internal/analyzer"
 	"saad/internal/logpoint"
+	"saad/internal/metrics"
 	"saad/internal/report"
 	"saad/internal/stream"
 	"saad/internal/synopsis"
@@ -44,6 +52,9 @@ func run(args []string) error {
 		trainN    = fs.Int("train", 0, "train on the first N synopses and exit (0 = detect mode)")
 		window    = fs.Duration("window", time.Minute, "detection window")
 		alpha     = fs.Float64("alpha", 0.001, "significance level")
+		httpAddr  = fs.String("http", "", "serve /metrics, /debug/vars and pprof on this address (detect mode; empty = off)")
+		events    = fs.String("events", "", "append anomalies as JSONL to this file (detect mode; empty = off)")
+		statsIntv = fs.Duration("stats-interval", 30*time.Second, "stderr stats heartbeat interval (detect mode; 0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,7 +80,11 @@ func run(args []string) error {
 	if *trainN > 0 {
 		return trainMode(*listen, *modelPath, *trainN, *window, *alpha)
 	}
-	return detectMode(*listen, *modelPath, dict)
+	return detectMode(*listen, *modelPath, dict, detectOptions{
+		httpAddr:      *httpAddr,
+		eventsPath:    *events,
+		statsInterval: *statsIntv,
+	})
 }
 
 // trainMode collects synopses and writes the trained model.
@@ -130,8 +145,15 @@ func trainMode(listen, modelPath string, n int, window time.Duration, alpha floa
 	return nil
 }
 
+// detectOptions carries the opt-in observability settings of detect mode.
+type detectOptions struct {
+	httpAddr      string // serve /metrics, /debug/vars, pprof ("" = off)
+	eventsPath    string // append anomalies as JSONL ("" = off)
+	statsInterval time.Duration
+}
+
 // detectMode loads the model and prints anomalies as they are detected.
-func detectMode(listen, modelPath string, dict *logpoint.Dictionary) error {
+func detectMode(listen, modelPath string, dict *logpoint.Dictionary, opts detectOptions) error {
 	f, err := os.Open(modelPath)
 	if err != nil {
 		return err
@@ -145,30 +167,83 @@ func detectMode(listen, modelPath string, dict *logpoint.Dictionary) error {
 		return closeErr
 	}
 
+	// The full pipeline family is registered even though the standalone
+	// analyzer tracks no tasks itself: every series exists at zero, so the
+	// scrape schema is identical to an embedded Monitor's.
+	pipe := metrics.NewPipeline(metrics.NewRegistry())
+	pipe.Monitor.Mode.Set(2) // detecting
+
 	ch := stream.NewChannel(1 << 16)
-	srv, err := stream.Listen(listen, ch)
+	ch.RegisterMetrics(pipe.Registry)
+	srvMetrics := metrics.NewTCPServerMetrics(pipe.Registry)
+	srv, err := stream.Listen(listen, ch, stream.WithServerMetrics(srvMetrics))
 	if err != nil {
 		return err
 	}
 	fmt.Printf("detecting: listening on %s (model trained on %d synopses)\n", srv.Addr(), model.TrainedOn)
 
+	if opts.httpAddr != "" {
+		msrv, err := metrics.Serve(opts.httpAddr, pipe.Registry)
+		if err != nil {
+			_ = srv.Close()
+			return err
+		}
+		defer func() { _ = msrv.Close() }()
+		fmt.Printf("metrics: http://%s/metrics (also /debug/vars, /debug/pprof)\n", msrv.Addr())
+	}
+
+	var events *report.EventWriter
+	if opts.eventsPath != "" {
+		ef, err := os.OpenFile(opts.eventsPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			_ = srv.Close()
+			return err
+		}
+		defer func() { _ = ef.Close() }()
+		events = report.NewEventWriter(ef, dict, model.Config.Window)
+	}
+
 	det := analyzer.NewDetector(model)
+	det.SetMetrics(pipe.Analyzer)
 	interrupt := make(chan os.Signal, 1)
 	signal.Notify(interrupt, os.Interrupt, syscall.SIGTERM)
-	processed := 0
+
+	var heartbeat <-chan time.Time
+	if opts.statsInterval > 0 {
+		ticker := time.NewTicker(opts.statsInterval)
+		defer ticker.Stop()
+		heartbeat = ticker.C
+	}
+
+	processed, anomalies := 0, 0
+	emit := func(found []analyzer.Anomaly) error {
+		anomalies += len(found)
+		for _, a := range found {
+			fmt.Println(report.FormatAnomaly(a, dict))
+		}
+		if events != nil && len(found) > 0 {
+			return events.WriteAll(found)
+		}
+		return nil
+	}
 	for {
 		select {
 		case s := <-ch.C():
 			processed++
-			for _, a := range det.Feed(s) {
-				fmt.Println(report.FormatAnomaly(a, dict))
+			if err := emit(det.Feed(s)); err != nil {
+				_ = srv.Close()
+				return err
 			}
+		case <-heartbeat:
+			fmt.Fprintf(os.Stderr, "saad-analyzer: processed=%d dropped=%d anomalies=%d goroutines=%d\n",
+				processed, ch.Dropped(), anomalies, runtime.NumGoroutine())
 		case <-interrupt:
-			for _, a := range det.Flush() {
-				fmt.Println(report.FormatAnomaly(a, dict))
-			}
+			err := emit(det.Flush())
 			fmt.Printf("processed %d synopses (%d dropped)\n", processed, ch.Dropped())
-			return srv.Close()
+			if closeErr := srv.Close(); err == nil {
+				err = closeErr
+			}
+			return err
 		}
 	}
 }

@@ -95,7 +95,7 @@ func TestTrainAndDetectOnFixedPort(t *testing.T) {
 }
 
 func TestDetectModeRejectsMissingModel(t *testing.T) {
-	if err := detectMode("127.0.0.1:0", filepath.Join(t.TempDir(), "nope.json"), logpoint.NewDictionary()); err == nil {
+	if err := detectMode("127.0.0.1:0", filepath.Join(t.TempDir(), "nope.json"), logpoint.NewDictionary(), detectOptions{}); err == nil {
 		t.Fatal("missing model accepted")
 	}
 }

@@ -49,10 +49,14 @@ func (c *clock) Advance(d time.Duration) {
 func run() error {
 	cfg := saad.DefaultAnalyzerConfig()
 	cfg.Window = time.Second
-	mon, err := saad.NewMonitor(saad.WithAnalyzerConfig(cfg))
+	// WithMetricsAddr serves Prometheus /metrics, /debug/vars and pprof
+	// while the monitor runs; ":0" picks an ephemeral port.
+	mon, err := saad.NewMonitor(saad.WithAnalyzerConfig(cfg), saad.WithMetricsAddr("127.0.0.1:0"))
 	if err != nil {
 		return err
 	}
+	defer mon.Close()
+	fmt.Printf("metrics at http://%s/metrics while running\n", mon.MetricsAddr())
 	clk := &clock{now: time.Date(2026, 1, 1, 9, 0, 0, 0, time.UTC)}
 
 	// Instrumentation pass: register the stage's log points (in a real
@@ -125,5 +129,19 @@ func run() error {
 		fmt.Println(saad.FormatAnomaly(a, dict))
 		fmt.Println()
 	}
+
+	// The same anomalies in machine-readable JSONL form, and a peek at the
+	// monitor's self-observability counters.
+	fmt.Println("JSONL event log form:")
+	events := saad.NewEventWriter(os.Stdout, dict, cfg.Window)
+	if err := events.WriteAll(anomalies); err != nil {
+		return err
+	}
+	snap := mon.MetricsSnapshot()
+	fmt.Printf("\npipeline metrics: %d tasks tracked, %d log-point hits, %d synopses fed, %d windows closed\n",
+		snap.Counter("saad_tracker_tasks_ended_total"),
+		snap.Counter("saad_tracker_log_point_hits_total"),
+		snap.Counter("saad_analyzer_synopses_fed_total"),
+		snap.Counter("saad_analyzer_windows_closed_total"))
 	return nil
 }

@@ -142,5 +142,10 @@ func run() error {
 			break
 		}
 	}
-	return nil
+
+	// A central deployment would normally append these to a file with the
+	// analyzer's -events flag; here the JSONL goes to stdout.
+	fmt.Println("\nanomaly event log (JSONL):")
+	events := saad.NewEventWriter(os.Stdout, nil, cfg.Window)
+	return events.WriteAll(anomalies)
 }

@@ -3,9 +3,11 @@ package analyzer
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"saad/internal/logpoint"
+	"saad/internal/metrics"
 	"saad/internal/stats"
 	"saad/internal/synopsis"
 )
@@ -92,6 +94,8 @@ type Detector struct {
 	open map[groupKey]*windowState
 	// closedStats accumulates per-window statistics for reporting.
 	stats []WindowStats
+
+	metrics *metrics.AnalyzerMetrics
 }
 
 type groupKey struct {
@@ -129,11 +133,18 @@ func NewDetector(model *Model) *Detector {
 	}
 }
 
+// SetMetrics attaches a metrics bundle (nil disables): synopses fed,
+// windows closed, window-close latency and per-stage anomaly counts.
+func (d *Detector) SetMetrics(m *metrics.AnalyzerMetrics) { d.metrics = m }
+
 // Feed processes one synopsis and returns the anomalies from any window the
 // synopsis's timestamp closed. Synopses should arrive in roughly increasing
 // Start order per (host, stage); SAAD's single analyzer consuming per-node
 // FIFO streams guarantees that in practice.
 func (d *Detector) Feed(s *synopsis.Synopsis) []Anomaly {
+	if m := d.metrics; m != nil {
+		m.SynopsesFed.Inc()
+	}
 	key := groupKey{host: s.Host, stage: s.Stage}
 	w := d.open[key]
 	var out []Anomaly
@@ -233,6 +244,15 @@ func (d *Detector) WindowHistory() []WindowStats {
 }
 
 func (d *Detector) closeWindow(key groupKey, w *windowState) []Anomaly {
+	if m := d.metrics; m != nil {
+		// Wall-clock (not virtual-time) latency: how long the proportion
+		// tests take is what tells an operator the analyzer keeps up.
+		start := time.Now()
+		defer func() {
+			m.WindowsClosed.Inc()
+			m.WindowCloseLatency.Observe(time.Since(start).Seconds())
+		}()
+	}
 	delete(d.open, key)
 	perf := 0
 	var anomalies []Anomaly
@@ -329,6 +349,11 @@ func (d *Detector) closeWindow(key groupKey, w *windowState) []Anomaly {
 		FlowOutliers: w.flowOutliers,
 		PerfOutliers: perf,
 	})
+	if m := d.metrics; m != nil {
+		for _, a := range anomalies {
+			m.Anomalies.With(a.Kind.String(), strconv.Itoa(int(a.Stage))).Inc()
+		}
+	}
 	return anomalies
 }
 

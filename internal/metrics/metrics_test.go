@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterNilSafe(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if got := c.Value(); got != 0 {
+		t.Fatalf("nil counter value = %d, want 0", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_total", "t")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+}
+
+func TestGaugeSetAdd(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewGauge("test_gauge", "t")
+	g.Set(1.5)
+	g.Add(2.5)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %v, want 4", got)
+	}
+	g.Add(-5)
+	if got := g.Value(); got != -1 {
+		t.Fatalf("gauge = %v, want -1", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("test_seconds", "t", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	if got, want := h.Sum(), 0.05+0.1+0.5+5+50; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	snap := h.snapshot()
+	// Cumulative le counts: le=0.1 -> 2 (0.05, 0.1), le=1 -> 3, le=10 -> 4,
+	// le=+Inf -> 5.
+	wantCum := []uint64{2, 3, 4, 5}
+	if len(snap.Buckets) != len(wantCum) {
+		t.Fatalf("bucket count = %d, want %d", len(snap.Buckets), len(wantCum))
+	}
+	for i, b := range snap.Buckets {
+		if b.Count != wantCum[i] {
+			t.Fatalf("bucket le=%v count = %d, want %d", b.UpperBound, b.Count, wantCum[i])
+		}
+	}
+}
+
+func TestCounterVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("test_vec_total", "t", "kind", "stage")
+	v.With("flow", "3").Inc()
+	v.With("flow", "3").Inc()
+	v.With("performance", "3").Inc()
+	snap := r.Snapshot()
+	if got := snap.Counter(`test_vec_total{kind="flow",stage="3"}`); got != 2 {
+		t.Fatalf("flow child = %d, want 2", got)
+	}
+	if got := snap.Counter(`test_vec_total{kind="performance",stage="3"}`); got != 1 {
+		t.Fatalf("performance child = %d, want 1", got)
+	}
+}
+
+func TestCounterVecArityPanics(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("test_vec2_total", "t", "kind")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong label arity")
+		}
+	}()
+	v.With("a", "b")
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("dup_total", "t")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate registration")
+		}
+	}()
+	r.NewCounter("dup_total", "t")
+}
+
+func TestCounterFuncReadsAtScrape(t *testing.T) {
+	r := NewRegistry()
+	var n uint64
+	r.NewCounterFunc("func_total", "t", func() uint64 { return n })
+	n = 42
+	if got := r.Snapshot().Counter("func_total"); got != 42 {
+		t.Fatalf("counter func = %d, want 42", got)
+	}
+}
+
+func TestWritePrometheusEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("esc_total", `help with \ and`+"\n newline`", "label")
+	v.With(`va"lue` + "\n\\").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `esc_total{label="va\"lue\n\\"} 1`) {
+		t.Fatalf("label escaping wrong:\n%s", out)
+	}
+	if !strings.Contains(out, `help with \\ and\n`) {
+		t.Fatalf("help escaping wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,174 @@
+package metrics
+
+// This file defines the metric bundles each SAAD pipeline layer is
+// instrumented with. The bundles live here (not in the instrumented
+// packages) so that tracker/stream/analyzer depend only on this leaf
+// package and every metric name is declared — and documented — in one
+// place. All bundle pointers may be nil: the instrumented code calls
+// nil-safe Counter/Gauge/Histogram methods unconditionally.
+
+// TrackerMetrics instruments the task execution tracker.
+type TrackerMetrics struct {
+	// TasksBegun counts Tracker.Begin calls that minted a task.
+	TasksBegun *Counter
+	// TasksEnded counts task terminations (synopsis emissions included
+	// and suppressed alike).
+	TasksEnded *Counter
+	// PointHits counts log-point encounters registered via Task.Hit.
+	PointHits *Counter
+	// SynopsesEmitted counts synopses handed to the tracker's sink.
+	SynopsesEmitted *Counter
+}
+
+// NewTrackerMetrics registers the tracker metric family on r.
+func NewTrackerMetrics(r *Registry) *TrackerMetrics {
+	return &TrackerMetrics{
+		TasksBegun:      r.NewCounter("saad_tracker_tasks_begun_total", "Tasks begun by the task execution tracker."),
+		TasksEnded:      r.NewCounter("saad_tracker_tasks_ended_total", "Tasks terminated by the task execution tracker."),
+		PointHits:       r.NewCounter("saad_tracker_log_point_hits_total", "Log point encounters recorded by tracked tasks."),
+		SynopsesEmitted: r.NewCounter("saad_tracker_synopses_emitted_total", "Task synopses emitted to the tracker's sink."),
+	}
+}
+
+// RegisterChannel exposes the in-process channel transport: the channel
+// already keeps native atomic emit/drop counters, so the registry reads
+// them (and the live buffer depth) at scrape time and the emit hot path
+// pays nothing for observability. Typically called via
+// stream.Channel.RegisterMetrics.
+func RegisterChannel(r *Registry, emitted, dropped func() uint64, depth, capacity func() int) {
+	r.NewCounterFunc("saad_stream_channel_emits_total", "Synopses accepted into the in-process channel buffer.", emitted)
+	r.NewCounterFunc("saad_stream_channel_drops_total", "Synopses dropped by the in-process channel (full buffer or closed).", dropped)
+	r.NewGaugeFunc("saad_stream_channel_depth", "Synopses currently buffered in the in-process channel.",
+		func() float64 { return float64(depth()) })
+	r.NewGaugeFunc("saad_stream_channel_capacity", "Buffer capacity of the in-process channel.",
+		func() float64 { return float64(capacity()) })
+}
+
+// TCPClientMetrics instruments the TCP synopsis stream client.
+type TCPClientMetrics struct {
+	// Dials counts successful connection establishments; with a
+	// reconnecting caller this is 1 + the number of reconnects.
+	Dials *Counter
+	// FramesSent counts synopsis records encoded onto the connection.
+	FramesSent *Counter
+	// BytesSent counts bytes written to the connection (measured after
+	// the encoder's user-space buffer, i.e. flushed wire bytes).
+	BytesSent *Counter
+	// Errors counts transport errors; the client latches the first error
+	// and drops subsequent emits, so a nonzero value means the stream is
+	// dead.
+	Errors *Counter
+}
+
+// NewTCPClientMetrics registers the TCP client metric family on r.
+func NewTCPClientMetrics(r *Registry) *TCPClientMetrics {
+	return &TCPClientMetrics{
+		Dials:      r.NewCounter("saad_stream_tcp_client_dials_total", "Successful TCP connections to the analyzer (1 + reconnects)."),
+		FramesSent: r.NewCounter("saad_stream_tcp_client_frames_sent_total", "Synopsis records encoded onto the TCP stream."),
+		BytesSent:  r.NewCounter("saad_stream_tcp_client_bytes_sent_total", "Bytes written to the analyzer TCP connection."),
+		Errors:     r.NewCounter("saad_stream_tcp_client_errors_total", "Latched TCP client transport errors."),
+	}
+}
+
+// TCPServerMetrics instruments the TCP synopsis stream server.
+type TCPServerMetrics struct {
+	// Connections counts accepted connections; client reconnects surface
+	// here as additional connections.
+	Connections *Counter
+	// OpenConnections tracks currently open connections.
+	OpenConnections *Gauge
+	// FramesReceived counts synopsis records decoded across all
+	// connections.
+	FramesReceived *Counter
+	// BytesReceived counts bytes read across all connections.
+	BytesReceived *Counter
+	// ConnErrors counts connections dropped on a decode error other than
+	// a clean EOF (protocol errors, truncated streams).
+	ConnErrors *Counter
+}
+
+// NewTCPServerMetrics registers the TCP server metric family on r.
+func NewTCPServerMetrics(r *Registry) *TCPServerMetrics {
+	return &TCPServerMetrics{
+		Connections:     r.NewCounter("saad_stream_tcp_server_connections_total", "TCP synopsis stream connections accepted."),
+		OpenConnections: r.NewGauge("saad_stream_tcp_server_open_connections", "TCP synopsis stream connections currently open."),
+		FramesReceived:  r.NewCounter("saad_stream_tcp_server_frames_received_total", "Synopsis records decoded from TCP streams."),
+		BytesReceived:   r.NewCounter("saad_stream_tcp_server_bytes_received_total", "Bytes read from TCP synopsis streams."),
+		ConnErrors:      r.NewCounter("saad_stream_tcp_server_conn_errors_total", "TCP connections dropped on a decode/protocol error."),
+	}
+}
+
+// AnalyzerMetrics instruments the statistical analyzer's online detector.
+type AnalyzerMetrics struct {
+	// SynopsesFed counts synopses consumed by Detector.Feed.
+	SynopsesFed *Counter
+	// WindowsClosed counts detection windows closed (per host/stage
+	// group).
+	WindowsClosed *Counter
+	// WindowCloseLatency observes the wall-clock seconds spent closing a
+	// window (running the proportion tests); a growing tail means the
+	// analyzer is falling behind.
+	WindowCloseLatency *Histogram
+	// Anomalies counts anomalies raised, labeled by kind (flow or
+	// performance) and stage id, before any alarm filtering.
+	Anomalies *CounterVec
+	// FilterHeld tracks anomalies currently held back by the alarm
+	// filter awaiting burst confirmation.
+	FilterHeld *Gauge
+	// FilterPassed counts anomalies that cleared the alarm filter.
+	FilterPassed *Counter
+}
+
+// NewAnalyzerMetrics registers the analyzer metric family on r.
+func NewAnalyzerMetrics(r *Registry) *AnalyzerMetrics {
+	return &AnalyzerMetrics{
+		SynopsesFed:        r.NewCounter("saad_analyzer_synopses_fed_total", "Synopses consumed by the online detector."),
+		WindowsClosed:      r.NewCounter("saad_analyzer_windows_closed_total", "Detection windows closed."),
+		WindowCloseLatency: r.NewHistogram("saad_analyzer_window_close_seconds", "Wall-clock seconds spent closing one detection window.", LatencyBuckets),
+		Anomalies:          r.NewCounterVec("saad_analyzer_anomalies_total", "Anomalies raised before alarm filtering.", "kind", "stage"),
+		FilterHeld:         r.NewGauge("saad_analyzer_filter_held", "Anomalies currently suppressed by the alarm filter."),
+		FilterPassed:       r.NewCounter("saad_analyzer_filter_passed_total", "Anomalies that passed the alarm filter."),
+	}
+}
+
+// MonitorMetrics instruments the Monitor lifecycle.
+type MonitorMetrics struct {
+	// Mode is 1 while training, 2 while detecting.
+	Mode *Gauge
+	// TrainingTraceSize tracks synopses absorbed into the training trace.
+	TrainingTraceSize *Gauge
+	// TrainSeconds records the wall-clock duration of the last model
+	// build.
+	TrainSeconds *Gauge
+}
+
+// NewMonitorMetrics registers the monitor metric family on r.
+func NewMonitorMetrics(r *Registry) *MonitorMetrics {
+	return &MonitorMetrics{
+		Mode:              r.NewGauge("saad_monitor_mode", "Monitor mode: 1 training, 2 detecting."),
+		TrainingTraceSize: r.NewGauge("saad_monitor_training_trace_size", "Synopses absorbed into the training trace."),
+		TrainSeconds:      r.NewGauge("saad_monitor_train_seconds", "Wall-clock seconds the last model build took."),
+	}
+}
+
+// Pipeline bundles the in-process pipeline metric families sharing one
+// registry — the full set a Monitor (or the standalone analyzer) exposes.
+// The channel transport registers its scrape-time counters separately
+// (RegisterChannel), since they read the channel's own atomics.
+type Pipeline struct {
+	Registry *Registry
+	Tracker  *TrackerMetrics
+	Analyzer *AnalyzerMetrics
+	Monitor  *MonitorMetrics
+}
+
+// NewPipeline registers every in-process pipeline metric family on r; all
+// series exist (at zero) from startup, so scrapes see a stable schema.
+func NewPipeline(r *Registry) *Pipeline {
+	return &Pipeline{
+		Registry: r,
+		Tracker:  NewTrackerMetrics(r),
+		Analyzer: NewAnalyzerMetrics(r),
+		Monitor:  NewMonitorMetrics(r),
+	}
+}

@@ -1,0 +1,151 @@
+package report
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"saad/internal/analyzer"
+	"saad/internal/logpoint"
+)
+
+// AnomalyEvent is the machine-readable form of one anomaly: a single
+// self-describing JSON object carrying everything the human-readable report
+// shows, plus the window bounds. One event per line (JSONL) makes the log
+// greppable and trivially consumable by jq, log shippers, or a notebook.
+type AnomalyEvent struct {
+	// Time is the wall-clock time the event was written (not the window).
+	Time time.Time `json:"time"`
+	// Kind is "flow" or "performance".
+	Kind string `json:"kind"`
+	// Host is the reporting node's id.
+	Host uint16 `json:"host"`
+	// StageID and Stage identify the stage numerically and by dictionary
+	// name ("" when no dictionary is attached).
+	StageID uint16 `json:"stage_id"`
+	Stage   string `json:"stage,omitempty"`
+	// WindowStart/WindowEnd bound the detection window in virtual time.
+	WindowStart time.Time `json:"window_start"`
+	WindowEnd   time.Time `json:"window_end"`
+	// NewSignature marks flow anomalies triggered by a signature never seen
+	// in training.
+	NewSignature bool `json:"new_signature,omitempty"`
+	// Signature is the offending signature in readable form, e.g. "{3,7,12}"
+	// (log point ids); "" for proportion-driven flow anomalies spanning
+	// several rare signatures.
+	Signature string `json:"signature,omitempty"`
+	// SignaturePoints lists the signature's log point ids numerically.
+	SignaturePoints []uint16 `json:"signature_points,omitempty"`
+	// Outliers and Tasks are the window's outlier and total task counts for
+	// the tested group.
+	Outliers int `json:"outliers"`
+	Tasks    int `json:"tasks"`
+	// ObservedProportion/ExpectedProportion/PValue carry the proportion-test
+	// outcome; all zero for new-signature anomalies, which need no test.
+	ObservedProportion float64 `json:"observed_proportion,omitempty"`
+	ExpectedProportion float64 `json:"expected_proportion,omitempty"`
+	PValue             float64 `json:"p_value,omitempty"`
+}
+
+// EventWriter streams anomalies as JSONL to an io.Writer. It is safe for
+// concurrent use. Construct with NewEventWriter.
+type EventWriter struct {
+	mu     sync.Mutex
+	bw     *bufio.Writer
+	enc    *json.Encoder
+	dict   *logpoint.Dictionary
+	window time.Duration
+	now    func() time.Time
+}
+
+// NewEventWriter returns a writer emitting one JSON object per anomaly to w.
+// dict (may be nil) resolves stage names; window sizes the window_end field.
+func NewEventWriter(w io.Writer, dict *logpoint.Dictionary, window time.Duration) *EventWriter {
+	bw := bufio.NewWriter(w)
+	return &EventWriter{
+		bw:     bw,
+		enc:    json.NewEncoder(bw),
+		dict:   dict,
+		window: window,
+		now:    time.Now,
+	}
+}
+
+// Event converts one anomaly to its event form without writing it.
+func (ew *EventWriter) Event(a analyzer.Anomaly) AnomalyEvent {
+	e := AnomalyEvent{
+		Time:         ew.now().UTC(),
+		Kind:         a.Kind.String(),
+		Host:         a.Host,
+		StageID:      uint16(a.Stage),
+		WindowStart:  a.Window,
+		WindowEnd:    a.Window.Add(ew.window),
+		NewSignature: a.NewSignature,
+		Outliers:     a.Outliers,
+		Tasks:        a.Tasks,
+	}
+	if a.Signature != "" {
+		e.Signature = a.Signature.String()
+		for _, id := range a.Signature.Points() {
+			e.SignaturePoints = append(e.SignaturePoints, uint16(id))
+		}
+	}
+	if ew.dict != nil {
+		e.Stage = ew.dict.StageName(a.Stage)
+	}
+	if a.Test.N > 0 {
+		e.ObservedProportion = a.Test.PHat
+		e.ExpectedProportion = a.Test.P0
+		e.PValue = a.Test.PValue
+	}
+	return e
+}
+
+// Write appends one anomaly as a JSON line and flushes, so a tail -f on the
+// event log sees anomalies as they are detected.
+func (ew *EventWriter) Write(a analyzer.Anomaly) error {
+	ew.mu.Lock()
+	defer ew.mu.Unlock()
+	if err := ew.enc.Encode(ew.Event(a)); err != nil {
+		return fmt.Errorf("report: encode event: %w", err)
+	}
+	if err := ew.bw.Flush(); err != nil {
+		return fmt.Errorf("report: flush event: %w", err)
+	}
+	return nil
+}
+
+// WriteAll appends a batch of anomalies, flushing once at the end.
+func (ew *EventWriter) WriteAll(anomalies []analyzer.Anomaly) error {
+	ew.mu.Lock()
+	defer ew.mu.Unlock()
+	for _, a := range anomalies {
+		if err := ew.enc.Encode(ew.Event(a)); err != nil {
+			return fmt.Errorf("report: encode event: %w", err)
+		}
+	}
+	if err := ew.bw.Flush(); err != nil {
+		return fmt.Errorf("report: flush events: %w", err)
+	}
+	return nil
+}
+
+// ReadEvents parses a JSONL anomaly event stream back into events; the
+// inverse of EventWriter for tests and offline analysis.
+func ReadEvents(r io.Reader) ([]AnomalyEvent, error) {
+	var out []AnomalyEvent
+	dec := json.NewDecoder(r)
+	for {
+		var e AnomalyEvent
+		if err := dec.Decode(&e); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return out, fmt.Errorf("report: decode event %d: %w", len(out), err)
+		}
+		out = append(out, e)
+	}
+}

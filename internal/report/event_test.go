@@ -1,0 +1,108 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"saad/internal/analyzer"
+	"saad/internal/logpoint"
+	"saad/internal/stats"
+	"saad/internal/synopsis"
+)
+
+func eventFixtureAnomalies(t *testing.T) (*logpoint.Dictionary, []analyzer.Anomaly) {
+	t.Helper()
+	dict := logpoint.NewDictionary()
+	stage, err := dict.RegisterStage("Checkout", logpoint.ProducerConsumer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := time.Date(2026, 1, 1, 9, 0, 0, 0, time.UTC)
+	return dict, []analyzer.Anomaly{
+		{
+			Kind:         analyzer.FlowAnomaly,
+			Stage:        stage,
+			Host:         3,
+			Window:       window,
+			Signature:    synopsis.Compute([]logpoint.ID{1, 7}),
+			NewSignature: true,
+			Outliers:     12,
+			Tasks:        200,
+		},
+		{
+			Kind:     analyzer.PerformanceAnomaly,
+			Stage:    stage,
+			Host:     3,
+			Window:   window.Add(time.Minute),
+			Test:     stats.ProportionTestResult{N: 150, PHat: 0.09, P0: 0.01, PValue: 3e-7, Reject: true},
+			Outliers: 14,
+			Tasks:    150,
+		},
+	}
+}
+
+func TestEventWriterRoundTrip(t *testing.T) {
+	dict, anomalies := eventFixtureAnomalies(t)
+	var buf bytes.Buffer
+	ew := NewEventWriter(&buf, dict, time.Minute)
+	ew.now = func() time.Time { return time.Date(2026, 1, 1, 9, 2, 0, 0, time.UTC) }
+
+	if err := ew.Write(anomalies[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := ew.WriteAll(anomalies[1:]); err != nil {
+		t.Fatal(err)
+	}
+
+	// JSONL: one object per line, no blank lines.
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+
+	events, err := ReadEvents(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("round-tripped %d events, want 2", len(events))
+	}
+
+	flow := events[0]
+	if flow.Kind != "flow" || !flow.NewSignature {
+		t.Fatalf("flow event = %+v", flow)
+	}
+	if flow.Stage != "Checkout" || flow.Host != 3 {
+		t.Fatalf("flow identity = stage %q host %d", flow.Stage, flow.Host)
+	}
+	if flow.Signature != "{1,7}" || len(flow.SignaturePoints) != 2 {
+		t.Fatalf("flow signature = %q points %v", flow.Signature, flow.SignaturePoints)
+	}
+	if !flow.WindowEnd.Equal(flow.WindowStart.Add(time.Minute)) {
+		t.Fatalf("window bounds = [%v, %v]", flow.WindowStart, flow.WindowEnd)
+	}
+	if flow.Outliers != 12 || flow.Tasks != 200 {
+		t.Fatalf("flow counts = %d/%d", flow.Outliers, flow.Tasks)
+	}
+	// New-signature anomalies carry no proportion test.
+	if flow.ObservedProportion != 0 || flow.ExpectedProportion != 0 || flow.PValue != 0 {
+		t.Fatalf("flow test fields should be zero: %+v", flow)
+	}
+
+	perf := events[1]
+	if perf.Kind != "performance" {
+		t.Fatalf("perf kind = %q", perf.Kind)
+	}
+	if perf.ObservedProportion != 0.09 || perf.ExpectedProportion != 0.01 || perf.PValue != 3e-7 {
+		t.Fatalf("perf test fields = %+v", perf)
+	}
+}
+
+func TestReadEventsRejectsGarbage(t *testing.T) {
+	_, err := ReadEvents(strings.NewReader("{\"kind\":\"flow\"}\nnot json\n"))
+	if err == nil {
+		t.Fatal("expected error on malformed line")
+	}
+}

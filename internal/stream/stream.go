@@ -10,7 +10,9 @@ package stream
 
 import (
 	"sync"
+	"sync/atomic"
 
+	"saad/internal/metrics"
 	"saad/internal/synopsis"
 	"saad/internal/tracker"
 )
@@ -18,11 +20,20 @@ import (
 // Channel is an in-process transport: trackers emit into it and a consumer
 // drains it. It implements tracker.Sink. The zero value is not usable;
 // construct with NewChannel.
+//
+// Emit is lock-free: the dropped counter and closed flag are atomics, so
+// concurrent emitters — every worker thread of every instrumented stage —
+// never serialize on a mutex just to account for their synopsis. To keep
+// Emit safe against a concurrent Close without a lock, the buffer channel
+// itself is never closed; Close instead closes the separate Done signal
+// channel. Receivers selecting on C() should therefore also select on
+// Done() (or use Drain, which never blocks).
 type Channel struct {
 	ch      chan *synopsis.Synopsis
-	mu      sync.Mutex
-	closed  bool
-	dropped uint64
+	done    chan struct{}
+	closed  atomic.Bool
+	emitted atomic.Uint64
+	dropped atomic.Uint64
 }
 
 var _ tracker.Sink = (*Channel)(nil)
@@ -34,45 +45,63 @@ func NewChannel(capacity int) *Channel {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Channel{ch: make(chan *synopsis.Synopsis, capacity)}
+	return &Channel{ch: make(chan *synopsis.Synopsis, capacity), done: make(chan struct{})}
 }
 
-// Emit implements tracker.Sink. When the buffer is full the synopsis is
-// dropped and counted: SAAD is a monitoring layer and must never apply
-// backpressure to the server it observes.
+// RegisterMetrics exposes the channel's native emit/drop counters and live
+// buffer depth on r. The counters are read at scrape time, so enabling
+// metrics adds zero cost to the emit hot path.
+func (c *Channel) RegisterMetrics(r *metrics.Registry) {
+	metrics.RegisterChannel(r, c.Emitted, c.Dropped, c.Len, c.Cap)
+}
+
+// Emit implements tracker.Sink. When the buffer is full or the channel is
+// closed the synopsis is dropped and counted: SAAD is a monitoring layer
+// and must never apply backpressure to the server it observes.
 func (c *Channel) Emit(s *synopsis.Synopsis) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		c.dropped++
+	// An emitter that loads closed as false while Close runs may still
+	// win the send; that synopsis is buffered and remains drainable, so
+	// accounting stays exact. The buffer channel is never closed, so the
+	// send can never panic.
+	if c.closed.Load() {
+		c.dropped.Add(1)
 		return
 	}
 	select {
 	case c.ch <- s:
+		c.emitted.Add(1)
 	default:
-		c.dropped++
+		c.dropped.Add(1)
 	}
 }
 
 // C returns the receive side.
 func (c *Channel) C() <-chan *synopsis.Synopsis { return c.ch }
 
+// Len returns the number of synopses currently buffered.
+func (c *Channel) Len() int { return len(c.ch) }
+
+// Cap returns the buffer capacity.
+func (c *Channel) Cap() int { return cap(c.ch) }
+
+// Emitted returns the number of synopses accepted into the buffer.
+func (c *Channel) Emitted() uint64 { return c.emitted.Load() }
+
 // Dropped returns the number of synopses dropped due to a full buffer or a
 // closed channel.
-func (c *Channel) Dropped() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.dropped
-}
+func (c *Channel) Dropped() uint64 { return c.dropped.Load() }
 
-// Close closes the receive side. Emit calls after Close count as drops.
-// Close is idempotent.
+// Done is closed when the channel is closed; receivers blocked on C()
+// should select on it and then Drain any remainder.
+func (c *Channel) Done() <-chan struct{} { return c.done }
+
+// Close stops the channel: Emit calls after Close count as drops, and
+// Done() is closed to wake receivers. Synopses already buffered remain
+// available through C() and Drain. Close is idempotent and safe to call
+// concurrently with Emit.
 func (c *Channel) Close() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if !c.closed {
-		c.closed = true
-		close(c.ch)
+	if c.closed.CompareAndSwap(false, true) {
+		close(c.done)
 	}
 }
 
@@ -82,10 +111,7 @@ func (c *Channel) Drain() []*synopsis.Synopsis {
 	var out []*synopsis.Synopsis
 	for {
 		select {
-		case s, ok := <-c.ch:
-			if !ok {
-				return out
-			}
+		case s := <-c.ch:
 			out = append(out, s)
 		default:
 			return out

@@ -88,6 +88,61 @@ func TestChannelConcurrentEmit(t *testing.T) {
 	}
 }
 
+// TestChannelEmitCloseRace hammers the lock-free Emit with a concurrent
+// Close: every emit must either land in the buffer or count as a drop, and
+// nothing may panic or race (run under -race in CI). Emits that lose the
+// race against close(ch) are converted to drops by the recover guard.
+func TestChannelEmitCloseRace(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		ch := NewChannel(8)
+		const emitters, perEmitter = 8, 50
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < emitters; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for i := 0; i < perEmitter; i++ {
+					ch.Emit(syn(uint64(i)))
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			ch.Close()
+		}()
+		close(start)
+		wg.Wait()
+		got := len(ch.Drain())
+		total := got + int(ch.Dropped())
+		if total != emitters*perEmitter {
+			t.Fatalf("round %d: buffered %d + dropped %d = %d, want %d",
+				round, got, ch.Dropped(), total, emitters*perEmitter)
+		}
+		if uint64(got) != ch.Emitted() {
+			t.Fatalf("round %d: drained %d but Emitted() = %d", round, got, ch.Emitted())
+		}
+	}
+}
+
+// TestChannelEmittedCounter checks the native accounting the metrics layer
+// scrapes.
+func TestChannelEmittedCounter(t *testing.T) {
+	ch := NewChannel(2)
+	for i := 0; i < 5; i++ {
+		ch.Emit(syn(uint64(i)))
+	}
+	if ch.Emitted() != 2 || ch.Dropped() != 3 {
+		t.Fatalf("emitted %d dropped %d, want 2 and 3", ch.Emitted(), ch.Dropped())
+	}
+	if ch.Len() != 2 || ch.Cap() != 2 {
+		t.Fatalf("len %d cap %d, want 2 and 2", ch.Len(), ch.Cap())
+	}
+}
+
 func TestTee(t *testing.T) {
 	a := &Counter{}
 	b := &Counter{}

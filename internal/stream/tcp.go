@@ -8,9 +8,36 @@ import (
 	"sync"
 	"time"
 
+	"saad/internal/metrics"
 	"saad/internal/synopsis"
 	"saad/internal/tracker"
 )
+
+// countingWriter charges bytes written to a counter; it wraps the client
+// connection below the encoder's bufio layer, so it observes flushed wire
+// bytes, not buffered user-space bytes.
+type countingWriter struct {
+	w io.Writer
+	c *metrics.Counter
+}
+
+func (cw countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.c.Add(uint64(n))
+	return n, err
+}
+
+// countingReader charges bytes read to a counter.
+type countingReader struct {
+	r io.Reader
+	c *metrics.Counter
+}
+
+func (cr countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.c.Add(uint64(n))
+	return n, err
+}
 
 // Client streams synopses to a remote analyzer over TCP using the compact
 // binary codec. It implements tracker.Sink. Emit never blocks on the
@@ -18,11 +45,12 @@ import (
 // buffer; encoding errors latch and subsequent emits are dropped, because a
 // monitoring layer must not take the server down with it.
 type Client struct {
-	mu     sync.Mutex
-	conn   net.Conn
-	enc    *synopsis.Encoder
-	err    error
-	closed bool
+	mu      sync.Mutex
+	conn    net.Conn
+	enc     *synopsis.Encoder
+	err     error
+	closed  bool
+	metrics *metrics.TCPClientMetrics
 
 	stop chan struct{}
 	done chan struct{}
@@ -30,20 +58,37 @@ type Client struct {
 
 var _ tracker.Sink = (*Client)(nil)
 
+// ClientOption customizes a Client.
+type ClientOption func(*Client)
+
+// WithClientMetrics instruments the client: dials, frames and wire bytes
+// sent, and latched transport errors.
+func WithClientMetrics(m *metrics.TCPClientMetrics) ClientOption {
+	return func(c *Client) { c.metrics = m }
+}
+
 // Dial connects to a synopsis server at addr. flushEvery bounds how long a
 // synopsis may sit in the user-space buffer (0 disables the background
 // flusher; Close still flushes).
-func Dial(addr string, flushEvery time.Duration) (*Client, error) {
+func Dial(addr string, flushEvery time.Duration, opts ...ClientOption) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("stream: dial %s: %w", addr, err)
 	}
 	c := &Client{
 		conn: conn,
-		enc:  synopsis.NewEncoder(conn),
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
 	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	w := io.Writer(conn)
+	if m := c.metrics; m != nil {
+		m.Dials.Inc()
+		w = countingWriter{w: conn, c: m.BytesSent}
+	}
+	c.enc = synopsis.NewEncoder(w)
 	if flushEvery > 0 {
 		go c.flushLoop(flushEvery)
 	} else {
@@ -62,6 +107,9 @@ func (c *Client) flushLoop(every time.Duration) {
 			c.mu.Lock()
 			if c.err == nil && !c.closed {
 				c.err = c.enc.Flush()
+				if m := c.metrics; m != nil && c.err != nil {
+					m.Errors.Inc()
+				}
 			}
 			c.mu.Unlock()
 		case <-c.stop:
@@ -78,6 +126,13 @@ func (c *Client) Emit(s *synopsis.Synopsis) {
 		return
 	}
 	c.err = c.enc.Encode(s)
+	if m := c.metrics; m != nil {
+		if c.err != nil {
+			m.Errors.Inc()
+		} else {
+			m.FramesSent.Inc()
+		}
+	}
 }
 
 // Err returns the latched transport error, if any.
@@ -117,8 +172,9 @@ func (c *Client) Close() error {
 // every decoded synopsis to a sink. Construct with Listen; stop with Close,
 // which waits for connection handlers to exit.
 type Server struct {
-	ln   net.Listener
-	sink tracker.Sink
+	ln      net.Listener
+	sink    tracker.Sink
+	metrics *metrics.TCPServerMetrics
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -127,14 +183,26 @@ type Server struct {
 	wg sync.WaitGroup
 }
 
+// ServerOption customizes a Server.
+type ServerOption func(*Server)
+
+// WithServerMetrics instruments the server: accepted and open connections,
+// frames and wire bytes received, and per-connection protocol errors.
+func WithServerMetrics(m *metrics.TCPServerMetrics) ServerOption {
+	return func(s *Server) { s.metrics = m }
+}
+
 // Listen starts a server on addr (e.g. "127.0.0.1:0") delivering synopses
 // to sink.
-func Listen(addr string, sink tracker.Sink) (*Server, error) {
+func Listen(addr string, sink tracker.Sink, opts ...ServerOption) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("stream: listen %s: %w", addr, err)
 	}
 	s := &Server{ln: ln, sink: sink, conns: make(map[net.Conn]struct{})}
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -165,13 +233,25 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
+	m := s.metrics
+	if m != nil {
+		m.Connections.Inc()
+		m.OpenConnections.Add(1)
+	}
 	defer func() {
 		_ = conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
+		if m != nil {
+			m.OpenConnections.Add(-1)
+		}
 	}()
-	dec := synopsis.NewDecoder(conn)
+	r := io.Reader(conn)
+	if m != nil {
+		r = countingReader{r: conn, c: m.BytesReceived}
+	}
+	dec := synopsis.NewDecoder(r)
 	for {
 		var syn synopsis.Synopsis
 		if err := dec.Decode(&syn); err != nil {
@@ -179,9 +259,15 @@ func (s *Server) handle(conn net.Conn) {
 				// Truncated stream on teardown is routine; anything else is
 				// a protocol error from this connection — drop the
 				// connection either way, monitoring must keep running.
+				if m != nil {
+					m.ConnErrors.Inc()
+				}
 				return
 			}
 			return
+		}
+		if m != nil {
+			m.FramesReceived.Inc()
 		}
 		if s.sink != nil {
 			s.sink.Emit(syn.Clone())

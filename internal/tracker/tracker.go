@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"saad/internal/logpoint"
+	"saad/internal/metrics"
 	"saad/internal/synopsis"
 )
 
@@ -43,6 +44,7 @@ type Tracker struct {
 	enabled atomic.Bool
 	nextID  atomic.Uint64
 	emitted atomic.Uint64
+	metrics *metrics.TrackerMetrics
 }
 
 // New returns an enabled tracker for the given host id emitting to sink.
@@ -52,6 +54,13 @@ func New(host uint16, sink Sink) *Tracker {
 	t.enabled.Store(true)
 	return t
 }
+
+// SetMetrics attaches a metrics bundle (nil disables). Call before the
+// tracker is shared with instrumented goroutines; the field is read
+// without synchronization on the hot path. Log-point hits are accumulated
+// per task and charged once at End, so enabling metrics adds no per-Hit
+// atomic operations.
+func (t *Tracker) SetMetrics(m *metrics.TrackerMetrics) { t.metrics = m }
 
 // SetEnabled turns tracking on or off at runtime. While disabled, Begin
 // returns nil and instrumentation devolves to nil-checks — this is the
@@ -87,6 +96,9 @@ func (t *Tracker) Begin(stage logpoint.StageID, now time.Time) *Task {
 	task.start = now
 	task.lastHit = time.Time{}
 	task.points = task.points[:0]
+	if m := t.metrics; m != nil {
+		m.TasksBegun.Inc()
+	}
 	return task
 }
 
@@ -178,6 +190,15 @@ func (t *Task) End(now time.Time) {
 		Points:   append([]synopsis.PointCount(nil), t.points...),
 	}
 	syn.Normalize()
+	if m := tr.metrics; m != nil {
+		var hits uint64
+		for i := range t.points {
+			hits += uint64(t.points[i].Count)
+		}
+		m.PointHits.Add(hits)
+		m.TasksEnded.Inc()
+		m.SynopsesEmitted.Inc()
+	}
 	t.tracker = nil
 	taskPool.Put(t)
 	tr.emitted.Add(1)

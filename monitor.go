@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"saad/internal/analyzer"
+	"saad/internal/metrics"
 	"saad/internal/stream"
 )
 
@@ -22,6 +23,9 @@ type Monitor struct {
 	dict *Dictionary
 	tr   *Tracker
 	ch   *stream.Channel
+
+	pipeline *metrics.Pipeline
+	msrv     *metrics.Server
 
 	mu       sync.Mutex
 	mode     monitorMode
@@ -55,6 +59,7 @@ type monitorOptions struct {
 	analyzer         AnalyzerConfig
 	filterMinWindows int
 	filterSpan       int
+	metricsAddr      string
 }
 
 // WithHost sets the host id stamped on synopses (default 1).
@@ -83,6 +88,15 @@ func WithAlarmFilter(minWindows, span int) MonitorOption {
 	}
 }
 
+// WithMetricsAddr serves the monitor's self-observability endpoints
+// (Prometheus /metrics, /debug/vars, net/http/pprof) on addr, e.g.
+// "127.0.0.1:9090" or ":0" for an ephemeral port (see Monitor.MetricsAddr).
+// Metrics are collected regardless of this option; the address only controls
+// the HTTP exposure.
+func WithMetricsAddr(addr string) MonitorOption {
+	return func(o *monitorOptions) { o.metricsAddr = addr }
+}
+
 // NewMonitor creates a monitor in training mode.
 func NewMonitor(opts ...MonitorOption) (*Monitor, error) {
 	o := monitorOptions{host: 1, buffer: 1 << 16, analyzer: DefaultAnalyzerConfig()}
@@ -94,15 +108,57 @@ func NewMonitor(opts ...MonitorOption) (*Monitor, error) {
 		return nil, err
 	}
 	ch := stream.NewChannel(o.buffer)
-	return &Monitor{
+	pipeline := metrics.NewPipeline(metrics.NewRegistry())
+	ch.RegisterMetrics(pipeline.Registry)
+	tr := NewTracker(o.host, ch)
+	tr.SetMetrics(pipeline.Tracker)
+	m := &Monitor{
 		dict:     NewDictionary(),
-		tr:       NewTracker(o.host, ch),
+		tr:       tr,
 		ch:       ch,
+		pipeline: pipeline,
 		mode:     modeTraining,
 		trainer:  trainer,
 		filterMW: o.filterMinWindows,
 		filterSp: o.filterSpan,
-	}, nil
+	}
+	pipeline.Monitor.Mode.Set(float64(modeTraining))
+	if o.metricsAddr != "" {
+		srv, err := metrics.Serve(o.metricsAddr, pipeline.Registry)
+		if err != nil {
+			return nil, fmt.Errorf("saad: metrics server: %w", err)
+		}
+		m.msrv = srv
+	}
+	return m, nil
+}
+
+// Metrics returns the monitor's metrics registry, always live regardless of
+// WithMetricsAddr; use Snapshot for programmatic reads or WritePrometheus
+// to expose it elsewhere.
+func (m *Monitor) Metrics() *metrics.Registry { return m.pipeline.Registry }
+
+// MetricsSnapshot returns a point-in-time copy of every pipeline metric.
+func (m *Monitor) MetricsSnapshot() metrics.Snapshot { return m.pipeline.Registry.Snapshot() }
+
+// MetricsAddr returns the bound address of the metrics HTTP server, or ""
+// when WithMetricsAddr was not used. Useful with ":0".
+func (m *Monitor) MetricsAddr() string {
+	if m.msrv == nil {
+		return ""
+	}
+	return m.msrv.Addr()
+}
+
+// Close stops the metrics HTTP server (if any) and the synopsis channel.
+// The tracker side stays safe to call — synopses emitted after Close are
+// dropped and counted.
+func (m *Monitor) Close() error {
+	m.ch.Close()
+	if m.msrv != nil {
+		return m.msrv.Close()
+	}
+	return nil
 }
 
 // Dictionary returns the monitor's dictionary for registering stages and
@@ -135,6 +191,7 @@ func (m *Monitor) PollTraining() (int, error) {
 	for _, s := range syns {
 		m.trainer.Add(s)
 	}
+	m.pipeline.Monitor.TrainingTraceSize.Set(float64(m.trainer.Count()))
 	return len(syns), nil
 }
 
@@ -149,15 +206,25 @@ func (m *Monitor) Train() (*Model, error) {
 	for _, s := range m.ch.Drain() {
 		m.trainer.Add(s)
 	}
+	m.pipeline.Monitor.TrainingTraceSize.Set(float64(m.trainer.Count()))
+	start := time.Now()
 	model, err := m.trainer.Train()
 	if err != nil {
 		return nil, fmt.Errorf("saad: train monitor: %w", err)
 	}
+	m.pipeline.Monitor.TrainSeconds.Set(time.Since(start).Seconds())
 	m.model = model
+	m.installDetector(model)
+	return model, nil
+}
+
+// installDetector wires a detector for model and flips to detection mode.
+func (m *Monitor) installDetector(model *Model) {
 	m.detector = analyzer.NewDetector(model)
+	m.detector.SetMetrics(m.pipeline.Analyzer)
 	m.installFilter(model)
 	m.mode = modeDetecting
-	return model, nil
+	m.pipeline.Monitor.Mode.Set(float64(modeDetecting))
 }
 
 // installFilter builds the alarm filter when one was requested.
@@ -173,9 +240,7 @@ func (m *Monitor) SetModel(model *Model) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.model = model
-	m.detector = analyzer.NewDetector(model)
-	m.installFilter(model)
-	m.mode = modeDetecting
+	m.installDetector(model)
 	m.trainer = nil
 }
 
@@ -204,9 +269,13 @@ func (m *Monitor) Poll() ([]Anomaly, error) {
 // applyFilter passes anomalies through the optional de-bouncer.
 func (m *Monitor) applyFilter(anoms []Anomaly) []Anomaly {
 	if m.filter == nil {
+		m.pipeline.Analyzer.FilterPassed.Add(uint64(len(anoms)))
 		return anoms
 	}
-	return m.filter.Filter(anoms)
+	passed := m.filter.Filter(anoms)
+	m.pipeline.Analyzer.FilterPassed.Add(uint64(len(passed)))
+	m.pipeline.Analyzer.FilterHeld.Set(float64(m.filter.Suppressed()))
+	return passed
 }
 
 // Flush closes all open detection windows and returns their anomalies;

@@ -1,0 +1,132 @@
+package saad_test
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"saad"
+)
+
+// TestMonitorMetricsEndToEnd drives a monitor through training and
+// detection and asserts the self-observability surface: the HTTP /metrics
+// endpoint (via WithMetricsAddr) and the programmatic snapshot agree with
+// the pipeline's actual activity.
+func TestMonitorMetricsEndToEnd(t *testing.T) {
+	cfg := saad.DefaultAnalyzerConfig()
+	cfg.Window = time.Second
+	cfg.MinTasksPerSignature = 10
+	mon, err := saad.NewMonitor(saad.WithAnalyzerConfig(cfg), saad.WithMetricsAddr("127.0.0.1:0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+	if mon.MetricsAddr() == "" {
+		t.Fatal("MetricsAddr empty with WithMetricsAddr")
+	}
+	clock := newFakeClock()
+	_, pts := buildStage(t, mon.Dictionary(), "Handler")
+
+	scrape := func() string {
+		t.Helper()
+		resp, err := http.Get("http://" + mon.MetricsAddr() + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	if out := scrape(); !strings.Contains(out, "saad_monitor_mode 1") {
+		t.Fatalf("mode while training:\n%s", out)
+	}
+
+	ex, err := mon.NewExecutor("Handler", 2, 16, clock.Now, func(ctx *saad.StageCtx, _ any) {
+		ctx.Log(pts[0])
+		ctx.Log(pts[2])
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if err := ex.Submit(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ex.Close()
+	if _, err := mon.Train(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Detection: premature flow to force anomalies through the detector.
+	ex2, err := mon.NewExecutor("Handler", 2, 16, clock.Now, func(ctx *saad.StageCtx, _ any) {
+		ctx.Log(pts[0])
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(2 * time.Second)
+	for i := 0; i < 100; i++ {
+		if err := ex2.Submit(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ex2.Close()
+	clock.Advance(5 * time.Second)
+	anomalies, err := mon.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anomalies) == 0 {
+		t.Fatal("expected anomalies")
+	}
+
+	snap := mon.MetricsSnapshot()
+	if got := snap.Counter("saad_tracker_tasks_ended_total"); got != 600 {
+		t.Fatalf("tasks ended = %d, want 600", got)
+	}
+	// 500 healthy tasks × 2 hits + 100 premature × 1 hit.
+	if got := snap.Counter("saad_tracker_log_point_hits_total"); got != 1100 {
+		t.Fatalf("log point hits = %d, want 1100", got)
+	}
+	if got := snap.Counter("saad_stream_channel_emits_total"); got != 600 {
+		t.Fatalf("channel emits = %d, want 600", got)
+	}
+	if got := snap.Counter("saad_analyzer_synopses_fed_total"); got != 100 {
+		t.Fatalf("synopses fed = %d, want 100 (detection phase only)", got)
+	}
+	if got := snap.Counter("saad_analyzer_windows_closed_total"); got == 0 {
+		t.Fatal("no windows closed recorded")
+	}
+	if got := snap.Gauge("saad_monitor_training_trace_size"); got != 500 {
+		t.Fatalf("training trace size = %v, want 500", got)
+	}
+
+	out := scrape()
+	for _, want := range []string{
+		"saad_monitor_mode 2",
+		"saad_tracker_tasks_ended_total 600",
+		"saad_analyzer_synopses_fed_total 100",
+		`saad_analyzer_anomalies_total{kind="flow"`,
+		"saad_analyzer_window_close_seconds_count",
+		"saad_analyzer_filter_passed_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+
+	addr := mon.MetricsAddr()
+	if err := mon.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("metrics server reachable after Close")
+	}
+}

@@ -24,6 +24,7 @@ import (
 
 	"saad/internal/analyzer"
 	"saad/internal/logpoint"
+	"saad/internal/metrics"
 	"saad/internal/report"
 	"saad/internal/stage"
 	"saad/internal/stream"
@@ -85,6 +86,18 @@ type (
 	StageCtx = stage.Ctx
 	// StageHandler processes one request inside a stage.
 	StageHandler = stage.Handler
+
+	// MetricsRegistry holds the self-observability counters, gauges and
+	// histograms; see internal/metrics.
+	MetricsRegistry = metrics.Registry
+	// MetricsSnapshot is a point-in-time copy of every registered metric.
+	MetricsSnapshot = metrics.Snapshot
+
+	// AnomalyEvent is the JSONL (one JSON object per line) form of an
+	// anomaly written by EventWriter.
+	AnomalyEvent = report.AnomalyEvent
+	// EventWriter streams anomalies as JSONL for machine consumption.
+	EventWriter = report.EventWriter
 )
 
 // Log levels (log4j-compatible).
@@ -167,4 +180,16 @@ func ListenSynopses(addr string, sink Sink) (*stream.Server, error) {
 // root-cause inspection.
 func FormatAnomaly(a Anomaly, dict *Dictionary) string {
 	return report.FormatAnomaly(a, dict)
+}
+
+// NewEventWriter returns a writer emitting one self-describing JSON object
+// per anomaly to w (JSONL). dict may be nil; window sizes window_end.
+func NewEventWriter(w io.Writer, dict *Dictionary, window time.Duration) *EventWriter {
+	return report.NewEventWriter(w, dict, window)
+}
+
+// ReadAnomalyEvents parses a JSONL anomaly event stream written by
+// EventWriter.
+func ReadAnomalyEvents(r io.Reader) ([]AnomalyEvent, error) {
+	return report.ReadEvents(r)
 }
