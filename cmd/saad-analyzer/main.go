@@ -16,6 +16,17 @@
 //	-http :9090            Prometheus /metrics, /debug/vars and pprof
 //	-events anomalies.jsonl one self-describing JSON object per anomaly
 //	-stats-interval 30s    periodic heartbeat line on stderr
+//
+// Fault tolerance (detect mode): with -checkpoint the analyzer persists its
+// model and live window state atomically every -checkpoint-interval and at
+// shutdown, and restores from the file on the next start — a restarted
+// analyzer resumes mid-window instead of forgetting accumulated evidence:
+//
+//	saad-analyzer -listen :7077 -model model.json -checkpoint analyzer.ckpt
+//
+// On SIGINT/SIGTERM the analyzer shuts down gracefully: it stops accepting,
+// drains already-received synopses, flushes open windows (reporting their
+// anomalies), writes a final checkpoint, and closes the event log.
 package main
 
 import (
@@ -24,6 +35,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"sync"
 	"syscall"
 	"time"
 
@@ -55,6 +67,8 @@ func run(args []string) error {
 		httpAddr  = fs.String("http", "", "serve /metrics, /debug/vars and pprof on this address (detect mode; empty = off)")
 		events    = fs.String("events", "", "append anomalies as JSONL to this file (detect mode; empty = off)")
 		statsIntv = fs.Duration("stats-interval", 30*time.Second, "stderr stats heartbeat interval (detect mode; 0 = off)")
+		ckptPath  = fs.String("checkpoint", "", "restore detector state from this file at startup and persist it periodically (detect mode; empty = off)")
+		ckptIntv  = fs.Duration("checkpoint-interval", 30*time.Second, "how often to persist the checkpoint (detect mode; 0 = only at shutdown)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,9 +95,11 @@ func run(args []string) error {
 		return trainMode(*listen, *modelPath, *trainN, *window, *alpha)
 	}
 	return detectMode(*listen, *modelPath, dict, detectOptions{
-		httpAddr:      *httpAddr,
-		eventsPath:    *events,
-		statsInterval: *statsIntv,
+		httpAddr:           *httpAddr,
+		eventsPath:         *events,
+		statsInterval:      *statsIntv,
+		checkpointPath:     *ckptPath,
+		checkpointInterval: *ckptIntv,
 	})
 }
 
@@ -145,27 +161,48 @@ func trainMode(listen, modelPath string, n int, window time.Duration, alpha floa
 	return nil
 }
 
-// detectOptions carries the opt-in observability settings of detect mode.
+// detectOptions carries the opt-in observability and fault-tolerance
+// settings of detect mode.
 type detectOptions struct {
-	httpAddr      string // serve /metrics, /debug/vars, pprof ("" = off)
-	eventsPath    string // append anomalies as JSONL ("" = off)
-	statsInterval time.Duration
+	httpAddr           string // serve /metrics, /debug/vars, pprof ("" = off)
+	eventsPath         string // append anomalies as JSONL ("" = off)
+	statsInterval      time.Duration
+	checkpointPath     string          // persist/restore detector state ("" = off)
+	checkpointInterval time.Duration   // 0 = only at shutdown
+	stop               <-chan struct{} // optional programmatic shutdown (tests)
 }
 
-// detectMode loads the model and prints anomalies as they are detected.
+// detectMode loads the model — or restores a full detector checkpoint when
+// one exists — and prints anomalies as they are detected.
 func detectMode(listen, modelPath string, dict *logpoint.Dictionary, opts detectOptions) error {
-	f, err := os.Open(modelPath)
-	if err != nil {
-		return err
+	var det *analyzer.Detector
+	if opts.checkpointPath != "" {
+		if _, statErr := os.Stat(opts.checkpointPath); statErr == nil {
+			restored, err := analyzer.LoadCheckpointFile(opts.checkpointPath)
+			if err != nil {
+				return fmt.Errorf("restore checkpoint %s: %w", opts.checkpointPath, err)
+			}
+			det = restored
+			fmt.Printf("restored checkpoint %s (%d tasks pending in open windows)\n",
+				opts.checkpointPath, det.PendingTasks())
+		}
 	}
-	model, err := analyzer.ReadModel(f)
-	closeErr := f.Close()
-	if err != nil {
-		return err
+	if det == nil {
+		f, err := os.Open(modelPath)
+		if err != nil {
+			return err
+		}
+		model, err := analyzer.ReadModel(f)
+		closeErr := f.Close()
+		if err != nil {
+			return err
+		}
+		if closeErr != nil {
+			return closeErr
+		}
+		det = analyzer.NewDetector(model)
 	}
-	if closeErr != nil {
-		return closeErr
-	}
+	model := det.Model()
 
 	// The full pipeline family is registered even though the standalone
 	// analyzer tracks no tasks itself: every series exists at zero, so the
@@ -193,17 +230,18 @@ func detectMode(listen, modelPath string, dict *logpoint.Dictionary, opts detect
 	}
 
 	var events *report.EventWriter
+	closeEvents := func() error { return nil }
 	if opts.eventsPath != "" {
 		ef, err := os.OpenFile(opts.eventsPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			_ = srv.Close()
 			return err
 		}
-		defer func() { _ = ef.Close() }()
+		closeEvents = sync.OnceValue(ef.Close)
+		defer func() { _ = closeEvents() }() // backstop for error returns
 		events = report.NewEventWriter(ef, dict, model.Config.Window)
 	}
 
-	det := analyzer.NewDetector(model)
 	det.SetMetrics(pipe.Analyzer)
 	interrupt := make(chan os.Signal, 1)
 	signal.Notify(interrupt, os.Interrupt, syscall.SIGTERM)
@@ -213,6 +251,12 @@ func detectMode(listen, modelPath string, dict *logpoint.Dictionary, opts detect
 		ticker := time.NewTicker(opts.statsInterval)
 		defer ticker.Stop()
 		heartbeat = ticker.C
+	}
+	var checkpoint <-chan time.Time
+	if opts.checkpointPath != "" && opts.checkpointInterval > 0 {
+		ticker := time.NewTicker(opts.checkpointInterval)
+		defer ticker.Stop()
+		checkpoint = ticker.C
 	}
 
 	processed, anomalies := 0, 0
@@ -226,6 +270,38 @@ func detectMode(listen, modelPath string, dict *logpoint.Dictionary, opts detect
 		}
 		return nil
 	}
+	// shutdown is the graceful exit: stop accepting, drain what already
+	// arrived, flush open windows (reporting their anomalies), persist the
+	// final checkpoint, and close the event log — in that order, collecting
+	// the first error without skipping later steps.
+	shutdown := func() error {
+		err := srv.Close() // waits for connection handlers: ch has everything received
+		for {
+			select {
+			case s := <-ch.C():
+				processed++
+				if emitErr := emit(det.Feed(s)); err == nil {
+					err = emitErr
+				}
+				continue
+			default:
+			}
+			break
+		}
+		if emitErr := emit(det.Flush()); err == nil {
+			err = emitErr
+		}
+		if opts.checkpointPath != "" {
+			if ckErr := det.WriteCheckpointFile(opts.checkpointPath); err == nil {
+				err = ckErr
+			}
+		}
+		if closeErr := closeEvents(); err == nil {
+			err = closeErr
+		}
+		fmt.Printf("processed %d synopses (%d dropped)\n", processed, ch.Dropped())
+		return err
+	}
 	for {
 		select {
 		case s := <-ch.C():
@@ -237,13 +313,16 @@ func detectMode(listen, modelPath string, dict *logpoint.Dictionary, opts detect
 		case <-heartbeat:
 			fmt.Fprintf(os.Stderr, "saad-analyzer: processed=%d dropped=%d anomalies=%d goroutines=%d\n",
 				processed, ch.Dropped(), anomalies, runtime.NumGoroutine())
-		case <-interrupt:
-			err := emit(det.Flush())
-			fmt.Printf("processed %d synopses (%d dropped)\n", processed, ch.Dropped())
-			if closeErr := srv.Close(); err == nil {
-				err = closeErr
+		case <-checkpoint:
+			// A failed periodic checkpoint must not stop detection; the
+			// shutdown checkpoint still gets a chance to persist state.
+			if err := det.WriteCheckpointFile(opts.checkpointPath); err != nil {
+				fmt.Fprintln(os.Stderr, "saad-analyzer: checkpoint:", err)
 			}
-			return err
+		case <-interrupt:
+			return shutdown()
+		case <-opts.stop:
+			return shutdown()
 		}
 	}
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -91,6 +92,187 @@ func TestTrainAndDetectOnFixedPort(t *testing.T) {
 	sig := synopsis.Compute([]logpoint.ID{1, 2})
 	if !model.Knows(1, sig) {
 		t.Fatal("model missing the trained signature")
+	}
+}
+
+// freePort reserves an address by listening and closing.
+func freePort(t *testing.T) string {
+	t.Helper()
+	probe, err := stream.Listen("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.Addr()
+	if err := probe.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return addr
+}
+
+// emitPhase streams healthy {1,2} flows plus premature {1}-only exits (a
+// signature unseen in training) starting at base.
+func emitPhase(t *testing.T, addr string, base time.Time, healthy, premature int) {
+	t.Helper()
+	cli, err := stream.Dial(addr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := tracker.New(1, cli)
+	at := base
+	for i := 0; i < healthy; i++ {
+		task := tr.Begin(1, at)
+		task.Hit(1, at.Add(time.Millisecond))
+		task.Hit(2, at.Add(2*time.Millisecond))
+		task.End(at.Add(2 * time.Millisecond))
+		at = at.Add(time.Millisecond)
+	}
+	for i := 0; i < premature; i++ {
+		task := tr.Begin(1, at)
+		task.Hit(1, at.Add(time.Millisecond))
+		task.End(at.Add(time.Millisecond))
+		at = at.Add(time.Millisecond)
+	}
+	if err := cli.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDetectCheckpointRestart: detect mode checkpointed and stopped
+// mid-stream resumes from the checkpoint — without the model file — and
+// keeps detecting; anomalies from both runs land in the shared event log
+// and the window history survives the restart.
+func TestDetectCheckpointRestart(t *testing.T) {
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "model.json")
+	ckptPath := filepath.Join(dir, "analyzer.ckpt")
+	eventsPath := filepath.Join(dir, "events.jsonl")
+
+	// Train in-process on healthy {1,2} flows and persist the model.
+	train := stream.NewChannel(1 << 12)
+	tr := tracker.New(1, train)
+	for i := 0; i < 600; i++ {
+		at := epoch.Add(time.Duration(i) * time.Millisecond)
+		task := tr.Begin(1, at)
+		task.Hit(1, at.Add(time.Millisecond))
+		task.Hit(2, at.Add(2*time.Millisecond))
+		task.End(at.Add(2 * time.Millisecond))
+	}
+	model, err := analyzer.Train(analyzer.DefaultConfig(), train.Drain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf, err := os.Create(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := model.WriteTo(mf); err != nil {
+		t.Fatal(err)
+	}
+	if err := mf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// runDetect starts detect mode and returns its stop/done channels.
+	runDetect := func(addr, modelPath string) (chan struct{}, chan error) {
+		stop := make(chan struct{})
+		done := make(chan error, 1)
+		go func() {
+			done <- detectMode(addr, modelPath, logpoint.NewDictionary(), detectOptions{
+				eventsPath:         eventsPath,
+				checkpointPath:     ckptPath,
+				checkpointInterval: 20 * time.Millisecond,
+				stop:               stop,
+			})
+		}()
+		// Wait until it is listening.
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			cli, err := stream.Dial(addr, 0)
+			if err == nil {
+				_ = cli.Close()
+				return stop, done
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("detector never listened")
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	// waitPending polls the periodic checkpoint until the detector has n
+	// tasks pending in open windows — proof the emitted phase was consumed.
+	waitPending := func(n int) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if det, err := analyzer.LoadCheckpointFile(ckptPath); err == nil && det.PendingTasks() == n {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("checkpoint never reached %d pending tasks", n)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	stopDetect := func(stop chan struct{}, done chan error) {
+		t.Helper()
+		close(stop)
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("detect mode never shut down")
+		}
+	}
+	countEvents := func() int {
+		t.Helper()
+		raw, err := os.ReadFile(eventsPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, line := range strings.Split(string(raw), "\n") {
+			if strings.TrimSpace(line) != "" {
+				n++
+			}
+		}
+		return n
+	}
+
+	// Run 1: anomalies accumulate in an open window, then a graceful stop
+	// flushes the window (reporting its anomaly) and checkpoints.
+	addr := freePort(t)
+	stop, done := runDetect(addr, modelPath)
+	emitPhase(t, addr, epoch, 100, 5)
+	waitPending(105)
+	stopDetect(stop, done)
+	if got := countEvents(); got != 1 {
+		t.Fatalf("events after run 1 = %d, want 1 new-signature anomaly", got)
+	}
+
+	// Run 2: restarts from the checkpoint alone — the model path is bogus,
+	// so starting proves the state came from the checkpoint file.
+	addr = freePort(t)
+	stop, done = runDetect(addr, filepath.Join(dir, "bogus-model.json"))
+	emitPhase(t, addr, epoch.Add(2*time.Minute), 50, 5)
+	waitPending(55)
+	stopDetect(stop, done)
+	if got := countEvents(); got != 2 {
+		t.Fatalf("events after restart = %d, want 2 (one anomaly per run)", got)
+	}
+
+	// The final checkpoint carries the full cross-restart window history.
+	det, err := analyzer.LoadCheckpointFile(ckptPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := det.WindowHistory()
+	if len(hist) != 2 {
+		t.Fatalf("window history = %+v, want the windows of both runs", hist)
+	}
+	if hist[0].Tasks != 105 || hist[1].Tasks != 55 {
+		t.Fatalf("history tasks = %d, %d, want 105, 55", hist[0].Tasks, hist[1].Tasks)
 	}
 }
 

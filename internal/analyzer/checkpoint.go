@@ -1,0 +1,283 @@
+package analyzer
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"saad/internal/logpoint"
+	"saad/internal/synopsis"
+)
+
+// checkpointVersion guards the on-disk format; a mismatch fails loudly
+// instead of silently misreading state.
+const checkpointVersion = 1
+
+// Checkpoint wire form: the trained model plus the detector's live state —
+// every open (host, stage) window with its outlier tallies and example
+// synopses, and the closed-window history for reporting. Example synopses
+// reuse the canonical binary record encoding, hex-armored for JSON.
+type checkpointJSON struct {
+	Version int               `json:"version"`
+	Model   modelJSON         `json:"model"`
+	Windows []windowJSON      `json:"windows,omitempty"`
+	History []windowStatsJSON `json:"history,omitempty"`
+}
+
+type windowJSON struct {
+	Host         uint16            `json:"host"`
+	Stage        logpoint.StageID  `json:"stage"`
+	StartUnixNs  int64             `json:"startUnixNs"`
+	Tasks        int               `json:"tasks"`
+	FlowOutliers int               `json:"flowOutliers"`
+	NewSigs      []sigEvidenceJSON `json:"newSigs,omitempty"`
+	FlowExamples []string          `json:"flowExamples,omitempty"`
+	PerSig       []sigWindowJSON   `json:"perSig,omitempty"`
+}
+
+type sigEvidenceJSON struct {
+	SignatureHex string   `json:"signature"`
+	Count        int      `json:"count"`
+	Examples     []string `json:"examples,omitempty"`
+}
+
+type sigWindowJSON struct {
+	SignatureHex string   `json:"signature"`
+	Tasks        int      `json:"tasks"`
+	PerfOutliers int      `json:"perfOutliers"`
+	Examples     []string `json:"examples,omitempty"`
+}
+
+type windowStatsJSON struct {
+	Stage        logpoint.StageID `json:"stage"`
+	Host         uint16           `json:"host"`
+	WindowUnixNs int64            `json:"windowUnixNs"`
+	Tasks        int              `json:"tasks"`
+	FlowOutliers int              `json:"flowOutliers"`
+	PerfOutliers int              `json:"perfOutliers"`
+}
+
+func encodeSynopses(in []*synopsis.Synopsis) []string {
+	out := make([]string, 0, len(in))
+	for _, s := range in {
+		out = append(out, hex.EncodeToString(synopsis.AppendRecord(nil, s)))
+	}
+	return out
+}
+
+func decodeSynopses(in []string) ([]*synopsis.Synopsis, error) {
+	out := make([]*synopsis.Synopsis, 0, len(in))
+	for _, h := range in {
+		raw, err := hex.DecodeString(h)
+		if err != nil {
+			return nil, fmt.Errorf("example synopsis: %w", err)
+		}
+		var s synopsis.Synopsis
+		if err := synopsis.NewDecoder(bytes.NewReader(raw)).Decode(&s); err != nil {
+			return nil, fmt.Errorf("example synopsis: %w", err)
+		}
+		out = append(out, &s)
+	}
+	return out, nil
+}
+
+// WriteCheckpoint serializes the detector — model and live window state —
+// as JSON; it implements io.WriterTo. The detector can keep feeding after a
+// checkpoint; nothing is consumed.
+func (d *Detector) WriteCheckpoint(w io.Writer) (int64, error) {
+	out := checkpointJSON{Version: checkpointVersion, Model: d.model.toJSON()}
+
+	keys := make([]groupKey, 0, len(d.open))
+	for k := range d.open {
+		keys = append(keys, k)
+	}
+	sortGroupKeys(keys)
+	for _, k := range keys {
+		ws := d.open[k]
+		wj := windowJSON{
+			Host:         k.host,
+			Stage:        k.stage,
+			StartUnixNs:  ws.start.UnixNano(),
+			Tasks:        ws.tasks,
+			FlowOutliers: ws.flowOutliers,
+			FlowExamples: encodeSynopses(ws.flowExamples),
+		}
+		for _, sig := range sortedSignatures(ws.newSigs) {
+			ev := ws.newSigs[sig]
+			wj.NewSigs = append(wj.NewSigs, sigEvidenceJSON{
+				SignatureHex: hex.EncodeToString([]byte(sig)),
+				Count:        ev.count,
+				Examples:     encodeSynopses(ev.examples),
+			})
+		}
+		for _, sig := range sortedSignatures(ws.perSig) {
+			sw := ws.perSig[sig]
+			wj.PerSig = append(wj.PerSig, sigWindowJSON{
+				SignatureHex: hex.EncodeToString([]byte(sig)),
+				Tasks:        sw.tasks,
+				PerfOutliers: sw.perfOutliers,
+				Examples:     encodeSynopses(sw.examples),
+			})
+		}
+		out.Windows = append(out.Windows, wj)
+	}
+	for _, st := range d.stats {
+		out.History = append(out.History, windowStatsJSON{
+			Stage:        st.Stage,
+			Host:         st.Host,
+			WindowUnixNs: st.Window.UnixNano(),
+			Tasks:        st.Tasks,
+			FlowOutliers: st.FlowOutliers,
+			PerfOutliers: st.PerfOutliers,
+		})
+	}
+
+	cw := &countingWriter{w: w}
+	enc := json.NewEncoder(cw)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return cw.n, fmt.Errorf("analyzer: encode checkpoint: %w", err)
+	}
+	return cw.n, nil
+}
+
+// ReadCheckpoint rebuilds a detector from a checkpoint previously written
+// with WriteCheckpoint: same model, same open windows, same history.
+func ReadCheckpoint(r io.Reader) (*Detector, error) {
+	var raw checkpointJSON
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
+		return nil, fmt.Errorf("analyzer: decode checkpoint: %w", err)
+	}
+	if raw.Version != checkpointVersion {
+		return nil, fmt.Errorf("analyzer: checkpoint version %d, want %d", raw.Version, checkpointVersion)
+	}
+	model, err := modelFromJSON(raw.Model)
+	if err != nil {
+		return nil, err
+	}
+	d := NewDetector(model)
+	for _, wj := range raw.Windows {
+		ws := &windowState{
+			start:        time.Unix(0, wj.StartUnixNs).UTC(),
+			tasks:        wj.Tasks,
+			flowOutliers: wj.FlowOutliers,
+			newSigs:      make(map[synopsis.Signature]*sigEvidence, len(wj.NewSigs)),
+			perSig:       make(map[synopsis.Signature]*sigWindow, len(wj.PerSig)),
+		}
+		if ws.flowExamples, err = decodeSynopses(wj.FlowExamples); err != nil {
+			return nil, fmt.Errorf("analyzer: checkpoint window host=%d stage=%d: %w", wj.Host, wj.Stage, err)
+		}
+		for _, ej := range wj.NewSigs {
+			sig, examples, err := decodeSigEntry(ej.SignatureHex, ej.Examples)
+			if err != nil {
+				return nil, fmt.Errorf("analyzer: checkpoint window host=%d stage=%d: %w", wj.Host, wj.Stage, err)
+			}
+			ws.newSigs[sig] = &sigEvidence{count: ej.Count, examples: examples}
+		}
+		for _, sj := range wj.PerSig {
+			sig, examples, err := decodeSigEntry(sj.SignatureHex, sj.Examples)
+			if err != nil {
+				return nil, fmt.Errorf("analyzer: checkpoint window host=%d stage=%d: %w", wj.Host, wj.Stage, err)
+			}
+			ws.perSig[sig] = &sigWindow{tasks: sj.Tasks, perfOutliers: sj.PerfOutliers, examples: examples}
+		}
+		d.open[groupKey{host: wj.Host, stage: wj.Stage}] = ws
+	}
+	for _, st := range raw.History {
+		d.stats = append(d.stats, WindowStats{
+			Stage:        st.Stage,
+			Host:         st.Host,
+			Window:       time.Unix(0, st.WindowUnixNs).UTC(),
+			Tasks:        st.Tasks,
+			FlowOutliers: st.FlowOutliers,
+			PerfOutliers: st.PerfOutliers,
+		})
+	}
+	return d, nil
+}
+
+func decodeSigEntry(sigHex string, examples []string) (synopsis.Signature, []*synopsis.Synopsis, error) {
+	sigBytes, err := hex.DecodeString(sigHex)
+	if err != nil {
+		return "", nil, fmt.Errorf("signature %q: %w", sigHex, err)
+	}
+	exs, err := decodeSynopses(examples)
+	if err != nil {
+		return "", nil, err
+	}
+	return synopsis.Signature(sigBytes), exs, nil
+}
+
+// WriteCheckpointFile atomically persists the checkpoint at path: it writes
+// to a temporary file in the same directory, syncs, and renames it into
+// place, so a crash mid-write never leaves a truncated checkpoint where the
+// next startup would read it.
+func (d *Detector) WriteCheckpointFile(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("analyzer: checkpoint temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := d.WriteCheckpoint(tmp); err != nil {
+		_ = tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		_ = tmp.Close()
+		return fmt.Errorf("analyzer: sync checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("analyzer: close checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("analyzer: install checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpointFile rebuilds a detector from a checkpoint file written by
+// WriteCheckpointFile.
+func LoadCheckpointFile(path string) (*Detector, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("analyzer: open checkpoint: %w", err)
+	}
+	defer f.Close()
+	return ReadCheckpoint(f)
+}
+
+// sortGroupKeys orders keys by host then stage for deterministic output.
+func sortGroupKeys(keys []groupKey) {
+	for i := 1; i < len(keys); i++ { // insertion sort; open-window counts are small
+		for j := i; j > 0 && lessGroupKey(keys[j], keys[j-1]); j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+}
+
+func lessGroupKey(a, b groupKey) bool {
+	if a.host != b.host {
+		return a.host < b.host
+	}
+	return a.stage < b.stage
+}
+
+// sortedSignatures returns the map's keys in lexicographic order.
+func sortedSignatures[V any](m map[synopsis.Signature]V) []synopsis.Signature {
+	out := make([]synopsis.Signature, 0, len(m))
+	for sig := range m {
+		out = append(out, sig)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,215 @@
+package analyzer
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"saad/internal/logpoint"
+	"saad/internal/synopsis"
+	"saad/internal/vtime"
+)
+
+// mixedDetectStream builds a detection stream with healthy traffic plus
+// injected anomalies (a new signature burst and a latency burst) spread
+// across several windows.
+func mixedDetectStream() []*synopsis.Synopsis {
+	rng := vtime.NewRNG(99)
+	var syns []*synopsis.Synopsis
+	ts := epoch
+	for i := 0; i < 8000; i++ {
+		dur := 9*time.Millisecond + time.Duration(rng.Intn(int(2*time.Millisecond)))
+		pts := []logpoint.ID{1, 2, 4, 5}
+		switch {
+		case i >= 3000 && i < 3300:
+			// Premature exits: a flow never seen in training.
+			pts = []logpoint.ID{1}
+			dur = time.Millisecond
+		case i >= 5000 && i < 5600:
+			// Latency burst on the dominant flow.
+			dur = 40 * time.Millisecond
+		case i%250 == 0:
+			pts = []logpoint.ID{1, 2, 3, 4, 5}
+		}
+		syns = append(syns, makeSyn(1, 1, ts, dur, pts...))
+		ts = ts.Add(time.Millisecond)
+	}
+	return syns
+}
+
+// anomalySummary reduces an anomaly to a comparable string: everything that
+// matters for equivalence except the example pointers.
+func anomalySummary(a Anomaly) string {
+	ids := make([]uint64, 0, len(a.Examples))
+	for _, e := range a.Examples {
+		ids = append(ids, e.TaskID)
+	}
+	return fmt.Sprintf("%s sig=%x test=%+v examples=%v", a.String(), a.Signature, a.Test, ids)
+}
+
+func summarize(anomalies []Anomaly) []string {
+	out := make([]string, 0, len(anomalies))
+	for _, a := range anomalies {
+		out = append(out, anomalySummary(a))
+	}
+	return out
+}
+
+// TestCheckpointRestartEquivalence is the acceptance property: a detector
+// checkpointed mid-stream (inside an open window, with anomalies already
+// behind it) and restored in a fresh process-equivalent must report exactly
+// the same anomalies and window history as one that never stopped.
+func TestCheckpointRestartEquivalence(t *testing.T) {
+	model := trainedModel(t)
+	stream := mixedDetectStream()
+	// Split mid-stream, deliberately inside the new-signature burst so the
+	// open window carries live outlier evidence across the restart.
+	cut := 3150
+
+	uninterrupted := NewDetector(model)
+	want := feedAll(uninterrupted, stream)
+
+	first := NewDetector(model)
+	var got []Anomaly
+	for _, s := range stream[:cut] {
+		got = append(got, first.Feed(s)...)
+	}
+	var buf bytes.Buffer
+	if _, err := first.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range stream[cut:] {
+		got = append(got, restored.Feed(s)...)
+	}
+	got = append(got, restored.Flush()...)
+
+	if len(want) == 0 {
+		t.Fatal("stream produced no anomalies; the equivalence check is vacuous")
+	}
+	if w, g := summarize(want), summarize(got); !reflect.DeepEqual(w, g) {
+		t.Fatalf("anomalies diverged after restart:\nuninterrupted: %v\nrestarted:     %v", w, g)
+	}
+	if w, g := uninterrupted.WindowHistory(), restored.WindowHistory(); !reflect.DeepEqual(w, g) {
+		t.Fatalf("window history diverged after restart:\nuninterrupted: %+v\nrestarted:     %+v", w, g)
+	}
+}
+
+// TestCheckpointIsNonDestructive: the checkpointed detector keeps working
+// and agrees with its own restored copy.
+func TestCheckpointIsNonDestructive(t *testing.T) {
+	model := trainedModel(t)
+	stream := mixedDetectStream()
+	det := NewDetector(model)
+	var before []Anomaly
+	for _, s := range stream[:4000] {
+		before = append(before, det.Feed(s)...)
+	}
+	var buf bytes.Buffer
+	if _, err := det.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b []Anomaly
+	for _, s := range stream[4000:] {
+		a = append(a, det.Feed(s)...)
+		b = append(b, restored.Feed(s)...)
+	}
+	a = append(a, det.Flush()...)
+	b = append(b, restored.Flush()...)
+	if !reflect.DeepEqual(summarize(a), summarize(b)) {
+		t.Fatalf("original and restored detectors diverged:\noriginal: %v\nrestored: %v", summarize(a), summarize(b))
+	}
+}
+
+func TestCheckpointFileAtomicWriteAndLoad(t *testing.T) {
+	model := trainedModel(t)
+	det := NewDetector(model)
+	for _, s := range mixedDetectStream()[:3200] {
+		det.Feed(s)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "analyzer.ckpt")
+	for i := 0; i < 2; i++ { // second write exercises the overwrite path
+		if err := det.WriteCheckpointFile(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "analyzer.ckpt" {
+		t.Fatalf("temp files left behind: %v", entries)
+	}
+	restored, err := LoadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(restored.open), len(det.open); got != want {
+		t.Fatalf("restored %d open windows, want %d", got, want)
+	}
+	if !reflect.DeepEqual(restored.WindowHistory(), det.WindowHistory()) {
+		t.Fatal("restored window history differs")
+	}
+}
+
+func TestCheckpointRejectsBadInput(t *testing.T) {
+	if _, err := ReadCheckpoint(strings.NewReader("{garbage")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadCheckpoint(strings.NewReader(`{"version": 999, "model": {}}`)); err == nil ||
+		!strings.Contains(err.Error(), "version") {
+		t.Fatalf("version mismatch not rejected: %v", err)
+	}
+	if _, err := LoadCheckpointFile(filepath.Join(t.TempDir(), "missing.ckpt")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	// A checkpoint with a corrupt example record must fail, not silently
+	// drop evidence.
+	bad := `{"version": 1, "model": {"config": {"flowPercentile": 99, "durationPercentile": 99,
+	  "alpha": 0.001, "kFolds": 5, "discardFactor": 3, "minTasksPerSignature": 20,
+	  "windowMillis": 60000, "useTTest": true, "maxExamples": 3, "minEffect": 0.02},
+	  "trainedOn": 1, "stages": []},
+	  "windows": [{"host": 1, "stage": 1, "startUnixNs": 0, "tasks": 1, "flowOutliers": 1,
+	    "newSigs": [{"signature": "01", "count": 1, "examples": ["zz"]}]}]}`
+	if _, err := ReadCheckpoint(strings.NewReader(bad)); err == nil {
+		t.Fatal("corrupt example record accepted")
+	}
+}
+
+// TestCheckpointTimePrecision: window starts survive the round trip at
+// nanosecond precision even off the codec's microsecond grid.
+func TestCheckpointTimePrecision(t *testing.T) {
+	model := trainedModel(t)
+	det := NewDetector(model)
+	odd := epoch.Add(1234567 * time.Nanosecond)
+	det.Feed(makeSyn(1, 1, odd, 10*time.Millisecond, 1, 2, 4, 5))
+	var buf bytes.Buffer
+	if _, err := det.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := groupKey{host: 1, stage: 1}
+	a, b := det.open[key], restored.open[key]
+	if a == nil || b == nil {
+		t.Fatal("open window missing")
+	}
+	if !a.start.Equal(b.start) {
+		t.Fatalf("window start drifted: %v vs %v", a.start, b.start)
+	}
+}

@@ -137,6 +137,21 @@ func NewDetector(model *Model) *Detector {
 // windows closed, window-close latency and per-stage anomaly counts.
 func (d *Detector) SetMetrics(m *metrics.AnalyzerMetrics) { d.metrics = m }
 
+// Model returns the trained model the detector judges against. A detector
+// restored from a checkpoint carries its model with it, so callers need no
+// separate model file.
+func (d *Detector) Model() *Model { return d.model }
+
+// PendingTasks returns the number of tasks observed in still-open windows —
+// the live evidence a checkpoint would carry across a restart.
+func (d *Detector) PendingTasks() int {
+	n := 0
+	for _, w := range d.open {
+		n += w.tasks
+	}
+	return n
+}
+
 // Feed processes one synopsis and returns the anomalies from any window the
 // synopsis's timestamp closed. Synopses should arrive in roughly increasing
 // Start order per (host, stage); SAAD's single analyzer consuming per-node

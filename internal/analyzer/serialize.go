@@ -51,8 +51,9 @@ type sigJSON struct {
 	Skewness       float64 `json:"skewness"`
 }
 
-// WriteTo serializes the model as JSON; it implements io.WriterTo.
-func (m *Model) WriteTo(w io.Writer) (int64, error) {
+// toJSON converts the model to its JSON wire form; shared by WriteTo and
+// the detector checkpoint.
+func (m *Model) toJSON() modelJSON {
 	out := modelJSON{
 		Config: configJSON{
 			FlowPercentile:       m.Config.FlowPercentile,
@@ -86,10 +87,15 @@ func (m *Model) WriteTo(w io.Writer) (int64, error) {
 		}
 		out.Stages = append(out.Stages, sj)
 	}
+	return out
+}
+
+// WriteTo serializes the model as JSON; it implements io.WriterTo.
+func (m *Model) WriteTo(w io.Writer) (int64, error) {
 	cw := &countingWriter{w: w}
 	enc := json.NewEncoder(cw)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
+	if err := enc.Encode(m.toJSON()); err != nil {
 		return cw.n, fmt.Errorf("analyzer: encode model: %w", err)
 	}
 	return cw.n, nil
@@ -101,6 +107,12 @@ func ReadModel(r io.Reader) (*Model, error) {
 	if err := json.NewDecoder(r).Decode(&raw); err != nil {
 		return nil, fmt.Errorf("analyzer: decode model: %w", err)
 	}
+	return modelFromJSON(raw)
+}
+
+// modelFromJSON rebuilds a model from its JSON wire form; shared by
+// ReadModel and the detector checkpoint.
+func modelFromJSON(raw modelJSON) (*Model, error) {
 	cfg := Config{
 		FlowPercentile:       raw.Config.FlowPercentile,
 		DurationPercentile:   raw.Config.DurationPercentile,

@@ -1,0 +1,202 @@
+// Network fault injection: FlakyConn and FlakyListener wrap real
+// net.Conn/net.Listener values with injected connection resets, partial
+// writes, read stalls and added latency. The stream chaos tests drive the
+// tracker→TCP→analyzer pipeline through these wrappers to prove the
+// monitoring path degrades gracefully instead of going dark (the premise
+// the paper's Section 3.1 deployment shape depends on).
+package faults
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"saad/internal/vtime"
+)
+
+// NetFaultConfig selects the fault mix a FlakyConn injects. Probabilities
+// are evaluated per operation with a deterministic per-connection RNG, so a
+// given (config, seed) reproduces the same fault schedule run after run.
+type NetFaultConfig struct {
+	// Seed seeds the deterministic RNG (a FlakyListener splits it per
+	// connection). Default 1.
+	Seed uint64
+	// ResetProb is the per-operation probability that the connection is
+	// torn down: the operation fails with an error wrapping ErrInjected
+	// and the underlying connection is closed.
+	ResetProb float64
+	// PartialWriteProb is the per-write probability that only a prefix of
+	// the buffer reaches the wire before the write fails (n < len(p) with
+	// a non-nil error, as net.Conn permits).
+	PartialWriteProb float64
+	// ReadStallProb is the per-read probability of sleeping Stall before
+	// the read proceeds, modeling a hung peer.
+	ReadStallProb float64
+	// Stall is the injected read stall duration (default 10ms when
+	// ReadStallProb > 0).
+	Stall time.Duration
+	// WriteLatency is a fixed delay added before every write, modeling a
+	// congested path.
+	WriteLatency time.Duration
+}
+
+func (c NetFaultConfig) withDefaults() NetFaultConfig {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Stall <= 0 {
+		c.Stall = 10 * time.Millisecond
+	}
+	return c
+}
+
+// errNetInjected builds the error surfaced by injected network faults; it
+// wraps ErrInjected so errors.Is(err, ErrInjected) matches.
+func errNetInjected(op string) error {
+	return fmt.Errorf("faults: injected %s fault: %w", op, ErrInjected)
+}
+
+// FlakyConn wraps a net.Conn with injected faults. Read and Write may be
+// called concurrently (one reader plus one writer, as net.Conn requires);
+// the shared RNG is mutex-guarded.
+type FlakyConn struct {
+	net.Conn
+	cfg NetFaultConfig
+
+	mu  sync.Mutex
+	rng *vtime.RNG
+
+	closeOnce sync.Once
+	onClose   func(*FlakyConn)
+}
+
+// NewFlakyConn wraps conn with the given fault mix.
+func NewFlakyConn(conn net.Conn, cfg NetFaultConfig) *FlakyConn {
+	cfg = cfg.withDefaults()
+	return &FlakyConn{Conn: conn, cfg: cfg, rng: vtime.NewRNG(cfg.Seed)}
+}
+
+// roll evaluates one probability under the RNG lock.
+func (c *FlakyConn) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng.Bool(p)
+}
+
+// Read implements net.Conn with injected stalls and resets.
+func (c *FlakyConn) Read(p []byte) (int, error) {
+	if c.roll(c.cfg.ReadStallProb) {
+		time.Sleep(c.cfg.Stall)
+	}
+	if c.roll(c.cfg.ResetProb) {
+		c.Kill()
+		return 0, errNetInjected("read reset")
+	}
+	return c.Conn.Read(p)
+}
+
+// Write implements net.Conn with injected latency, partial writes and
+// resets.
+func (c *FlakyConn) Write(p []byte) (int, error) {
+	if c.cfg.WriteLatency > 0 {
+		time.Sleep(c.cfg.WriteLatency)
+	}
+	if c.roll(c.cfg.ResetProb) {
+		c.Kill()
+		return 0, errNetInjected("write reset")
+	}
+	if len(p) > 1 && c.roll(c.cfg.PartialWriteProb) {
+		n, err := c.Conn.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		c.Kill()
+		return n, errNetInjected("partial write")
+	}
+	return c.Conn.Write(p)
+}
+
+// Kill forcefully closes the underlying connection, as an injected reset
+// does; both peers see the teardown. Safe to call repeatedly and
+// concurrently with Read/Write.
+func (c *FlakyConn) Kill() {
+	c.closeOnce.Do(func() {
+		_ = c.Conn.Close()
+		if c.onClose != nil {
+			c.onClose(c)
+		}
+	})
+}
+
+// Close implements net.Conn.
+func (c *FlakyConn) Close() error {
+	c.Kill()
+	return nil
+}
+
+// FlakyListener wraps a net.Listener so every accepted connection is a
+// FlakyConn, and live connections can be killed on demand (KillAll) to
+// model an analyzer crash that severs every stream at once. Each accepted
+// connection gets an independent RNG split from the listener seed.
+type FlakyListener struct {
+	net.Listener
+	cfg NetFaultConfig
+
+	mu    sync.Mutex
+	seq   uint64
+	conns map[*FlakyConn]struct{}
+}
+
+// NewFlakyListener wraps ln; accepted connections inject cfg's fault mix.
+func NewFlakyListener(ln net.Listener, cfg NetFaultConfig) *FlakyListener {
+	return &FlakyListener{Listener: ln, cfg: cfg.withDefaults(), conns: make(map[*FlakyConn]struct{})}
+}
+
+// Accept implements net.Listener.
+func (l *FlakyListener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	l.seq++
+	cfg := l.cfg
+	cfg.Seed = vtime.NewRNG(l.cfg.Seed).Split(l.seq).Uint64()
+	fc := NewFlakyConn(conn, cfg)
+	fc.onClose = l.forget
+	l.conns[fc] = struct{}{}
+	l.mu.Unlock()
+	return fc, nil
+}
+
+func (l *FlakyListener) forget(c *FlakyConn) {
+	l.mu.Lock()
+	delete(l.conns, c)
+	l.mu.Unlock()
+}
+
+// KillAll severs every live accepted connection and reports how many it
+// killed.
+func (l *FlakyListener) KillAll() int {
+	l.mu.Lock()
+	live := make([]*FlakyConn, 0, len(l.conns))
+	for c := range l.conns {
+		live = append(live, c)
+	}
+	l.mu.Unlock()
+	for _, c := range live {
+		c.Kill()
+	}
+	return len(live)
+}
+
+// Open reports the number of live accepted connections.
+func (l *FlakyListener) Open() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.conns)
+}

@@ -1,0 +1,170 @@
+package faults
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// tcpPair returns two ends of a live loopback TCP connection.
+func tcpPair(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		server, err = ln.Accept()
+	}()
+	client, cerr := net.Dial("tcp", ln.Addr().String())
+	<-done
+	if cerr != nil {
+		t.Fatal(cerr)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = client.Close(); _ = server.Close() })
+	return client, server
+}
+
+func TestFlakyConnInjectedWriteReset(t *testing.T) {
+	client, _ := tcpPair(t)
+	fc := NewFlakyConn(client, NetFaultConfig{ResetProb: 1})
+	_, err := fc.Write([]byte("hello"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	// The underlying connection is closed: a subsequent write fails too.
+	if _, err := client.Write([]byte("x")); err == nil {
+		t.Fatal("underlying conn survived an injected reset")
+	}
+}
+
+func TestFlakyConnPartialWrite(t *testing.T) {
+	client, server := tcpPair(t)
+	fc := NewFlakyConn(client, NetFaultConfig{PartialWriteProb: 1})
+	n, err := fc.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if n != 5 {
+		t.Fatalf("n = %d, want 5 (half the buffer)", n)
+	}
+	// The prefix really reached the wire.
+	got := make([]byte, 16)
+	rn, _ := server.Read(got)
+	if string(got[:rn]) != "01234" {
+		t.Fatalf("peer read %q, want %q", got[:rn], "01234")
+	}
+}
+
+func TestFlakyConnReadStall(t *testing.T) {
+	client, server := tcpPair(t)
+	fc := NewFlakyConn(server, NetFaultConfig{ReadStallProb: 1, Stall: 30 * time.Millisecond})
+	if _, err := client.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	buf := make([]byte, 1)
+	if _, err := fc.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("read returned after %v, want >= 30ms stall", d)
+	}
+}
+
+func TestFlakyConnCleanWhenNoFaults(t *testing.T) {
+	client, server := tcpPair(t)
+	fc := NewFlakyConn(client, NetFaultConfig{})
+	msg := []byte("clean path")
+	if n, err := fc.Write(msg); err != nil || n != len(msg) {
+		t.Fatalf("write = %d, %v", n, err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(server, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(msg) {
+		t.Fatalf("peer read %q", got)
+	}
+}
+
+func TestFlakyConnDeterministicSchedule(t *testing.T) {
+	// Same seed, same fault mix => the reset fires after the same number
+	// of writes on a fresh connection.
+	countWrites := func() int {
+		client, _ := tcpPair(t)
+		fc := NewFlakyConn(client, NetFaultConfig{Seed: 42, ResetProb: 0.2})
+		writes := 0
+		for {
+			if _, err := fc.Write([]byte("x")); err != nil {
+				return writes
+			}
+			writes++
+			if writes > 1000 {
+				t.Fatal("reset never fired")
+			}
+		}
+	}
+	a, b := countWrites(), countWrites()
+	if a != b {
+		t.Fatalf("schedules diverged: %d vs %d writes before reset", a, b)
+	}
+}
+
+func TestFlakyListenerKillAll(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := NewFlakyListener(ln, NetFaultConfig{})
+	defer fl.Close()
+
+	accepted := make(chan net.Conn, 2)
+	go func() {
+		for {
+			c, err := fl.Accept()
+			if err != nil {
+				return
+			}
+			accepted <- c
+		}
+	}()
+	var clients []net.Conn
+	for i := 0; i < 2; i++ {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		clients = append(clients, c)
+		select {
+		case <-accepted:
+		case <-time.After(5 * time.Second):
+			t.Fatal("accept timed out")
+		}
+	}
+	if got := fl.Open(); got != 2 {
+		t.Fatalf("open = %d, want 2", got)
+	}
+	if killed := fl.KillAll(); killed != 2 {
+		t.Fatalf("killed = %d, want 2", killed)
+	}
+	if got := fl.Open(); got != 0 {
+		t.Fatalf("open after KillAll = %d, want 0", got)
+	}
+	// Both client ends observe the teardown.
+	for _, c := range clients {
+		_ = c.SetReadDeadline(time.Now().Add(5 * time.Second))
+		if _, err := c.Read(make([]byte, 1)); err == nil {
+			t.Fatal("client read succeeded after KillAll")
+		}
+	}
+}

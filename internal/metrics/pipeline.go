@@ -47,26 +47,41 @@ func RegisterChannel(r *Registry, emitted, dropped func() uint64, depth, capacit
 // TCPClientMetrics instruments the TCP synopsis stream client.
 type TCPClientMetrics struct {
 	// Dials counts successful connection establishments; with a
-	// reconnecting caller this is 1 + the number of reconnects.
+	// reconnecting client this is 1 + Reconnects.
 	Dials *Counter
+	// Reconnects counts successful re-establishments after the initial
+	// connection (always 0 for a client without WithReconnect).
+	Reconnects *Counter
 	// FramesSent counts synopsis records encoded onto the connection.
 	FramesSent *Counter
+	// FramesDropped counts synopses the client discarded: emits after a
+	// latched error or Close, spill-ring drop-oldest evictions, and
+	// frames still spilled when the client shut down. Every synopsis
+	// handed to Emit is eventually counted in FramesSent or here.
+	FramesDropped *Counter
 	// BytesSent counts bytes written to the connection (measured after
 	// the encoder's user-space buffer, i.e. flushed wire bytes).
 	BytesSent *Counter
-	// Errors counts transport errors; the client latches the first error
-	// and drops subsequent emits, so a nonzero value means the stream is
-	// dead.
+	// SpillDepth tracks synopses currently parked in the reconnect spill
+	// ring awaiting (re)delivery.
+	SpillDepth *Gauge
+	// Errors counts transport errors. Without WithReconnect the client
+	// latches the first error and drops subsequent emits, so nonzero
+	// means the stream is dead; with reconnect enabled each error only
+	// marks one failed delivery attempt before the client redials.
 	Errors *Counter
 }
 
 // NewTCPClientMetrics registers the TCP client metric family on r.
 func NewTCPClientMetrics(r *Registry) *TCPClientMetrics {
 	return &TCPClientMetrics{
-		Dials:      r.NewCounter("saad_stream_tcp_client_dials_total", "Successful TCP connections to the analyzer (1 + reconnects)."),
-		FramesSent: r.NewCounter("saad_stream_tcp_client_frames_sent_total", "Synopsis records encoded onto the TCP stream."),
-		BytesSent:  r.NewCounter("saad_stream_tcp_client_bytes_sent_total", "Bytes written to the analyzer TCP connection."),
-		Errors:     r.NewCounter("saad_stream_tcp_client_errors_total", "Latched TCP client transport errors."),
+		Dials:         r.NewCounter("saad_stream_tcp_client_dials_total", "Successful TCP connections to the analyzer (1 + reconnects)."),
+		Reconnects:    r.NewCounter("saad_stream_tcp_client_reconnects_total", "Successful TCP reconnections after the initial connect."),
+		FramesSent:    r.NewCounter("saad_stream_tcp_client_frames_sent_total", "Synopsis records encoded onto the TCP stream."),
+		FramesDropped: r.NewCounter("saad_stream_tcp_client_frames_dropped_total", "Synopses discarded by the TCP client (post-error emits, spill-ring evictions, undelivered at close)."),
+		BytesSent:     r.NewCounter("saad_stream_tcp_client_bytes_sent_total", "Bytes written to the analyzer TCP connection."),
+		SpillDepth:    r.NewGauge("saad_stream_tcp_client_spill_depth", "Synopses parked in the reconnect spill ring."),
+		Errors:        r.NewCounter("saad_stream_tcp_client_errors_total", "TCP client transport errors (latched without reconnect; per-attempt with it)."),
 	}
 }
 
@@ -85,6 +100,13 @@ type TCPServerMetrics struct {
 	// ConnErrors counts connections dropped on a decode error other than
 	// a clean EOF (protocol errors, truncated streams).
 	ConnErrors *Counter
+	// Resyncs counts connections accepted after an earlier connection had
+	// already ended — with SAAD's long-lived per-node streams these are
+	// client reconnects resuming an interrupted stream.
+	Resyncs *Counter
+	// AcceptErrors counts transient listener Accept failures the server
+	// retried past without dying.
+	AcceptErrors *Counter
 }
 
 // NewTCPServerMetrics registers the TCP server metric family on r.
@@ -95,6 +117,8 @@ func NewTCPServerMetrics(r *Registry) *TCPServerMetrics {
 		FramesReceived:  r.NewCounter("saad_stream_tcp_server_frames_received_total", "Synopsis records decoded from TCP streams."),
 		BytesReceived:   r.NewCounter("saad_stream_tcp_server_bytes_received_total", "Bytes read from TCP synopsis streams."),
 		ConnErrors:      r.NewCounter("saad_stream_tcp_server_conn_errors_total", "TCP connections dropped on a decode/protocol error."),
+		Resyncs:         r.NewCounter("saad_stream_tcp_server_resyncs_total", "Connections accepted after a previous stream ended (client reconnects)."),
+		AcceptErrors:    r.NewCounter("saad_stream_tcp_server_accept_errors_total", "Transient listener accept errors retried by the server."),
 	}
 }
 

@@ -1,0 +1,307 @@
+package stream
+
+// Chaos tests: the tracker→TCP→analyzer pipeline is driven through
+// repeated connection kills and injected transport faults, asserting the
+// self-healing client recovers every time, delivery accounting stays
+// complete, and anomaly detection still localizes the fault. Run them
+// selectively with `go test -race -run Chaos ./internal/stream/`.
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"saad/internal/analyzer"
+	"saad/internal/faults"
+	"saad/internal/metrics"
+	"saad/internal/tracker"
+)
+
+// TestChaosServerKilledAndRestartedThreeTimes is the acceptance scenario:
+// the analyzer server is killed and restarted 3× mid-stream. Each outage is
+// opened at a quiet point (everything delivered) and synopses emitted
+// during it spill; after the final phase every synopsis ever emitted must
+// have been delivered exactly — zero drops, with the reconnect and resync
+// counters proving the path actually broke and healed.
+func TestChaosServerKilledAndRestartedThreeTimes(t *testing.T) {
+	got := NewChannel(1 << 16)
+	reg := metrics.NewRegistry()
+	cm := metrics.NewTCPClientMetrics(reg)
+	sm := metrics.NewTCPServerMetrics(reg)
+
+	srv, err := Listen("127.0.0.1:0", got, WithServerMetrics(sm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	cli, err := Dial(addr, 0,
+		WithReconnect(ReconnectConfig{
+			InitialBackoff: 5 * time.Millisecond,
+			MaxBackoff:     50 * time.Millisecond,
+			SpillCapacity:  1 << 14,
+			BatchSize:      64,
+		}),
+		WithClientMetrics(cm))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const perPhase = 500
+	emitted := uint64(0)
+	emit := func(n int) {
+		for i := 0; i < n; i++ {
+			cli.Emit(syn(emitted))
+			emitted++
+		}
+	}
+	settle := func(what string) {
+		waitUntil(t, 15*time.Second, what, func() bool {
+			return cli.Spilled() == 0 && got.Emitted() >= emitted
+		})
+	}
+
+	for kill := 0; kill < 3; kill++ {
+		emit(perPhase)
+		settle("pre-kill phase to be delivered")
+		if err := srv.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Give the client's death probe a moment to observe the FIN so
+		// nothing is written into the dead socket.
+		time.Sleep(50 * time.Millisecond)
+		emit(perPhase) // spills while the analyzer is down
+		srv, err = Listen(addr, got, WithServerMetrics(sm))
+		if err != nil {
+			t.Fatalf("restart %d: %v", kill+1, err)
+		}
+		settle("outage phase to be replayed after restart")
+	}
+	emit(perPhase)
+	settle("final phase to be delivered")
+
+	if err := cli.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	unique := make(map[uint64]struct{})
+	for _, s := range got.Drain() {
+		unique[s.TaskID] = struct{}{}
+	}
+	if uint64(len(unique)) != emitted {
+		t.Fatalf("delivered %d unique synopses, want %d", len(unique), emitted)
+	}
+	if d := cm.FramesDropped.Value(); d != 0 {
+		t.Fatalf("FramesDropped = %d, want 0 (ring never overflowed)", d)
+	}
+	if r := cm.Reconnects.Value(); r < 3 {
+		t.Fatalf("Reconnects = %d, want >= 3", r)
+	}
+	if r := sm.Resyncs.Value(); r < 3 {
+		t.Fatalf("server Resyncs = %d, want >= 3", r)
+	}
+}
+
+// TestChaosFlakyTransportMidStreamKills severs every live connection
+// repeatedly while the emitter is streaming, with injected read stalls on
+// top. Unlike the quiet-point restarts above, frames flushed but not yet
+// decoded when a kill lands are lost in the kernel queues, so delivery is
+// asserted against a lossy tolerance; the spill-ring accounting still holds
+// for everything the client itself discarded.
+func TestChaosFlakyTransportMidStreamKills(t *testing.T) {
+	got := NewChannel(1 << 16)
+	reg := metrics.NewRegistry()
+	cm := metrics.NewTCPClientMetrics(reg)
+	sm := metrics.NewTCPServerMetrics(reg)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := faults.NewFlakyListener(ln, faults.NetFaultConfig{
+		Seed:          7,
+		ReadStallProb: 0.01,
+		Stall:         time.Millisecond,
+	})
+	srv := NewServer(fl, got, WithServerMetrics(sm))
+
+	cli, err := Dial(ln.Addr().String(), 0,
+		WithReconnect(ReconnectConfig{
+			InitialBackoff: 2 * time.Millisecond,
+			MaxBackoff:     20 * time.Millisecond,
+			SpillCapacity:  1 << 15,
+			BatchSize:      16,
+		}),
+		WithClientMetrics(cm))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const total = 6000
+	killerDone := make(chan struct{})
+	go func() {
+		defer close(killerDone)
+		for i := 0; i < 3; i++ {
+			time.Sleep(40 * time.Millisecond)
+			fl.KillAll()
+		}
+	}()
+	for i := uint64(0); i < total; i++ {
+		cli.Emit(syn(i))
+		if i%100 == 99 {
+			time.Sleep(3 * time.Millisecond)
+		}
+	}
+	<-killerDone
+	waitUntil(t, 20*time.Second, "spill ring to drain after the kills stop", func() bool {
+		return cli.Spilled() == 0
+	})
+	if err := cli.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	unique := make(map[uint64]struct{})
+	for _, s := range got.Drain() {
+		unique[s.TaskID] = struct{}{}
+	}
+	delivered := uint64(len(unique))
+	dropped := cm.FramesDropped.Value()
+	// The client accounts for everything it discarded; kernel in-flight
+	// loss at a kill is bounded by a batch plus the server's read buffer,
+	// so the tolerance is deliberately loose.
+	if delivered+dropped < total*90/100 {
+		t.Fatalf("delivered %d + dropped %d < 90%% of %d emitted", delivered, dropped, total)
+	}
+	if delivered < total*85/100 {
+		t.Fatalf("delivered %d < 85%% of %d emitted", delivered, total)
+	}
+	if cm.Reconnects.Value() < 1 {
+		t.Fatalf("Reconnects = %d, want >= 1 (the kills must have severed the stream)", cm.Reconnects.Value())
+	}
+}
+
+// TestChaosPipelineAnomalyDetectionSurvivesKills runs the full pipeline —
+// two instrumented hosts streaming through reconnecting clients into one
+// analyzer server behind a flaky listener — kills every connection three
+// times mid-stream, and asserts the detector still localizes the fault to
+// the faulty host with zero false positives on the healthy one.
+func TestChaosPipelineAnomalyDetectionSurvivesKills(t *testing.T) {
+	epoch := time.Date(2026, 1, 1, 9, 0, 0, 0, time.UTC)
+	cfg := analyzer.DefaultConfig()
+	cfg.Window = time.Second
+
+	// Train on a healthy in-process trace: flow {1,2,3} at a 10ms cadence.
+	train := NewChannel(1 << 14)
+	trTrain := tracker.New(1, train)
+	at := epoch
+	for i := 0; i < 5000; i++ {
+		task := trTrain.Begin(1, at)
+		task.Hit(1, at.Add(100*time.Microsecond))
+		task.Hit(2, at.Add(time.Millisecond))
+		task.Hit(3, at.Add(2*time.Millisecond))
+		task.End(at.Add(2 * time.Millisecond))
+		at = at.Add(10 * time.Millisecond)
+	}
+	model, err := analyzer.Train(cfg, train.Drain())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Detection phase over flaky TCP with repeated connection kills.
+	got := NewChannel(1 << 16)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := faults.NewFlakyListener(ln, faults.NetFaultConfig{Seed: 11})
+	srv := NewServer(fl, got)
+
+	newClient := func() *Client {
+		cli, err := Dial(ln.Addr().String(), 0, WithReconnect(ReconnectConfig{
+			InitialBackoff: 2 * time.Millisecond,
+			MaxBackoff:     20 * time.Millisecond,
+			SpillCapacity:  1 << 14,
+			BatchSize:      32,
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cli
+	}
+	cliHealthy, cliFaulty := newClient(), newClient()
+	trHealthy := tracker.New(1, cliHealthy)
+	trFaulty := tracker.New(2, cliFaulty)
+
+	killerDone := make(chan struct{})
+	go func() {
+		defer close(killerDone)
+		for i := 0; i < 3; i++ {
+			time.Sleep(30 * time.Millisecond)
+			fl.KillAll()
+		}
+	}()
+
+	const tasks = 2000
+	detectStart := epoch.Add(time.Hour)
+	at = detectStart
+	for i := 0; i < tasks; i++ {
+		// Healthy host: full flow. Faulty host: premature exit after the
+		// first log point — a signature never seen in training.
+		h := trHealthy.Begin(1, at)
+		h.Hit(1, at.Add(100*time.Microsecond))
+		h.Hit(2, at.Add(time.Millisecond))
+		h.Hit(3, at.Add(2*time.Millisecond))
+		h.End(at.Add(2 * time.Millisecond))
+
+		f := trFaulty.Begin(1, at)
+		f.Hit(1, at.Add(100*time.Microsecond))
+		f.End(at.Add(300 * time.Microsecond))
+
+		at = at.Add(10 * time.Millisecond)
+		if i%200 == 199 {
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	<-killerDone
+	waitUntil(t, 20*time.Second, "both spill rings to drain", func() bool {
+		return cliHealthy.Spilled() == 0 && cliFaulty.Spilled() == 0
+	})
+	if err := cliHealthy.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cliFaulty.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	det := analyzer.NewDetector(model)
+	var anomalies []analyzer.Anomaly
+	delivered := 0
+	for _, s := range got.Drain() {
+		delivered++
+		anomalies = append(anomalies, det.Feed(s)...)
+	}
+	anomalies = append(anomalies, det.Flush()...)
+
+	if delivered < 2*tasks*85/100 {
+		t.Fatalf("delivered %d of %d synopses, want >= 85%%", delivered, 2*tasks)
+	}
+	perHost := map[uint16]int{}
+	for _, a := range anomalies {
+		perHost[a.Host]++
+	}
+	if perHost[2] == 0 {
+		t.Fatal("no anomaly detected on the faulty host despite lossy delivery")
+	}
+	if perHost[1] != 0 {
+		t.Fatalf("%d false-positive anomalies on the healthy host", perHost[1])
+	}
+}

@@ -13,6 +13,14 @@ import (
 	"saad/internal/tracker"
 )
 
+// DefaultDialTimeout bounds connection establishment; a monitoring client
+// must never hang indefinitely on an unreachable analyzer.
+const DefaultDialTimeout = 10 * time.Second
+
+// DefaultWriteTimeout bounds how long a single encode/flush may block on a
+// wedged connection before it is treated as a transport error.
+const DefaultWriteTimeout = 10 * time.Second
+
 // countingWriter charges bytes written to a counter; it wraps the client
 // connection below the encoder's bufio layer, so it observes flushed wire
 // bytes, not buffered user-space bytes.
@@ -42,15 +50,32 @@ func (cr countingReader) Read(p []byte) (int, error) {
 // Client streams synopses to a remote analyzer over TCP using the compact
 // binary codec. It implements tracker.Sink. Emit never blocks on the
 // network beyond the kernel send buffer plus the encoder's user-space
-// buffer; encoding errors latch and subsequent emits are dropped, because a
-// monitoring layer must not take the server down with it.
+// buffer, because a monitoring layer must not take the server down with it.
+//
+// Without WithReconnect the client latches the first transport error and
+// drops (and counts) every subsequent emit. With WithReconnect the client
+// is self-healing: emits are parked in a bounded spill ring, a supervisor
+// goroutine redials with capped exponential backoff + jitter, and spilled
+// synopses are replayed after reconnecting; when the ring overflows the
+// oldest synopsis is dropped and counted.
 type Client struct {
-	mu      sync.Mutex
-	conn    net.Conn
-	enc     *synopsis.Encoder
-	err     error
-	closed  bool
-	metrics *metrics.TCPClientMetrics
+	addr         string
+	flushEvery   time.Duration
+	dialTimeout  time.Duration
+	writeTimeout time.Duration
+	metrics      *metrics.TCPClientMetrics
+
+	mu     sync.Mutex
+	conn   net.Conn // direct mode only; the reconnect supervisor owns its own
+	enc    *synopsis.Encoder
+	err    error
+	closed bool
+
+	// Reconnect mode state (nil ring = direct mode).
+	reconnect     ReconnectConfig
+	ring          *spillRing
+	wake          chan struct{}
+	everConnected bool // supervisor goroutine only
 
 	stop chan struct{}
 	done chan struct{}
@@ -62,27 +87,71 @@ var _ tracker.Sink = (*Client)(nil)
 type ClientOption func(*Client)
 
 // WithClientMetrics instruments the client: dials, frames and wire bytes
-// sent, and latched transport errors.
+// sent, drops, spill depth, and transport errors.
 func WithClientMetrics(m *metrics.TCPClientMetrics) ClientOption {
 	return func(c *Client) { c.metrics = m }
 }
 
+// WithDialTimeout bounds connection establishment (default
+// DefaultDialTimeout; d <= 0 keeps the default).
+func WithDialTimeout(d time.Duration) ClientOption {
+	return func(c *Client) {
+		if d > 0 {
+			c.dialTimeout = d
+		}
+	}
+}
+
+// WithWriteTimeout bounds each encode/flush on the connection (default
+// DefaultWriteTimeout; d <= 0 keeps the default).
+func WithWriteTimeout(d time.Duration) ClientOption {
+	return func(c *Client) {
+		if d > 0 {
+			c.writeTimeout = d
+		}
+	}
+}
+
+// WithReconnect makes the client self-healing (see Client). The zero
+// ReconnectConfig selects the documented defaults. With reconnect enabled,
+// Dial returns immediately without a synchronous connection attempt: the
+// supervisor establishes (and re-establishes) the connection in the
+// background, so the client is usable even while the analyzer is down.
+func WithReconnect(cfg ReconnectConfig) ClientOption {
+	return func(c *Client) { c.reconnect = cfg.withDefaults() }
+}
+
 // Dial connects to a synopsis server at addr. flushEvery bounds how long a
 // synopsis may sit in the user-space buffer (0 disables the background
-// flusher; Close still flushes).
+// flusher; Close still flushes). In reconnect mode delivery is batched and
+// flushed per batch, and flushEvery is ignored.
 func Dial(addr string, flushEvery time.Duration, opts ...ClientOption) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("stream: dial %s: %w", addr, err)
-	}
 	c := &Client{
-		conn: conn,
-		stop: make(chan struct{}),
-		done: make(chan struct{}),
+		addr:         addr,
+		flushEvery:   flushEvery,
+		dialTimeout:  DefaultDialTimeout,
+		writeTimeout: DefaultWriteTimeout,
+		stop:         make(chan struct{}),
+		done:         make(chan struct{}),
 	}
 	for _, opt := range opts {
 		opt(c)
 	}
+	if c.reconnect.SpillCapacity > 0 {
+		c.ring = newSpillRing(c.reconnect.SpillCapacity, func(n int) {
+			if m := c.metrics; m != nil {
+				m.SpillDepth.Set(float64(n))
+			}
+		})
+		c.wake = make(chan struct{}, 1)
+		go c.runReconnect()
+		return c, nil
+	}
+	conn, err := net.DialTimeout("tcp", addr, c.dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("stream: dial %s: %w", addr, err)
+	}
+	c.conn = conn
 	w := io.Writer(conn)
 	if m := c.metrics; m != nil {
 		m.Dials.Inc()
@@ -106,6 +175,7 @@ func (c *Client) flushLoop(every time.Duration) {
 		case <-ticker.C:
 			c.mu.Lock()
 			if c.err == nil && !c.closed {
+				c.armWriteDeadline()
 				c.err = c.enc.Flush()
 				if m := c.metrics; m != nil && c.err != nil {
 					m.Errors.Inc()
@@ -118,13 +188,45 @@ func (c *Client) flushLoop(every time.Duration) {
 	}
 }
 
-// Emit implements tracker.Sink.
+// armWriteDeadline refreshes the direct-mode connection's write deadline;
+// callers hold c.mu and are about to write.
+func (c *Client) armWriteDeadline() {
+	if c.writeTimeout > 0 && c.conn != nil {
+		_ = c.conn.SetWriteDeadline(time.Now().Add(c.writeTimeout))
+	}
+}
+
+// Emit implements tracker.Sink. It never blocks beyond the configured write
+// timeout; synopses that cannot be delivered (or buffered for delivery) are
+// dropped and counted in FramesDropped.
 func (c *Client) Emit(s *synopsis.Synopsis) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.err != nil || c.closed {
+	if c.ring != nil {
+		if c.closed {
+			if m := c.metrics; m != nil {
+				m.FramesDropped.Inc()
+			}
+			return
+		}
+		if evicted := c.ring.push(s); evicted > 0 {
+			if m := c.metrics; m != nil {
+				m.FramesDropped.Add(uint64(evicted))
+			}
+		}
+		select {
+		case c.wake <- struct{}{}:
+		default:
+		}
 		return
 	}
+	if c.err != nil || c.closed {
+		if m := c.metrics; m != nil {
+			m.FramesDropped.Inc()
+		}
+		return
+	}
+	c.armWriteDeadline()
 	c.err = c.enc.Encode(s)
 	if m := c.metrics; m != nil {
 		if c.err != nil {
@@ -135,16 +237,60 @@ func (c *Client) Emit(s *synopsis.Synopsis) {
 	}
 }
 
-// Err returns the latched transport error, if any.
+// Err returns the latched transport error (direct mode) or the most recent
+// transport error observed by the reconnect supervisor, if any.
 func (c *Client) Err() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.err
 }
 
-// Close flushes buffered synopses, stops the background flusher and closes
-// the connection.
+// setErr records the most recent transport error (reconnect supervisor).
+func (c *Client) setErr(err error) {
+	c.mu.Lock()
+	c.err = err
+	c.mu.Unlock()
+}
+
+// Spilled returns the number of synopses currently parked in the reconnect
+// spill ring (always 0 in direct mode).
+func (c *Client) Spilled() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ring == nil {
+		return 0
+	}
+	return c.ring.len()
+}
+
+// Close flushes buffered synopses, stops the background goroutine and
+// closes the connection. In reconnect mode it performs one final
+// best-effort drain of the spill ring (bounded by the dial and write
+// timeouts, never by the backoff schedule); synopses it cannot deliver are
+// counted in FramesDropped.
 func (c *Client) Close() error {
+	if c.ring != nil {
+		c.mu.Lock()
+		alreadyClosed := c.closed
+		c.closed = true
+		c.mu.Unlock()
+		if !alreadyClosed {
+			close(c.stop)
+		}
+		<-c.done
+		// An Emit racing Close may have pushed after the supervisor's
+		// final drain; sweep the ring so every synopsis is accounted.
+		c.mu.Lock()
+		if remaining := c.ring.len(); remaining > 0 {
+			c.ring.popBatch(remaining)
+			if m := c.metrics; m != nil {
+				m.FramesDropped.Add(uint64(remaining))
+			}
+		}
+		c.mu.Unlock()
+		return nil
+	}
+
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -152,6 +298,7 @@ func (c *Client) Close() error {
 		return nil
 	}
 	c.closed = true
+	c.armWriteDeadline()
 	flushErr := c.enc.Flush()
 	closeErr := c.conn.Close()
 	c.mu.Unlock()
@@ -170,7 +317,11 @@ func (c *Client) Close() error {
 
 // Server accepts TCP connections carrying synopsis streams and forwards
 // every decoded synopsis to a sink. Construct with Listen; stop with Close,
-// which waits for connection handlers to exit.
+// which waits for connection handlers to exit. The server is built to
+// outlive its clients: a connection that fails mid-stream is dropped
+// without disturbing the listener or other connections, and transient
+// accept errors are retried with backoff instead of killing the accept
+// loop.
 type Server struct {
 	ln      net.Listener
 	sink    tracker.Sink
@@ -179,6 +330,7 @@ type Server struct {
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
+	ended  uint64 // connections that have come and gone
 
 	wg sync.WaitGroup
 }
@@ -187,7 +339,8 @@ type Server struct {
 type ServerOption func(*Server)
 
 // WithServerMetrics instruments the server: accepted and open connections,
-// frames and wire bytes received, and per-connection protocol errors.
+// frames and wire bytes received, per-connection protocol errors, client
+// resyncs and retried accept errors.
 func WithServerMetrics(m *metrics.TCPServerMetrics) ServerOption {
 	return func(s *Server) { s.metrics = m }
 }
@@ -199,13 +352,20 @@ func Listen(addr string, sink tracker.Sink, opts ...ServerOption) (*Server, erro
 	if err != nil {
 		return nil, fmt.Errorf("stream: listen %s: %w", addr, err)
 	}
+	return NewServer(ln, sink, opts...), nil
+}
+
+// NewServer starts a server over an existing listener (an inherited socket,
+// or a fault-injection wrapper in the chaos tests) delivering synopses to
+// sink. The server takes ownership of ln.
+func NewServer(ln net.Listener, sink tracker.Sink, opts ...ServerOption) *Server {
 	s := &Server{ln: ln, sink: sink, conns: make(map[net.Conn]struct{})}
 	for _, opt := range opts {
 		opt(s)
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
-	return s, nil
+	return s
 }
 
 // Addr returns the server's listen address.
@@ -213,11 +373,30 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
+	retry := 5 * time.Millisecond
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
-			return // listener closed
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			// Transient accept failure (e.g. out of file descriptors,
+			// connection aborted before accept): back off briefly and
+			// keep listening — the analyzer must not go dark because one
+			// accept failed.
+			if m := s.metrics; m != nil {
+				m.AcceptErrors.Inc()
+			}
+			time.Sleep(retry)
+			if retry < time.Second {
+				retry *= 2
+			}
+			continue
 		}
+		retry = 5 * time.Millisecond
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -225,7 +404,17 @@ func (s *Server) acceptLoop() {
 			return
 		}
 		s.conns[conn] = struct{}{}
+		resync := s.ended > 0
 		s.mu.Unlock()
+		if m := s.metrics; m != nil {
+			// A resync is an accept after a prior connection came and went —
+			// on this server, or (visible through the shared metric bundle as
+			// total connections exceeding currently open ones) on a previous
+			// incarnation before a restart.
+			if resync || float64(m.Connections.Value()) > m.OpenConnections.Value() {
+				m.Resyncs.Inc()
+			}
+		}
 		s.wg.Add(1)
 		go s.handle(conn)
 	}
@@ -242,6 +431,7 @@ func (s *Server) handle(conn net.Conn) {
 		_ = conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
+		s.ended++
 		s.mu.Unlock()
 		if m != nil {
 			m.OpenConnections.Add(-1)

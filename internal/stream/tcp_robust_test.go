@@ -1,0 +1,302 @@
+package stream
+
+import (
+	"encoding/binary"
+	"net"
+	"testing"
+	"time"
+
+	"saad/internal/metrics"
+	"saad/internal/synopsis"
+	"saad/internal/vtime"
+)
+
+// waitUntil polls cond until it holds or the deadline passes.
+func waitUntil(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestSpillRingDropOldest(t *testing.T) {
+	ring := newSpillRing(3, nil)
+	evicted := 0
+	for i := 1; i <= 5; i++ {
+		evicted += ring.push(syn(uint64(i)))
+	}
+	if evicted != 2 {
+		t.Fatalf("evicted = %d, want 2", evicted)
+	}
+	got := ring.popBatch(10)
+	if len(got) != 3 {
+		t.Fatalf("len = %d, want 3", len(got))
+	}
+	// Oldest-first order, with the two oldest (1, 2) evicted.
+	for i, want := range []uint64{3, 4, 5} {
+		if got[i].TaskID != want {
+			t.Fatalf("got[%d].TaskID = %d, want %d", i, got[i].TaskID, want)
+		}
+	}
+}
+
+func TestSpillRingPushFrontReplayOrder(t *testing.T) {
+	ring := newSpillRing(4, nil)
+	ring.push(syn(3))
+	ring.push(syn(4))
+	// Replay a batch that was popped before 3 and 4 arrived.
+	if evicted := ring.pushFront([]*synopsis.Synopsis{syn(1), syn(2)}); evicted != 0 {
+		t.Fatalf("evicted = %d, want 0", evicted)
+	}
+	got := ring.popBatch(4)
+	for i, want := range []uint64{1, 2, 3, 4} {
+		if got[i].TaskID != want {
+			t.Fatalf("got[%d].TaskID = %d, want %d", i, got[i].TaskID, want)
+		}
+	}
+}
+
+func TestSpillRingPushFrontOverflowDropsOldest(t *testing.T) {
+	ring := newSpillRing(3, nil)
+	ring.push(syn(4))
+	ring.push(syn(5))
+	// Only one slot left: replaying {1,2} must drop the oldest (1).
+	if evicted := ring.pushFront([]*synopsis.Synopsis{syn(1), syn(2)}); evicted != 1 {
+		t.Fatalf("evicted = %d, want 1", evicted)
+	}
+	got := ring.popBatch(3)
+	for i, want := range []uint64{2, 4, 5} {
+		if got[i].TaskID != want {
+			t.Fatalf("got[%d].TaskID = %d, want %d", i, got[i].TaskID, want)
+		}
+	}
+}
+
+func TestReconnectConfigDefaults(t *testing.T) {
+	rc := ReconnectConfig{}.withDefaults()
+	if rc.InitialBackoff != 50*time.Millisecond || rc.MaxBackoff != 5*time.Second ||
+		rc.Multiplier != 2 || rc.Jitter != 0.2 || rc.SpillCapacity != 8192 ||
+		rc.BatchSize != 128 || rc.Seed != 1 {
+		t.Fatalf("unexpected defaults: %+v", rc)
+	}
+	rc = ReconnectConfig{InitialBackoff: time.Minute, MaxBackoff: time.Second}.withDefaults()
+	if rc.MaxBackoff != time.Minute {
+		t.Fatalf("MaxBackoff = %v, want clamped to InitialBackoff", rc.MaxBackoff)
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	rng := vtime.NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		d := jitter(time.Second, 0.2, rng)
+		if d < 800*time.Millisecond || d > 1200*time.Millisecond {
+			t.Fatalf("jitter produced %v outside ±20%%", d)
+		}
+	}
+	if d := jitter(time.Second, 0, rng); d != time.Second {
+		t.Fatalf("zero jitter changed the delay: %v", d)
+	}
+}
+
+// TestReconnectDialLaterDelivers: with reconnect enabled, Dial succeeds
+// while the analyzer is still down; synopses spill and are replayed once a
+// server appears.
+func TestReconnectDialLaterDelivers(t *testing.T) {
+	// Reserve an address that is down for now.
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.Addr().String()
+	if err := probe.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := metrics.NewRegistry()
+	cm := metrics.NewTCPClientMetrics(reg)
+	cli, err := Dial(addr, 0,
+		WithReconnect(ReconnectConfig{InitialBackoff: 5 * time.Millisecond, MaxBackoff: 50 * time.Millisecond}),
+		WithClientMetrics(cm))
+	if err != nil {
+		t.Fatalf("reconnecting Dial failed against a down analyzer: %v", err)
+	}
+	const n = 100
+	for i := 0; i < n; i++ {
+		cli.Emit(syn(uint64(i)))
+	}
+
+	got := NewChannel(1 << 12)
+	srv, err := Listen(addr, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	waitUntil(t, 10*time.Second, "spilled synopses to be replayed", func() bool {
+		return got.Emitted() >= n
+	})
+	if err := cli.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if d := cm.FramesDropped.Value(); d != 0 {
+		t.Fatalf("FramesDropped = %d, want 0", d)
+	}
+	if s := cm.FramesSent.Value(); s != n {
+		t.Fatalf("FramesSent = %d, want %d", s, n)
+	}
+}
+
+// TestReconnectSpillOverflowAccounting: with the analyzer down for good, a
+// tiny spill ring drops the oldest synopses and every emit is accounted for
+// as dropped by the time the client closes.
+func TestReconnectSpillOverflowAccounting(t *testing.T) {
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.Addr().String()
+	if err := probe.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := metrics.NewRegistry()
+	cm := metrics.NewTCPClientMetrics(reg)
+	cli, err := Dial(addr, 0,
+		WithReconnect(ReconnectConfig{
+			InitialBackoff: 20 * time.Millisecond,
+			MaxBackoff:     100 * time.Millisecond,
+			SpillCapacity:  8,
+		}),
+		WithClientMetrics(cm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		cli.Emit(syn(uint64(i)))
+	}
+	if sp := cli.Spilled(); sp > 8 {
+		t.Fatalf("Spilled = %d exceeds capacity 8", sp)
+	}
+	if err := cli.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if d := cm.FramesDropped.Value(); d != n {
+		t.Fatalf("FramesDropped = %d, want %d (every emit accounted)", d, n)
+	}
+	if s := cm.FramesSent.Value(); s != 0 {
+		t.Fatalf("FramesSent = %d, want 0", s)
+	}
+}
+
+// TestServerSurvivesMalformedFrames drives the listener through a table of
+// corrupt and truncated frames; after each one the listener and a
+// well-behaved connection must still work, and the protocol error must be
+// counted.
+func TestServerSurvivesMalformedFrames(t *testing.T) {
+	appendUvarints := func(vals ...uint64) []byte {
+		var b []byte
+		for _, v := range vals {
+			b = binary.AppendUvarint(b, v)
+		}
+		return b
+	}
+	validRecord := synopsis.AppendRecord(nil, syn(1))
+
+	cases := []struct {
+		name    string
+		payload []byte
+		// extraFrames is how many well-formed frames precede the garbage
+		// and must still be delivered.
+		extraFrames uint64
+	}{
+		{name: "length-prefix-over-limit", payload: []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}},
+		{name: "unterminated-length-varint", payload: []byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80}},
+		{name: "truncated-body", payload: appendUvarints(100, 1, 2, 3)},
+		{name: "point-count-exceeds-body", payload: func() []byte {
+			body := appendUvarints(1, 1, 1, 1, 1, 1<<40)
+			return append(binary.AppendUvarint(nil, uint64(len(body))), body...)
+		}()},
+		{name: "garbage-after-valid-frame", payload: append(append([]byte{}, validRecord...), 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f), extraFrames: 1},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := NewChannel(64)
+			reg := metrics.NewRegistry()
+			sm := metrics.NewTCPServerMetrics(reg)
+			srv, err := Listen("127.0.0.1:0", got, WithServerMetrics(sm))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+
+			conn, err := net.Dial("tcp", srv.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := conn.Write(tc.payload); err != nil {
+				t.Fatal(err)
+			}
+			// Close before waiting: a truncated body only turns into a
+			// decode error once the stream ends.
+			_ = conn.Close()
+			waitUntil(t, 10*time.Second, "protocol error to be counted", func() bool {
+				return sm.ConnErrors.Value() == 1
+			})
+			if fr := sm.FramesReceived.Value(); fr != tc.extraFrames {
+				t.Fatalf("FramesReceived = %d, want %d", fr, tc.extraFrames)
+			}
+
+			// The listener must still serve a well-behaved client.
+			cli, err := Dial(srv.Addr(), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cli.Emit(syn(42))
+			if err := cli.Close(); err != nil {
+				t.Fatal(err)
+			}
+			waitUntil(t, 10*time.Second, "well-behaved frame after garbage", func() bool {
+				return got.Emitted() >= tc.extraFrames+1
+			})
+			if o := sm.OpenConnections.Value(); o != 0 {
+				t.Fatalf("OpenConnections = %v, want 0", o)
+			}
+		})
+	}
+}
+
+// TestServerResyncCounter: a second connection arriving after the first
+// ended counts as a client resync.
+func TestServerResyncCounter(t *testing.T) {
+	reg := metrics.NewRegistry()
+	sm := metrics.NewTCPServerMetrics(reg)
+	srv, err := Listen("127.0.0.1:0", nil, WithServerMetrics(sm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	for i := 0; i < 2; i++ {
+		cli, err := Dial(srv.Addr(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cli.Emit(syn(uint64(i)))
+		if err := cli.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Wait for the server handler to fully retire the connection so
+		// the next connection is a resync, not a concurrent stream.
+		waitUntil(t, 10*time.Second, "connection handler to retire", func() bool {
+			return sm.OpenConnections.Value() == 0 && sm.Connections.Value() == uint64(i+1)
+		})
+	}
+	if r := sm.Resyncs.Value(); r != 1 {
+		t.Fatalf("Resyncs = %d, want 1", r)
+	}
+}

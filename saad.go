@@ -98,6 +98,13 @@ type (
 	AnomalyEvent = report.AnomalyEvent
 	// EventWriter streams anomalies as JSONL for machine consumption.
 	EventWriter = report.EventWriter
+
+	// StreamClientOption customizes DialAnalyzer (timeouts, metrics,
+	// reconnect behaviour).
+	StreamClientOption = stream.ClientOption
+	// ReconnectConfig tunes the self-healing transport enabled by
+	// WithReconnect: backoff schedule and spill-ring capacity.
+	ReconnectConfig = stream.ReconnectConfig
 )
 
 // Log levels (log4j-compatible).
@@ -145,6 +152,14 @@ func ReadModel(r io.Reader) (*Model, error) { return analyzer.ReadModel(r) }
 // NewDetector returns an online detector for the trained model.
 func NewDetector(m *Model) *Detector { return analyzer.NewDetector(m) }
 
+// ReadCheckpoint rebuilds a detector — model plus live window state — from
+// a checkpoint written with Detector.WriteCheckpoint.
+func ReadCheckpoint(r io.Reader) (*Detector, error) { return analyzer.ReadCheckpoint(r) }
+
+// LoadCheckpointFile rebuilds a detector from a checkpoint file written
+// atomically by Detector.WriteCheckpointFile.
+func LoadCheckpointFile(path string) (*Detector, error) { return analyzer.LoadCheckpointFile(path) }
+
 // NewAlarmFilter returns an anomaly de-bouncer: anomalies pass only when
 // the same (host, stage, kind) group alarmed in minWindows of the last
 // span windows.
@@ -166,10 +181,25 @@ func NewSpawner(dict *Dictionary, tr *Tracker, name string, now func() time.Time
 func NewChannelSink(capacity int) *stream.Channel { return stream.NewChannel(capacity) }
 
 // DialAnalyzer connects a synopsis stream to a remote analyzer (see
-// cmd/saad-analyzer). flushEvery bounds buffering latency.
-func DialAnalyzer(addr string, flushEvery time.Duration) (*stream.Client, error) {
-	return stream.Dial(addr, flushEvery)
+// cmd/saad-analyzer). flushEvery bounds buffering latency. With
+// WithReconnect the client survives analyzer outages: it spills synopses to
+// a bounded in-memory ring and replays them after redialling with backoff.
+func DialAnalyzer(addr string, flushEvery time.Duration, opts ...StreamClientOption) (*stream.Client, error) {
+	return stream.Dial(addr, flushEvery, opts...)
 }
+
+// WithReconnect makes DialAnalyzer self-healing: the client redials with
+// capped exponential backoff + jitter and buffers synopses in a bounded
+// spill ring (drop-oldest) across outages. The zero ReconnectConfig selects
+// the documented defaults.
+func WithReconnect(cfg ReconnectConfig) StreamClientOption { return stream.WithReconnect(cfg) }
+
+// WithDialTimeout bounds each connection attempt of DialAnalyzer.
+func WithDialTimeout(d time.Duration) StreamClientOption { return stream.WithDialTimeout(d) }
+
+// WithWriteTimeout bounds each synopsis flush of DialAnalyzer so a stalled
+// analyzer cannot block the tracker indefinitely.
+func WithWriteTimeout(d time.Duration) StreamClientOption { return stream.WithWriteTimeout(d) }
 
 // ListenSynopses starts a TCP server delivering decoded synopses to sink.
 func ListenSynopses(addr string, sink Sink) (*stream.Server, error) {
