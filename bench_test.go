@@ -9,6 +9,8 @@
 package saad_test
 
 import (
+	"os"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -212,6 +214,132 @@ func BenchmarkDetectorFeed(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		det.Feed(trace[i%len(trace)])
+	}
+}
+
+// engineBenchModel trains a model and builds a 16-host feed trace whose
+// timestamps stay inside one detection window, so repeated replay never
+// closes windows (steady-state hot-path cost, no flush spikes).
+func engineBenchModel(tb testing.TB) (*saad.Model, []*saad.Synopsis) {
+	tb.Helper()
+	epoch := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	rng := vtime.NewRNG(1)
+	var trace []*synopsis.Synopsis
+	for i := 0; i < 50000; i++ {
+		s := &synopsis.Synopsis{
+			Stage: 1, Host: 1, TaskID: uint64(i),
+			Start:    epoch.Add(time.Duration(i) * time.Millisecond),
+			Duration: 10*time.Millisecond + time.Duration(rng.Intn(int(2*time.Millisecond))),
+			Points: []synopsis.PointCount{
+				{Point: 1, Count: 1}, {Point: 2, Count: uint32(rng.Intn(20) + 1)},
+				{Point: 3, Count: 1}, {Point: 4, Count: 1}, {Point: 5, Count: 1},
+			},
+		}
+		s.Normalize()
+		trace = append(trace, s)
+	}
+	model, err := saad.Train(saad.DefaultAnalyzerConfig(), trace)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	// Feed trace: 16 hosts interleaved round-robin, spanning ~40s < the
+	// 1-minute window.
+	var feed []*synopsis.Synopsis
+	for i := 0; i < 20000; i++ {
+		s := &synopsis.Synopsis{
+			Stage: 1, Host: uint16(i%16 + 1), TaskID: uint64(i),
+			Start:    epoch.Add(time.Duration(i) * 2 * time.Millisecond),
+			Duration: 10*time.Millisecond + time.Duration(rng.Intn(int(2*time.Millisecond))),
+			Points: []synopsis.PointCount{
+				{Point: 1, Count: 1}, {Point: 2, Count: uint32(rng.Intn(20) + 1)},
+				{Point: 3, Count: 1}, {Point: 4, Count: 1}, {Point: 5, Count: 1},
+			},
+		}
+		s.Normalize()
+		feed = append(feed, s)
+	}
+	return model, feed
+}
+
+// BenchmarkEngineFeed measures sharded-engine synopsis throughput across
+// shard counts; compare against BenchmarkDetectorFeed for the single
+// in-line detector baseline. FeedBatch amortizes the channel hop, Drain is
+// the consumption barrier so per-op time covers detection work, not just
+// enqueueing.
+func BenchmarkEngineFeed(b *testing.B) {
+	model, feed := engineBenchModel(b)
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run("shards="+itoa(shards), func(b *testing.B) {
+			eng := saad.NewEngine(model, saad.WithShards(shards))
+			defer eng.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			fed := 0
+			for fed < b.N {
+				n := len(feed)
+				if rest := b.N - fed; rest < n {
+					n = rest
+				}
+				eng.FeedBatch(feed[:n])
+				fed += n
+			}
+			eng.Drain()
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// TestEngineScalingSmoke guards the tentpole's reason to exist: a
+// multi-shard engine must not be slower than one shard on a multi-group
+// stream. Gated behind SAAD_SCALING_SMOKE=1 because wall-clock assertions
+// are hostile to loaded CI machines; the dedicated CI step opts in.
+func TestEngineScalingSmoke(t *testing.T) {
+	if os.Getenv("SAAD_SCALING_SMOKE") != "1" {
+		t.Skip("set SAAD_SCALING_SMOKE=1 to run the wall-clock scaling check")
+	}
+	model, feed := engineBenchModel(t)
+	shards := runtime.GOMAXPROCS(0)
+	if shards > 4 {
+		shards = 4
+	}
+	if shards < 2 {
+		t.Skip("needs at least 2 CPUs to demonstrate scaling")
+	}
+	const rounds = 25
+	run := func(n int) time.Duration {
+		eng := saad.NewEngine(model, saad.WithShards(n))
+		defer eng.Close()
+		// Warm up interning and window state outside the timed region.
+		eng.FeedBatch(feed)
+		eng.Drain()
+		start := time.Now()
+		for i := 0; i < rounds; i++ {
+			eng.FeedBatch(feed)
+		}
+		eng.Drain()
+		return time.Since(start)
+	}
+	single := run(1)
+	multi := run(shards)
+	t.Logf("1 shard: %v, %d shards: %v (%.2fx)", single, shards, multi,
+		float64(single)/float64(multi))
+	// Require only parity-or-better: the margin absorbs scheduler noise
+	// while still catching a refactor that serializes the shard workers.
+	if float64(multi) > 1.1*float64(single) {
+		t.Fatalf("%d-shard engine slower than 1 shard: %v vs %v", shards, multi, single)
 	}
 }
 

@@ -11,6 +11,12 @@
 //
 //	saad-analyzer -listen :7077 -model model.json -dict dict.json
 //
+// Detection runs on a sharded concurrent engine: synopses are routed across
+// -shards workers (default GOMAXPROCS) by hashing the (host, stage) group
+// key, with bit-identical detection semantics at any shard count:
+//
+//	saad-analyzer -listen :7077 -model model.json -shards 8
+//
 // Self-observability (all opt-in):
 //
 //	-http :9090            Prometheus /metrics, /debug/vars and pprof
@@ -35,6 +41,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -69,6 +76,7 @@ func run(args []string) error {
 		statsIntv = fs.Duration("stats-interval", 30*time.Second, "stderr stats heartbeat interval (detect mode; 0 = off)")
 		ckptPath  = fs.String("checkpoint", "", "restore detector state from this file at startup and persist it periodically (detect mode; empty = off)")
 		ckptIntv  = fs.Duration("checkpoint-interval", 30*time.Second, "how often to persist the checkpoint (detect mode; 0 = only at shutdown)")
+		shards    = fs.Int("shards", 0, "analyzer shard workers (detect mode; 0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -100,6 +108,7 @@ func run(args []string) error {
 		statsInterval:      *statsIntv,
 		checkpointPath:     *ckptPath,
 		checkpointInterval: *ckptIntv,
+		shards:             *shards,
 	})
 }
 
@@ -169,25 +178,64 @@ type detectOptions struct {
 	statsInterval      time.Duration
 	checkpointPath     string          // persist/restore detector state ("" = off)
 	checkpointInterval time.Duration   // 0 = only at shutdown
+	shards             int             // engine shard workers (0 = GOMAXPROCS)
 	stop               <-chan struct{} // optional programmatic shutdown (tests)
 }
 
-// detectMode loads the model — or restores a full detector checkpoint when
-// one exists — and prints anomalies as they are detected.
+// detectMode loads the model — or restores a full checkpoint when one
+// exists — and runs the sharded analyzer engine as the TCP server's sink:
+// every connection handler feeds decoded synopses straight into the engine,
+// which fans them out across shard workers by (host, stage). Anomalies are
+// printed (and logged) from the engine's anomaly sink as windows close.
 func detectMode(listen, modelPath string, dict *logpoint.Dictionary, opts detectOptions) error {
-	var det *analyzer.Detector
+	// The full pipeline family is registered even though the standalone
+	// analyzer tracks no tasks itself: every series exists at zero, so the
+	// scrape schema is identical to an embedded Monitor's.
+	pipe := metrics.NewPipeline(metrics.NewRegistry())
+	pipe.Monitor.Mode.Set(2) // detecting
+
+	// The anomaly sink runs on shard worker goroutines; the mutex serializes
+	// report output and latches the first event-log write error (a dead
+	// event log must not stop detection mid-stream — the error surfaces at
+	// shutdown).
+	var (
+		sinkMu    sync.Mutex
+		anomalies int
+		sinkErr   error
+		events    *report.EventWriter
+	)
+	emit := func(found []analyzer.Anomaly) {
+		sinkMu.Lock()
+		defer sinkMu.Unlock()
+		anomalies += len(found)
+		for _, a := range found {
+			fmt.Println(report.FormatAnomaly(a, dict))
+		}
+		if events != nil && len(found) > 0 {
+			if err := events.WriteAll(found); err != nil && sinkErr == nil {
+				sinkErr = err
+			}
+		}
+	}
+
+	engineOpts := []analyzer.EngineOption{
+		analyzer.WithShards(opts.shards),
+		analyzer.WithEngineMetrics(pipe.Analyzer),
+		analyzer.WithAnomalySink(emit),
+	}
+	var eng *analyzer.Engine
 	if opts.checkpointPath != "" {
 		if _, statErr := os.Stat(opts.checkpointPath); statErr == nil {
-			restored, err := analyzer.LoadCheckpointFile(opts.checkpointPath)
+			restored, err := analyzer.LoadEngineCheckpointFile(opts.checkpointPath, engineOpts...)
 			if err != nil {
 				return fmt.Errorf("restore checkpoint %s: %w", opts.checkpointPath, err)
 			}
-			det = restored
+			eng = restored
 			fmt.Printf("restored checkpoint %s (%d tasks pending in open windows)\n",
-				opts.checkpointPath, det.PendingTasks())
+				opts.checkpointPath, eng.PendingTasks())
 		}
 	}
-	if det == nil {
+	if eng == nil {
 		f, err := os.Open(modelPath)
 		if err != nil {
 			return err
@@ -200,49 +248,54 @@ func detectMode(listen, modelPath string, dict *logpoint.Dictionary, opts detect
 		if closeErr != nil {
 			return closeErr
 		}
-		det = analyzer.NewDetector(model)
+		eng = analyzer.NewEngine(model, engineOpts...)
 	}
-	model := det.Model()
+	model := eng.Model()
 
-	// The full pipeline family is registered even though the standalone
-	// analyzer tracks no tasks itself: every series exists at zero, so the
-	// scrape schema is identical to an embedded Monitor's.
-	pipe := metrics.NewPipeline(metrics.NewRegistry())
-	pipe.Monitor.Mode.Set(2) // detecting
-
-	ch := stream.NewChannel(1 << 16)
-	ch.RegisterMetrics(pipe.Registry)
-	srvMetrics := metrics.NewTCPServerMetrics(pipe.Registry)
-	srv, err := stream.Listen(listen, ch, stream.WithServerMetrics(srvMetrics))
-	if err != nil {
+	var closers []func() error // teardown for early error returns, LIFO
+	fail := func(err error) error {
+		for i := len(closers) - 1; i >= 0; i-- {
+			_ = closers[i]()
+		}
+		_ = eng.Close()
 		return err
 	}
-	fmt.Printf("detecting: listening on %s (model trained on %d synopses)\n", srv.Addr(), model.TrainedOn)
+
+	if opts.eventsPath != "" {
+		ef, err := os.OpenFile(opts.eventsPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fail(err)
+		}
+		closers = append(closers, sync.OnceValue(ef.Close))
+		events = report.NewEventWriter(ef, dict, model.Config.Window)
+	}
+	closeEvents := func() error { return nil }
+	if len(closers) > 0 {
+		closeEvents = closers[len(closers)-1]
+	}
+
+	// The engine is the server's sink: each connection handler's Emit routes
+	// directly to the owning shard, so connections are decoded in parallel
+	// and the per-connection synopsis order is preserved per (host, stage)
+	// group — exactly the ordering the detection semantics need.
+	srvMetrics := metrics.NewTCPServerMetrics(pipe.Registry)
+	srv, err := stream.Listen(listen, eng, stream.WithServerMetrics(srvMetrics))
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Printf("detecting: listening on %s (model trained on %d synopses, %d shards)\n",
+		srv.Addr(), model.TrainedOn, eng.Shards())
 
 	if opts.httpAddr != "" {
 		msrv, err := metrics.Serve(opts.httpAddr, pipe.Registry)
 		if err != nil {
 			_ = srv.Close()
-			return err
+			return fail(err)
 		}
 		defer func() { _ = msrv.Close() }()
 		fmt.Printf("metrics: http://%s/metrics (also /debug/vars, /debug/pprof)\n", msrv.Addr())
 	}
 
-	var events *report.EventWriter
-	closeEvents := func() error { return nil }
-	if opts.eventsPath != "" {
-		ef, err := os.OpenFile(opts.eventsPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
-			_ = srv.Close()
-			return err
-		}
-		closeEvents = sync.OnceValue(ef.Close)
-		defer func() { _ = closeEvents() }() // backstop for error returns
-		events = report.NewEventWriter(ef, dict, model.Config.Window)
-	}
-
-	det.SetMetrics(pipe.Analyzer)
 	interrupt := make(chan os.Signal, 1)
 	signal.Notify(interrupt, os.Interrupt, syscall.SIGTERM)
 
@@ -259,64 +312,49 @@ func detectMode(listen, modelPath string, dict *logpoint.Dictionary, opts detect
 		checkpoint = ticker.C
 	}
 
-	processed, anomalies := 0, 0
-	emit := func(found []analyzer.Anomaly) error {
-		anomalies += len(found)
-		for _, a := range found {
-			fmt.Println(report.FormatAnomaly(a, dict))
-		}
-		if events != nil && len(found) > 0 {
-			return events.WriteAll(found)
-		}
-		return nil
-	}
-	// shutdown is the graceful exit: stop accepting, drain what already
-	// arrived, flush open windows (reporting their anomalies), persist the
-	// final checkpoint, and close the event log — in that order, collecting
-	// the first error without skipping later steps.
+	// shutdown is the graceful exit: stop accepting (which waits for the
+	// connection handlers, so everything received is enqueued on a shard),
+	// flush open windows (their anomalies reach the sink), persist the final
+	// checkpoint, stop the shard workers, and close the event log — in that
+	// order, collecting the first error without skipping later steps.
 	shutdown := func() error {
-		err := srv.Close() // waits for connection handlers: ch has everything received
-		for {
-			select {
-			case s := <-ch.C():
-				processed++
-				if emitErr := emit(det.Feed(s)); err == nil {
-					err = emitErr
-				}
-				continue
-			default:
-			}
-			break
-		}
-		if emitErr := emit(det.Flush()); err == nil {
-			err = emitErr
-		}
+		err := srv.Close()
+		eng.Flush()
 		if opts.checkpointPath != "" {
-			if ckErr := det.WriteCheckpointFile(opts.checkpointPath); err == nil {
+			if ckErr := eng.WriteCheckpointFile(opts.checkpointPath); err == nil {
 				err = ckErr
 			}
 		}
+		if closeErr := eng.Close(); err == nil {
+			err = closeErr
+		}
+		sinkMu.Lock()
+		if err == nil {
+			err = sinkErr
+		}
+		sinkMu.Unlock()
 		if closeErr := closeEvents(); err == nil {
 			err = closeErr
 		}
-		fmt.Printf("processed %d synopses (%d dropped)\n", processed, ch.Dropped())
+		fmt.Printf("processed %d synopses (%d late)\n", eng.Fed(), eng.LateSynopses())
 		return err
 	}
 	for {
 		select {
-		case s := <-ch.C():
-			processed++
-			if err := emit(det.Feed(s)); err != nil {
-				_ = srv.Close()
-				return err
-			}
 		case <-heartbeat:
-			fmt.Fprintf(os.Stderr, "saad-analyzer: processed=%d dropped=%d anomalies=%d goroutines=%d\n",
-				processed, ch.Dropped(), anomalies, runtime.NumGoroutine())
+			sinkMu.Lock()
+			found := anomalies
+			sinkMu.Unlock()
+			var shardLine strings.Builder
+			for _, st := range eng.ShardStats() {
+				fmt.Fprintf(&shardLine, " s%d=%d/p%d/q%d", st.Shard, st.Fed, st.Pending, st.QueueLen)
+			}
+			fmt.Fprintf(os.Stderr, "saad-analyzer: processed=%d anomalies=%d shards=%d goroutines=%d%s\n",
+				eng.Fed(), found, eng.Shards(), runtime.NumGoroutine(), shardLine.String())
 		case <-checkpoint:
 			// A failed periodic checkpoint must not stop detection; the
 			// shutdown checkpoint still gets a chance to persist state.
-			if err := det.WriteCheckpointFile(opts.checkpointPath); err != nil {
+			if err := eng.WriteCheckpointFile(opts.checkpointPath); err != nil {
 				fmt.Fprintln(os.Stderr, "saad-analyzer: checkpoint:", err)
 			}
 		case <-interrupt:

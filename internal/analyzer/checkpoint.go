@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"time"
 
 	"saad/internal/logpoint"
@@ -27,6 +28,10 @@ type checkpointJSON struct {
 	Model   modelJSON         `json:"model"`
 	Windows []windowJSON      `json:"windows,omitempty"`
 	History []windowStatsJSON `json:"history,omitempty"`
+	// Late carries the dropped late-synopsis count across restarts. Old
+	// checkpoints without the field read as zero; new checkpoints stay
+	// readable by the same version (additive change).
+	Late uint64 `json:"late,omitempty"`
 }
 
 type windowJSON struct {
@@ -86,17 +91,17 @@ func decodeSynopses(in []string) ([]*synopsis.Synopsis, error) {
 	return out, nil
 }
 
-// WriteCheckpoint serializes the detector — model and live window state —
-// as JSON; it implements io.WriterTo. The detector can keep feeding after a
-// checkpoint; nothing is consumed.
-func (d *Detector) WriteCheckpoint(w io.Writer) (int64, error) {
-	out := checkpointJSON{Version: checkpointVersion, Model: d.model.toJSON()}
-
+// windowsJSON snapshots the detector's open windows in deterministic (host,
+// stage) order. The engine reuses this per shard and merges the sections:
+// group keys are unique across shards, so concatenating per-shard sections
+// and sorting yields exactly a single detector's checkpoint layout.
+func (d *Detector) windowsJSON() []windowJSON {
 	keys := make([]groupKey, 0, len(d.open))
 	for k := range d.open {
 		keys = append(keys, k)
 	}
 	sortGroupKeys(keys)
+	out := make([]windowJSON, 0, len(keys))
 	for _, k := range keys {
 		ws := d.open[k]
 		wj := windowJSON{
@@ -115,19 +120,33 @@ func (d *Detector) WriteCheckpoint(w io.Writer) (int64, error) {
 				Examples:     encodeSynopses(ev.examples),
 			})
 		}
-		for _, sig := range sortedSignatures(ws.perSig) {
-			sw := ws.perSig[sig]
+		// Interned ids sort like their signatures, so iterating ids in
+		// numeric order keeps the serialized order lexicographic.
+		sm := d.model.Stage(k.stage)
+		ids := make([]int32, 0, len(ws.perSig))
+		for id := range ws.perSig {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			sw := ws.perSig[id]
 			wj.PerSig = append(wj.PerSig, sigWindowJSON{
-				SignatureHex: hex.EncodeToString([]byte(sig)),
+				SignatureHex: hex.EncodeToString([]byte(sm.sigByID[id].Signature)),
 				Tasks:        sw.tasks,
 				PerfOutliers: sw.perfOutliers,
 				Examples:     encodeSynopses(sw.examples),
 			})
 		}
-		out.Windows = append(out.Windows, wj)
+		out = append(out, wj)
 	}
+	return out
+}
+
+// historyJSON snapshots the closed-window history in close order.
+func (d *Detector) historyJSON() []windowStatsJSON {
+	out := make([]windowStatsJSON, 0, len(d.stats))
 	for _, st := range d.stats {
-		out.History = append(out.History, windowStatsJSON{
+		out = append(out, windowStatsJSON{
 			Stage:        st.Stage,
 			Host:         st.Host,
 			WindowUnixNs: st.Window.UnixNano(),
@@ -136,7 +155,24 @@ func (d *Detector) WriteCheckpoint(w io.Writer) (int64, error) {
 			PerfOutliers: st.PerfOutliers,
 		})
 	}
+	return out
+}
 
+// WriteCheckpoint serializes the detector — model and live window state —
+// as JSON; it implements io.WriterTo. The detector can keep feeding after a
+// checkpoint; nothing is consumed.
+func (d *Detector) WriteCheckpoint(w io.Writer) (int64, error) {
+	out := checkpointJSON{
+		Version: checkpointVersion,
+		Model:   d.model.toJSON(),
+		Windows: d.windowsJSON(),
+		History: d.historyJSON(),
+		Late:    d.late,
+	}
+	return writeCheckpointJSON(w, out)
+}
+
+func writeCheckpointJSON(w io.Writer, out checkpointJSON) (int64, error) {
 	cw := &countingWriter{w: w}
 	enc := json.NewEncoder(cw)
 	enc.SetIndent("", "  ")
@@ -167,7 +203,7 @@ func ReadCheckpoint(r io.Reader) (*Detector, error) {
 			tasks:        wj.Tasks,
 			flowOutliers: wj.FlowOutliers,
 			newSigs:      make(map[synopsis.Signature]*sigEvidence, len(wj.NewSigs)),
-			perSig:       make(map[synopsis.Signature]*sigWindow, len(wj.PerSig)),
+			perSig:       make(map[int32]*sigWindow, len(wj.PerSig)),
 		}
 		if ws.flowExamples, err = decodeSynopses(wj.FlowExamples); err != nil {
 			return nil, fmt.Errorf("analyzer: checkpoint window host=%d stage=%d: %w", wj.Host, wj.Stage, err)
@@ -179,12 +215,25 @@ func ReadCheckpoint(r io.Reader) (*Detector, error) {
 			}
 			ws.newSigs[sig] = &sigEvidence{count: ej.Count, examples: examples}
 		}
+		sm := model.Stage(wj.Stage)
 		for _, sj := range wj.PerSig {
 			sig, examples, err := decodeSigEntry(sj.SignatureHex, sj.Examples)
 			if err != nil {
 				return nil, fmt.Errorf("analyzer: checkpoint window host=%d stage=%d: %w", wj.Host, wj.Stage, err)
 			}
-			ws.perSig[sig] = &sigWindow{tasks: sj.Tasks, perfOutliers: sj.PerfOutliers, examples: examples}
+			// perSig entries only ever hold model-known signatures, so a
+			// miss means the checkpoint does not match its own model.
+			var (
+				id int32
+				ok bool
+			)
+			if sm != nil {
+				id, ok = sm.sigIDs[string(sig)]
+			}
+			if !ok {
+				return nil, fmt.Errorf("analyzer: checkpoint window host=%d stage=%d: signature %s not in model", wj.Host, wj.Stage, sig)
+			}
+			ws.perSig[id] = &sigWindow{tasks: sj.Tasks, perfOutliers: sj.PerfOutliers, examples: examples}
 		}
 		d.open[groupKey{host: wj.Host, stage: wj.Stage}] = ws
 	}
@@ -198,6 +247,7 @@ func ReadCheckpoint(r io.Reader) (*Detector, error) {
 			PerfOutliers: st.PerfOutliers,
 		})
 	}
+	d.late = raw.Late
 	return d, nil
 }
 
@@ -218,13 +268,22 @@ func decodeSigEntry(sigHex string, examples []string) (synopsis.Signature, []*sy
 // place, so a crash mid-write never leaves a truncated checkpoint where the
 // next startup would read it.
 func (d *Detector) WriteCheckpointFile(path string) error {
+	return writeCheckpointFileAtomic(path, func(w io.Writer) error {
+		_, err := d.WriteCheckpoint(w)
+		return err
+	})
+}
+
+// writeCheckpointFileAtomic runs write against a same-directory temp file,
+// syncs, and renames it into place (shared by Detector and Engine).
+func writeCheckpointFileAtomic(path string, write func(io.Writer) error) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("analyzer: checkpoint temp file: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := d.WriteCheckpoint(tmp); err != nil {
+	if err := write(tmp); err != nil {
 		_ = tmp.Close()
 		return err
 	}

@@ -94,6 +94,13 @@ type Detector struct {
 	open map[groupKey]*windowState
 	// closedStats accumulates per-window statistics for reporting.
 	stats []WindowStats
+	// late counts synopses dropped because their Start preceded the open
+	// window of their group (out-of-order arrivals past a window boundary).
+	late uint64
+	// scratch holds the packed signature bytes of the synopsis being
+	// observed, reused across Feed calls so the interned-id lookup does not
+	// allocate.
+	scratch []byte
 
 	metrics *metrics.AnalyzerMetrics
 }
@@ -109,7 +116,11 @@ type windowState struct {
 	flowOutliers int
 	newSigs      map[synopsis.Signature]*sigEvidence
 	flowExamples []*synopsis.Synopsis
-	perSig       map[synopsis.Signature]*sigWindow
+	// perSig keys on the model's interned signature id (see
+	// StageModel.buildIndex); only signatures known to the model land here,
+	// so an id always exists. Unknown signatures go to newSigs, keyed by
+	// the signature itself.
+	perSig map[int32]*sigWindow
 }
 
 type sigEvidence struct {
@@ -124,8 +135,11 @@ type sigWindow struct {
 }
 
 // NewDetector returns a detector for the trained model. The model's
-// configuration governs windows and significance.
+// configuration governs windows and significance. The model must not be
+// mutated afterwards: its signature interning index is built here and
+// shared read-only (including across engine shards).
 func NewDetector(model *Model) *Detector {
+	model.ensureIndex()
 	return &Detector{
 		model: model,
 		cfg:   model.Config,
@@ -155,7 +169,11 @@ func (d *Detector) PendingTasks() int {
 // Feed processes one synopsis and returns the anomalies from any window the
 // synopsis's timestamp closed. Synopses should arrive in roughly increasing
 // Start order per (host, stage); SAAD's single analyzer consuming per-node
-// FIFO streams guarantees that in practice.
+// FIFO streams guarantees that in practice. A synopsis whose Start precedes
+// the group's open window is late — its window already closed and its tests
+// already ran — so it is dropped with accounting (LateSynopses and the
+// late_synopses_total metric) rather than silently misattributed to the
+// current window.
 func (d *Detector) Feed(s *synopsis.Synopsis) []Anomaly {
 	if m := d.metrics; m != nil {
 		m.SynopsesFed.Inc()
@@ -163,6 +181,13 @@ func (d *Detector) Feed(s *synopsis.Synopsis) []Anomaly {
 	key := groupKey{host: s.Host, stage: s.Stage}
 	w := d.open[key]
 	var out []Anomaly
+	if w != nil && s.Start.Before(w.start) {
+		d.late++
+		if m := d.metrics; m != nil {
+			m.LateSynopses.Inc()
+		}
+		return nil
+	}
 	if w != nil && !s.Start.Before(w.start.Add(d.cfg.Window)) {
 		out = d.closeWindow(key, w)
 		w = nil
@@ -170,7 +195,7 @@ func (d *Detector) Feed(s *synopsis.Synopsis) []Anomaly {
 	if w == nil {
 		w = &windowState{
 			start:   s.Start.Truncate(d.cfg.Window),
-			perSig:  make(map[synopsis.Signature]*sigWindow),
+			perSig:  make(map[int32]*sigWindow),
 			newSigs: make(map[synopsis.Signature]*sigEvidence),
 		}
 		d.open[key] = w
@@ -179,18 +204,47 @@ func (d *Detector) Feed(s *synopsis.Synopsis) []Anomaly {
 	return out
 }
 
+// LateSynopses returns how many synopses were dropped as late arrivals.
+func (d *Detector) LateSynopses() uint64 { return d.late }
+
+// sigKey packs the synopsis's signature bytes into the detector's scratch
+// buffer (no allocation). A synopsis in canonical form (Normalize) has its
+// points sorted and distinct, so the packed bytes equal s.Signature(); a
+// malformed one falls back to the allocating, canonicalizing path.
+func (d *Detector) sigKey(s *synopsis.Synopsis) []byte {
+	buf := d.scratch[:0]
+	var prev logpoint.ID
+	for i, pc := range s.Points {
+		if i > 0 && pc.Point <= prev {
+			buf = append(buf[:0], s.Signature()...)
+			d.scratch = buf
+			return buf
+		}
+		buf = append(buf, byte(pc.Point>>8), byte(pc.Point))
+		prev = pc.Point
+	}
+	d.scratch = buf
+	return buf
+}
+
 // observe classifies one synopsis against the model inside window w.
 func (d *Detector) observe(w *windowState, s *synopsis.Synopsis) {
 	w.tasks++
-	sig := s.Signature()
 	sm := d.model.Stage(s.Stage)
-	var sigModel *SignatureModel
+	buf := d.sigKey(s)
+	var (
+		id int32
+		ok bool
+	)
 	if sm != nil {
-		sigModel = sm.Signatures[sig]
+		// string(buf) in the map index compiles to an allocation-free
+		// lookup; buf itself is the detector's reusable scratch buffer.
+		id, ok = sm.sigIDs[string(buf)]
 	}
-	switch {
-	case sigModel == nil:
-		// Never seen in training: a new execution flow.
+	if !ok {
+		// Never seen in training: a new execution flow. Materialize the
+		// signature (cold path — only unknown flows allocate).
+		sig := synopsis.Signature(buf)
 		ev := w.newSigs[sig]
 		if ev == nil {
 			ev = &sigEvidence{}
@@ -201,24 +255,27 @@ func (d *Detector) observe(w *windowState, s *synopsis.Synopsis) {
 			ev.examples = append(ev.examples, s)
 		}
 		w.flowOutliers++
-	case sigModel.FlowOutlier:
+		return
+	}
+	sigModel := sm.sigByID[id]
+	if sigModel.FlowOutlier {
 		w.flowOutliers++
 		if len(w.flowExamples) < d.cfg.MaxExamples {
 			w.flowExamples = append(w.flowExamples, s)
 		}
-	default:
-		// Normal flow: eligible for performance-outlier classification.
-		sw := w.perSig[sig]
-		if sw == nil {
-			sw = &sigWindow{}
-			w.perSig[sig] = sw
-		}
-		sw.tasks++
-		if sigModel.PerfEligible && s.Duration > sigModel.DurationThreshold {
-			sw.perfOutliers++
-			if len(sw.examples) < d.cfg.MaxExamples {
-				sw.examples = append(sw.examples, s)
-			}
+		return
+	}
+	// Normal flow: eligible for performance-outlier classification.
+	sw := w.perSig[id]
+	if sw == nil {
+		sw = &sigWindow{}
+		w.perSig[id] = sw
+	}
+	sw.tasks++
+	if sigModel.PerfEligible && s.Duration > sigModel.DurationThreshold {
+		sw.perfOutliers++
+		if len(sw.examples) < d.cfg.MaxExamples {
+			sw.examples = append(sw.examples, s)
 		}
 	}
 }
@@ -291,7 +348,10 @@ func (d *Detector) closeWindow(key groupKey, w *windowState) []Anomaly {
 			NewSignature: true,
 			Outliers:     ev.count,
 			Tasks:        w.tasks,
-			Examples:     clipExamples(ev.examples, d.cfg.MaxExamples),
+			// cap1, matching observe: even with MaxExamples = 0 the one
+			// retained example — the only record of the unseen flow — is
+			// kept on the anomaly.
+			Examples: clipExamples(ev.examples, cap1(d.cfg.MaxExamples)),
 		})
 	}
 
@@ -315,22 +375,25 @@ func (d *Detector) closeWindow(key groupKey, w *windowState) []Anomaly {
 		}
 	}
 
-	// Performance anomalies: per signature group (Section 3.3.3).
-	sigs := make([]synopsis.Signature, 0, len(w.perSig))
-	for sig := range w.perSig {
-		sigs = append(sigs, sig)
+	// Performance anomalies: per signature group (Section 3.3.3). Interned
+	// ids were assigned in lexicographic signature order, so numeric id
+	// order reproduces the historical signature sort.
+	ids := make([]int32, 0, len(w.perSig))
+	for id := range w.perSig {
+		ids = append(ids, id)
 	}
-	sort.Slice(sigs, func(i, j int) bool { return sigs[i] < sigs[j] })
-	for _, sig := range sigs {
-		sw := w.perSig[sig]
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		sw := w.perSig[id]
 		perf += sw.perfOutliers
 		if sm == nil || sw.tasks == 0 {
 			continue
 		}
-		sigModel := sm.Signatures[sig]
-		if sigModel == nil || !sigModel.PerfEligible {
+		sigModel := sm.sigByID[id]
+		if !sigModel.PerfEligible {
 			continue
 		}
+		sig := sigModel.Signature
 		// Training traces with duration ties at the percentile can report a
 		// near-zero empirical outlier share, which would make any single
 		// slow task "significant"; the baseline is floored at half the

@@ -12,8 +12,8 @@ import (
 // TestDetectorRobustnessProperty feeds the detector arbitrary synopsis
 // streams (random stages, hosts, points, durations, and timestamps,
 // including out-of-order ones) and checks the structural invariants: no
-// panics, window statistics account for every task exactly once, and
-// anomaly counts never exceed task counts.
+// panics, window statistics plus the late-drop count account for every task
+// exactly once, and anomaly counts never exceed task counts.
 func TestDetectorRobustnessProperty(t *testing.T) {
 	model := trainedModel(t)
 	f := func(raw []struct {
@@ -41,8 +41,9 @@ func TestDetectorRobustnessProperty(t *testing.T) {
 		}
 		anomalies = append(anomalies, det.Flush()...)
 
-		// Window stats must account for every fed task exactly once.
-		total := 0
+		// Window stats plus dropped late arrivals must account for every
+		// fed task exactly once.
+		total := int(det.LateSynopses())
 		for _, w := range det.WindowHistory() {
 			if w.Tasks < 0 || w.FlowOutliers < 0 || w.PerfOutliers < 0 {
 				return false

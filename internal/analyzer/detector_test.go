@@ -13,7 +13,7 @@ import (
 // trainedModel returns a model trained on a healthy trace for stage 1:
 // signature {1,2,4,5} ~99%, {1,2,3,4,5} ~1% (rare but known), durations
 // around 10ms.
-func trainedModel(t *testing.T) *Model {
+func trainedModel(t testing.TB) *Model {
 	t.Helper()
 	rng := vtime.NewRNG(42)
 	var trace []*synopsis.Synopsis
@@ -99,6 +99,71 @@ func TestDetectorNewSignatureFlowAnomaly(t *testing.T) {
 	}
 	if !strings.Contains(a.String(), "NEW-SIGNATURE") {
 		t.Fatalf("String() = %q", a.String())
+	}
+}
+
+// TestDetectorNewSignatureExampleSurvivesMaxExamplesZero: with MaxExamples
+// = 0, observe retains one example per new signature (cap1) as the only
+// record of the unseen flow; closeWindow must not clip it away again.
+func TestDetectorNewSignatureExampleSurvivesMaxExamplesZero(t *testing.T) {
+	model := trainedModel(t)
+	model.Config.MaxExamples = 0
+	det := NewDetector(model)
+	syns := []*synopsis.Synopsis{
+		makeSyn(1, 1, epoch, 10*time.Millisecond, 1, 2, 4, 5),
+		makeSyn(1, 1, epoch.Add(time.Second), time.Millisecond, 1),
+	}
+	anomalies := feedAll(det, syns)
+	if len(anomalies) != 1 {
+		t.Fatalf("anomalies = %v", anomalies)
+	}
+	a := anomalies[0]
+	if !a.NewSignature {
+		t.Fatalf("anomaly = %+v", a)
+	}
+	if len(a.Examples) != 1 || a.Examples[0].Duration != time.Millisecond {
+		t.Fatalf("MaxExamples=0 new-signature anomaly lost its example: %v", a.Examples)
+	}
+}
+
+// TestDetectorDropsLateSynopses: a synopsis older than its group's open
+// window is dropped with accounting instead of polluting the wrong window.
+func TestDetectorDropsLateSynopses(t *testing.T) {
+	model := trainedModel(t)
+	det := NewDetector(model)
+	// Open the second window, then deliver a straggler from the first.
+	if got := det.Feed(makeSyn(1, 1, epoch.Add(time.Minute), 10*time.Millisecond, 1, 2, 4, 5)); len(got) != 0 {
+		t.Fatalf("anomalies = %v", got)
+	}
+	late := makeSyn(1, 1, epoch.Add(30*time.Second), time.Millisecond, 1)
+	if got := det.Feed(late); len(got) != 0 {
+		t.Fatalf("late synopsis closed a window: %v", got)
+	}
+	if got := det.LateSynopses(); got != 1 {
+		t.Fatalf("LateSynopses = %d, want 1", got)
+	}
+	// The late synopsis carried a never-trained signature; had it been
+	// observed, Flush would report a new-signature anomaly.
+	if got := det.Flush(); len(got) != 0 {
+		t.Fatalf("dropped synopsis still produced anomalies: %v", got)
+	}
+	hist := det.WindowHistory()
+	if len(hist) != 1 || hist[0].Tasks != 1 {
+		t.Fatalf("history = %+v, want one window with 1 task", hist)
+	}
+	// In-window disorder is fine: same window, earlier timestamp.
+	det2 := NewDetector(model)
+	det2.Feed(makeSyn(1, 1, epoch.Add(30*time.Second), 10*time.Millisecond, 1, 2, 4, 5))
+	det2.Feed(makeSyn(1, 1, epoch.Add(10*time.Second), 10*time.Millisecond, 1, 2, 4, 5))
+	if got := det2.LateSynopses(); got != 0 {
+		t.Fatalf("in-window disorder counted late: %d", got)
+	}
+	if hist := det2.WindowHistory(); len(hist) != 0 {
+		t.Fatalf("history = %+v", hist)
+	}
+	det2.Flush()
+	if hist := det2.WindowHistory(); len(hist) != 1 || hist[0].Tasks != 2 {
+		t.Fatalf("history = %+v, want one window with 2 tasks", hist)
 	}
 }
 

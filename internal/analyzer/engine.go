@@ -1,0 +1,596 @@
+package analyzer
+
+import (
+	"io"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"saad/internal/logpoint"
+	"saad/internal/metrics"
+	"saad/internal/synopsis"
+)
+
+// Engine is the sharded concurrent analyzer: it routes synopses across N
+// shard workers by hashing the (host, stage) group key, each worker owning
+// a private single-threaded Detector core. Because a group lives wholly on
+// one shard and each shard consumes its bounded queue in FIFO order, every
+// window sees exactly the synopses — in exactly the order — a single
+// Detector would have seen, so detection semantics are bit-identical; the
+// merge step sorts anomalies and window history into a canonical order so
+// output is reproducible regardless of shard interleaving.
+//
+// Concurrency contract: Feed, FeedBatch and Emit are safe from any number
+// of goroutines. The inspection and lifecycle methods (Drain, Flush,
+// WindowHistory, PendingTasks, LateSynopses, ShardStats, WriteCheckpoint,
+// Close) must be called from one goroutine at a time, and quiescent ones
+// (Flush, Close) only after feeders have stopped or between their calls —
+// the engine briefly parks every shard, so a concurrent feeder would only
+// block, not corrupt, but the snapshot would be ambiguous.
+type Engine struct {
+	model  *Model
+	shards []*shard
+	mask   uint32 // len(shards)-1 when power of two, else 0 and mod is used
+	closed atomic.Bool
+
+	// fed counts synopses accepted by Feed/FeedBatch/Emit across shards.
+	fed atomic.Uint64
+
+	// anomalies buffers what closed windows emitted between Drain calls,
+	// collected under quiesce so no lock is needed.
+	anomalies []Anomaly
+
+	sink func([]Anomaly)
+	m    *metrics.AnalyzerMetrics
+
+	queueCap int
+}
+
+// shard is one worker: a bounded FIFO queue in front of a private core.
+type shard struct {
+	ch   chan shardMsg
+	core *Detector // owned by the worker goroutine between control ops
+	done chan struct{}
+
+	// out accumulates anomalies emitted by the core between drains; only
+	// the worker goroutine appends, only control fns (on-worker) consume.
+	out []Anomaly
+	// nfed counts synopses the core consumed (worker-goroutine-owned; read
+	// under quiesce).
+	nfed uint64
+
+	fed       *metrics.Counter
+	busy      *metrics.Counter
+	overflows *metrics.Counter
+	depth     *metrics.Gauge
+}
+
+// shardMsg carries either synopses or a control function through the same
+// FIFO channel; a control function therefore runs after everything queued
+// before it, with exclusive access to the shard's core.
+type shardMsg struct {
+	syn   *synopsis.Synopsis
+	batch []*synopsis.Synopsis
+	cmd   func(core *Detector)
+	done  chan<- struct{}
+}
+
+// EngineOption configures NewEngine.
+type EngineOption func(*engineOptions)
+
+type engineOptions struct {
+	shards   int
+	queueCap int
+	metrics  *metrics.AnalyzerMetrics
+	sink     func([]Anomaly)
+}
+
+// WithShards sets the shard count; n < 1 selects GOMAXPROCS.
+func WithShards(n int) EngineOption {
+	return func(o *engineOptions) { o.shards = n }
+}
+
+// WithShardQueue sets each shard's queue capacity (default 1024). A feeder
+// hitting a full queue blocks (backpressure) and the overflow counter
+// increments.
+func WithShardQueue(n int) EngineOption {
+	return func(o *engineOptions) { o.queueCap = n }
+}
+
+// WithEngineMetrics attaches a metrics bundle: shared detector families
+// plus the per-shard queue depth, busy time, throughput and overflow
+// series.
+func WithEngineMetrics(m *metrics.AnalyzerMetrics) EngineOption {
+	return func(o *engineOptions) { o.metrics = m }
+}
+
+// WithAnomalySink routes every anomaly batch a closed window produces to
+// fn, called from shard worker goroutines (fn must be safe for concurrent
+// use). Without a sink, anomalies buffer inside the engine until Drain or
+// Flush. With a sink they are delivered immediately — in the shard's
+// deterministic per-window order — and Drain returns nothing.
+func WithAnomalySink(fn func([]Anomaly)) EngineOption {
+	return func(o *engineOptions) { o.sink = fn }
+}
+
+// NewEngine returns a running engine for the trained model. The model must
+// not be mutated afterwards (its interning index is shared read-only by
+// every shard).
+func NewEngine(model *Model, opts ...EngineOption) *Engine {
+	e, _ := newEngine(model, opts...)
+	return e
+}
+
+func newEngine(model *Model, opts ...EngineOption) (*Engine, *engineOptions) {
+	o := engineOptions{queueCap: 1024}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.shards < 1 {
+		o.shards = runtime.GOMAXPROCS(0)
+	}
+	if o.queueCap < 1 {
+		o.queueCap = 1
+	}
+	e := &Engine{
+		model:    model,
+		shards:   make([]*shard, o.shards),
+		sink:     o.sink,
+		m:        o.metrics,
+		queueCap: o.queueCap,
+	}
+	if o.shards&(o.shards-1) == 0 {
+		e.mask = uint32(o.shards - 1)
+	}
+	for i := range e.shards {
+		sh := &shard{
+			ch:   make(chan shardMsg, o.queueCap),
+			core: NewDetector(model),
+			done: make(chan struct{}),
+		}
+		if m := o.metrics; m != nil {
+			label := strconv.Itoa(i)
+			sh.fed = m.ShardSynopses.With(label)
+			sh.busy = m.ShardBusyNanos.With(label)
+			sh.overflows = m.ShardOverflows.With(label)
+			sh.depth = m.ShardQueueDepth.With(label)
+			sh.core.SetMetrics(m)
+		}
+		e.shards[i] = sh
+		go e.run(sh)
+	}
+	return e, &o
+}
+
+// run is the shard worker loop: it owns the core until the channel closes.
+func (e *Engine) run(sh *shard) {
+	defer close(sh.done)
+	timed := sh.busy != nil
+	for msg := range sh.ch {
+		var start time.Time
+		if timed {
+			start = time.Now()
+		}
+		switch {
+		case msg.syn != nil:
+			sh.observe(e, msg.syn)
+		case msg.batch != nil:
+			for _, s := range msg.batch {
+				sh.observe(e, s)
+			}
+		case msg.cmd != nil:
+			msg.cmd(sh.core)
+		}
+		if timed {
+			sh.busy.Add(uint64(time.Since(start)))
+			sh.depth.Set(float64(len(sh.ch)))
+		}
+		if msg.done != nil {
+			msg.done <- struct{}{}
+		}
+	}
+}
+
+func (sh *shard) observe(e *Engine, s *synopsis.Synopsis) {
+	sh.nfed++
+	sh.fed.Inc()
+	if out := sh.core.Feed(s); len(out) > 0 {
+		if e.sink != nil {
+			e.sink(out)
+		} else {
+			sh.out = append(sh.out, out...)
+		}
+	}
+}
+
+// shardFor hashes the (host, stage) group key to a shard. Any group maps
+// to exactly one shard, preserving per-group FIFO order.
+func (e *Engine) shardFor(s *synopsis.Synopsis) *shard {
+	return e.shards[e.shardIndex(s.Host, s.Stage)]
+}
+
+// shardIndex is the routing hash (a Fibonacci/murmur-style mix of the two
+// key halves): checkpoint adoption must partition state with exactly the
+// same function that routes live synopses.
+func (e *Engine) shardIndex(host uint16, stage logpoint.StageID) int {
+	h := (uint32(host)+1)*0x9E3779B1 ^ (uint32(stage)+1)*0x85EBCA77
+	h ^= h >> 16
+	if e.mask != 0 || len(e.shards) == 1 {
+		return int(h & e.mask)
+	}
+	return int(h % uint32(len(e.shards)))
+}
+
+// send enqueues with backpressure: a full queue blocks the feeder and is
+// counted as an overflow (the signal to raise -shards or the queue size).
+func (e *Engine) send(sh *shard, msg shardMsg) {
+	select {
+	case sh.ch <- msg:
+	default:
+		sh.overflows.Inc()
+		sh.ch <- msg
+	}
+	if sh.depth != nil {
+		sh.depth.Set(float64(len(sh.ch)))
+	}
+}
+
+// Feed routes one synopsis to its shard. Safe for concurrent use. Unlike
+// Detector.Feed it returns nothing: anomalies surface via Drain, Flush, or
+// the WithAnomalySink callback.
+func (e *Engine) Feed(s *synopsis.Synopsis) {
+	e.fed.Add(1)
+	e.send(e.shardFor(s), shardMsg{syn: s})
+}
+
+// FeedBatch routes a batch, partitioning it per shard with stable order so
+// per-group FIFO is preserved while channel operations amortize.
+func (e *Engine) FeedBatch(batch []*synopsis.Synopsis) {
+	if len(batch) == 0 {
+		return
+	}
+	e.fed.Add(uint64(len(batch)))
+	if len(e.shards) == 1 {
+		e.send(e.shards[0], shardMsg{batch: batch})
+		return
+	}
+	parts := make(map[*shard][]*synopsis.Synopsis, len(e.shards))
+	for _, s := range batch {
+		sh := e.shardFor(s)
+		parts[sh] = append(parts[sh], s)
+	}
+	for _, sh := range e.shards { // deterministic shard order
+		if part := parts[sh]; part != nil {
+			e.send(sh, shardMsg{batch: part})
+		}
+	}
+}
+
+// Emit implements tracker.Sink, so the engine can terminate any synopsis
+// transport directly — each TCP connection handler feeds it concurrently.
+func (e *Engine) Emit(s *synopsis.Synopsis) { e.Feed(s) }
+
+// Fed returns how many synopses the engine accepted.
+func (e *Engine) Fed() uint64 { return e.fed.Load() }
+
+// Closed reports whether Close has been called. Feeding a closed engine
+// panics; the inspection methods keep working (inline on the caller).
+func (e *Engine) Closed() bool { return e.closed.Load() }
+
+// Shards returns the shard count.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// Model returns the shared trained model.
+func (e *Engine) Model() *Model { return e.model }
+
+// quiesce runs fn against every shard's core with the shard parked: the
+// control message traverses the same FIFO queue as data, so fn observes
+// everything enqueued before the quiesce began. After Close, cores are
+// owned by no goroutine and fn runs inline.
+//
+// fn runs on the shard WORKER goroutines, concurrently across shards:
+// callers must only write per-shard slots (index i), never append to or
+// sum into shared state inside fn — merge after quiesce returns.
+func (e *Engine) quiesce(fn func(i int, sh *shard)) {
+	if e.closed.Load() {
+		for i, sh := range e.shards {
+			fn(i, sh)
+		}
+		return
+	}
+	done := make(chan struct{}, len(e.shards))
+	for i, sh := range e.shards {
+		i, sh := i, sh
+		// Blocking send, not e.send: a control message on a full queue is
+		// backpressure by design, not a feed overflow worth counting.
+		sh.ch <- shardMsg{cmd: func(*Detector) { fn(i, sh) }, done: done}
+	}
+	for range e.shards {
+		<-done
+	}
+}
+
+// takeBuffered collects (and clears) every shard's buffered anomalies under
+// quiesce.
+func (e *Engine) takeBuffered() []Anomaly {
+	parts := make([][]Anomaly, len(e.shards))
+	e.quiesce(func(i int, sh *shard) {
+		parts[i] = sh.out
+		sh.out = nil
+	})
+	var out []Anomaly
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// Drain processes everything queued so far and returns the anomalies
+// buffered since the last Drain/Flush, in canonical order. With an anomaly
+// sink attached it still acts as a barrier (all queued synopses observed)
+// but returns nil.
+func (e *Engine) Drain() []Anomaly {
+	out := e.takeBuffered()
+	sortAnomalies(out)
+	return out
+}
+
+// Flush closes all open windows on every shard and returns their anomalies
+// together with any buffered ones, in canonical order. Call at end of
+// stream. With an anomaly sink attached, flush anomalies go to the sink.
+func (e *Engine) Flush() []Anomaly {
+	parts := make([][]Anomaly, len(e.shards))
+	e.quiesce(func(i int, sh *shard) {
+		part := sh.out
+		sh.out = nil
+		if fl := sh.core.Flush(); len(fl) > 0 {
+			if e.sink != nil {
+				e.sink(fl)
+			} else {
+				part = append(part, fl...)
+			}
+		}
+		parts[i] = part
+	})
+	var out []Anomaly
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	sortAnomalies(out)
+	return out
+}
+
+// WindowHistory returns the merged closed-window statistics of every
+// shard, sorted by host, stage, then window start.
+func (e *Engine) WindowHistory() []WindowStats {
+	parts := make([][]WindowStats, len(e.shards))
+	e.quiesce(func(i int, sh *shard) {
+		parts[i] = sh.core.stats
+	})
+	var out []WindowStats
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Host != b.Host {
+			return a.Host < b.Host
+		}
+		if a.Stage != b.Stage {
+			return a.Stage < b.Stage
+		}
+		return a.Window.Before(b.Window)
+	})
+	return out
+}
+
+// PendingTasks sums tasks in still-open windows across shards.
+func (e *Engine) PendingTasks() int {
+	counts := make([]int, len(e.shards))
+	e.quiesce(func(i int, sh *shard) { counts[i] = sh.core.PendingTasks() })
+	n := 0
+	for _, c := range counts {
+		n += c
+	}
+	return n
+}
+
+// LateSynopses sums dropped late arrivals across shards.
+func (e *Engine) LateSynopses() uint64 {
+	counts := make([]uint64, len(e.shards))
+	e.quiesce(func(i int, sh *shard) { counts[i] = sh.core.late })
+	var n uint64
+	for _, c := range counts {
+		n += c
+	}
+	return n
+}
+
+// ShardStat is one shard's live load snapshot for heartbeats.
+type ShardStat struct {
+	Shard    int
+	QueueLen int
+	QueueCap int
+	// Fed is the number of synopses the shard's core consumed.
+	Fed uint64
+	// Pending is the shard's open-window task count.
+	Pending int
+}
+
+// ShardStats snapshots per-shard load under quiesce.
+func (e *Engine) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(e.shards))
+	e.quiesce(func(i int, sh *shard) {
+		out[i] = ShardStat{
+			Shard:    i,
+			QueueLen: len(sh.ch),
+			QueueCap: e.queueCap,
+			Fed:      sh.nfed,
+			Pending:  sh.core.PendingTasks(),
+		}
+	})
+	return out
+}
+
+// WriteCheckpoint serializes the engine in the single-detector checkpoint
+// format: per-shard sections merge into one — group keys are unique across
+// shards, so the union of open windows, the sorted union of histories and
+// the summed late count are exactly what one Detector fed the same stream
+// would have written. ReadCheckpoint/ReadEngineCheckpoint both accept the
+// result.
+func (e *Engine) WriteCheckpoint(w io.Writer) (int64, error) {
+	out := checkpointJSON{Version: checkpointVersion, Model: e.model.toJSON()}
+	type section struct {
+		windows []windowJSON
+		history []windowStatsJSON
+		late    uint64
+	}
+	secs := make([]section, len(e.shards))
+	e.quiesce(func(i int, sh *shard) {
+		secs[i] = section{sh.core.windowsJSON(), sh.core.historyJSON(), sh.core.late}
+	})
+	for _, sec := range secs {
+		out.Windows = append(out.Windows, sec.windows...)
+		out.History = append(out.History, sec.history...)
+		out.Late += sec.late
+	}
+	sort.Slice(out.Windows, func(i, j int) bool {
+		a, b := out.Windows[i], out.Windows[j]
+		if a.Host != b.Host {
+			return a.Host < b.Host
+		}
+		return a.Stage < b.Stage
+	})
+	sort.SliceStable(out.History, func(i, j int) bool {
+		a, b := out.History[i], out.History[j]
+		if a.Host != b.Host {
+			return a.Host < b.Host
+		}
+		if a.Stage != b.Stage {
+			return a.Stage < b.Stage
+		}
+		return a.WindowUnixNs < b.WindowUnixNs
+	})
+	return writeCheckpointJSON(w, out)
+}
+
+// WriteCheckpointFile atomically persists the engine checkpoint at path
+// (same temp+sync+rename dance as Detector.WriteCheckpointFile).
+func (e *Engine) WriteCheckpointFile(path string) error {
+	return writeCheckpointFileAtomic(path, func(w io.Writer) error {
+		_, err := e.WriteCheckpoint(w)
+		return err
+	})
+}
+
+// NewEngineFromDetector lifts a single detector — typically one restored
+// via ReadCheckpoint/LoadCheckpointFile — into a running engine: its open
+// windows and history partition across shards by the same (host, stage)
+// hash that routes live synopses, and the late count lands on shard 0. The
+// detector must not be used afterwards.
+func NewEngineFromDetector(d *Detector, opts ...EngineOption) *Engine {
+	e, _ := newEngine(d.model, opts...)
+	// Partition the detector's state to the owning shards.
+	type adopted struct {
+		open  map[groupKey]*windowState
+		stats []WindowStats
+	}
+	parts := make([]adopted, len(e.shards))
+	for k, ws := range d.open {
+		i := e.shardIndex(k.host, k.stage)
+		if parts[i].open == nil {
+			parts[i].open = make(map[groupKey]*windowState)
+		}
+		parts[i].open[k] = ws
+	}
+	for _, st := range d.stats {
+		i := e.shardIndex(st.Host, st.Stage)
+		parts[i].stats = append(parts[i].stats, st)
+	}
+	e.quiesce(func(i int, sh *shard) {
+		for k, ws := range parts[i].open {
+			sh.core.open[k] = ws
+		}
+		sh.core.stats = parts[i].stats
+		if i == 0 {
+			sh.core.late = d.late
+		}
+	})
+	return e
+}
+
+// ReadEngineCheckpoint rebuilds a running engine from any checkpoint
+// written by Detector.WriteCheckpoint or Engine.WriteCheckpoint — the two
+// formats are identical, which is what makes single-process deployments
+// free to move between -shards settings across restarts.
+func ReadEngineCheckpoint(r io.Reader, opts ...EngineOption) (*Engine, error) {
+	d, err := ReadCheckpoint(r)
+	if err != nil {
+		return nil, err
+	}
+	return NewEngineFromDetector(d, opts...), nil
+}
+
+// LoadEngineCheckpointFile rebuilds a running engine from a checkpoint
+// file.
+func LoadEngineCheckpointFile(path string, opts ...EngineOption) (*Engine, error) {
+	d, err := LoadCheckpointFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return NewEngineFromDetector(d, opts...), nil
+}
+
+// Close stops every shard worker after its queue drains. Feeding after (or
+// concurrently with) Close panics on the closed channel by design — stop
+// feeders first. Open windows are NOT flushed; call Flush before Close (or
+// WriteCheckpoint to carry them across a restart).
+func (e *Engine) Close() error {
+	if !e.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	for _, sh := range e.shards {
+		close(sh.ch)
+	}
+	for _, sh := range e.shards {
+		<-sh.done
+	}
+	return nil
+}
+
+// sortAnomalies orders anomalies canonically: host, stage, window, then
+// within one window the detector's own emission layers (new-signature flow
+// first sorted by signature, then the proportion flow anomaly, then
+// performance anomalies sorted by signature) — so a merged multi-shard
+// drain reads exactly like a single detector's output re-sorted by group.
+func sortAnomalies(out []Anomaly) {
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Host != b.Host {
+			return a.Host < b.Host
+		}
+		if a.Stage != b.Stage {
+			return a.Stage < b.Stage
+		}
+		if !a.Window.Equal(b.Window) {
+			return a.Window.Before(b.Window)
+		}
+		if ar, br := anomalyRank(a), anomalyRank(b); ar != br {
+			return ar < br
+		}
+		return a.Signature < b.Signature
+	})
+}
+
+func anomalyRank(a Anomaly) int {
+	switch {
+	case a.NewSignature:
+		return 0
+	case a.Kind == FlowAnomaly:
+		return 1
+	default:
+		return 2
+	}
+}

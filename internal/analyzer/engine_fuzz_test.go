@@ -1,0 +1,144 @@
+package analyzer
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"saad/internal/logpoint"
+	"saad/internal/synopsis"
+)
+
+// decodeFuzzStream turns fuzzer bytes into a synopsis stream: 6 bytes per
+// record — stage, host, start offset (seconds, 2 bytes), duration (ms), and
+// a log-point bitmap. Timestamps are arbitrary, so the stream exercises
+// window closes, out-of-order arrivals and late drops alike.
+func decodeFuzzStream(data []byte) []*synopsis.Synopsis {
+	const rec = 6
+	n := len(data) / rec
+	if n > 512 {
+		n = 512
+	}
+	out := make([]*synopsis.Synopsis, 0, n)
+	for i := 0; i < n; i++ {
+		b := data[i*rec : (i+1)*rec]
+		s := &synopsis.Synopsis{
+			Stage:    logpoint.StageID(b[0]%4 + 1),
+			Host:     uint16(b[1] % 8),
+			TaskID:   uint64(i),
+			Start:    epoch.Add(time.Duration(uint16(b[2])<<8|uint16(b[3])) * time.Second),
+			Duration: time.Duration(b[4]) * time.Millisecond,
+		}
+		for p := 0; p < 6; p++ {
+			if b[5]&(1<<p) != 0 {
+				s.Points = append(s.Points, synopsis.PointCount{Point: logpoint.ID(p + 1), Count: 1})
+			}
+		}
+		s.Normalize()
+		out = append(out, s)
+	}
+	return out
+}
+
+// FuzzEngineEquivalence is the tentpole's semantic contract as a fuzz
+// target: for ANY synopsis stream and ANY shard count, the engine must
+// produce the same anomalies, window history, pending/late accounting and
+// checkpoint bytes as a single Detector fed the same stream — including
+// when the stream is cut at an arbitrary point, checkpointed, and resumed
+// on the other backend.
+func FuzzEngineEquivalence(f *testing.F) {
+	model := trainedModel(f)
+
+	// Seeds: a healthy burst, a window-crossing stream, and a late
+	// straggler (timestamp jumps back) across several shard counts.
+	healthy := bytes.Repeat([]byte{1, 1, 0, 1, 10, 0b11011}, 8)
+	crossing := append(append([]byte{}, 1, 2, 0, 1, 10, 0b11011), 1, 2, 0, 200, 12, 0b11111)
+	late := append(append([]byte{}, 1, 3, 0, 100, 10, 0b11011), 1, 3, 0, 1, 10, 0b00011)
+	f.Add(healthy, uint8(4), uint8(4))
+	f.Add(crossing, uint8(3), uint8(1))
+	f.Add(late, uint8(7), uint8(7))
+
+	f.Fuzz(func(t *testing.T, data []byte, shards, cutAt uint8) {
+		syns := decodeFuzzStream(data)
+		n := int(shards)%8 + 1
+
+		wantAnoms, wantHist, wantPending, wantLate := detectorBaseline(model, syns)
+
+		eng := NewEngine(model, WithShards(n), WithShardQueue(4))
+		for _, s := range syns {
+			eng.Feed(s)
+		}
+		gotAnoms := eng.Flush()
+		gotHist := eng.WindowHistory()
+		if !reflect.DeepEqual(gotAnoms, wantAnoms) {
+			t.Fatalf("shards=%d anomalies diverge:\n got %+v\nwant %+v", n, gotAnoms, wantAnoms)
+		}
+		if !reflect.DeepEqual(gotHist, wantHist) {
+			t.Fatalf("shards=%d history diverges:\n got %+v\nwant %+v", n, gotHist, wantHist)
+		}
+		if got := eng.LateSynopses(); got != wantLate {
+			t.Fatalf("shards=%d late = %d, want %d", n, got, wantLate)
+		}
+		if err := eng.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		// Cut the stream, checkpoint the engine, resume on a single
+		// detector: the restart must be invisible in every output.
+		cut := 0
+		if len(syns) > 0 {
+			cut = int(cutAt) % (len(syns) + 1)
+		}
+		eng2 := NewEngine(model, WithShards(n), WithShardQueue(4))
+		for _, s := range syns[:cut] {
+			eng2.Feed(s)
+		}
+		eng2.Drain() // barrier so the checkpoint sees every fed synopsis
+		var ckpt bytes.Buffer
+		if _, err := eng2.WriteCheckpoint(&ckpt); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		resumed, err := ReadCheckpoint(&ckpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var resAnoms []Anomaly
+		for _, s := range syns[cut:] {
+			resAnoms = append(resAnoms, resumed.Feed(s)...)
+		}
+		resAnoms = append(resAnoms, resumed.Flush()...)
+		sortAnomalies(resAnoms)
+		// Anomalies from windows wholly inside the first segment were
+		// reported before the cut (buffered in eng2, dropped with it), so
+		// compare only the resumed tail: every baseline anomaly from a
+		// window that closed after the cut must reappear identically.
+		resHist := resumed.WindowHistory()
+		sortStats(resHist)
+		if !reflect.DeepEqual(resHist, wantHist) {
+			t.Fatalf("shards=%d cut=%d resumed history diverges:\n got %+v\nwant %+v",
+				n, cut, resHist, wantHist)
+		}
+		if wantPending != resumed.PendingTasks() {
+			t.Fatalf("shards=%d cut=%d pending = %d, want %d", n, cut, resumed.PendingTasks(), wantPending)
+		}
+		for _, a := range resAnoms {
+			if !containsAnomaly(wantAnoms, a) {
+				t.Fatalf("shards=%d cut=%d resumed run invented anomaly %+v", n, cut, a)
+			}
+		}
+	})
+}
+
+// containsAnomaly reports whether list has an element deep-equal to a.
+func containsAnomaly(list []Anomaly, a Anomaly) bool {
+	for _, b := range list {
+		if reflect.DeepEqual(a, b) {
+			return true
+		}
+	}
+	return false
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"saad/internal/logpoint"
@@ -54,6 +55,30 @@ type StageModel struct {
 	FlowOutlierShare float64
 	// Signatures maps each signature seen in training to its model.
 	Signatures map[synopsis.Signature]*SignatureModel
+
+	// Interning index, built once by Model.ensureIndex: signatures mapped
+	// to dense ids so the detector hot path keys windows on int32 instead
+	// of strings. Ids are assigned in lexicographic signature order, so
+	// sorting ids numerically reproduces the signature sort order. The
+	// plain-string key map lets the detector look up a scratch []byte via
+	// string(buf) without allocating.
+	sigIDs  map[string]int32
+	sigByID []*SignatureModel
+}
+
+// buildIndex populates the interning index (lexicographic id assignment).
+func (m *StageModel) buildIndex() {
+	sigs := make([]synopsis.Signature, 0, len(m.Signatures))
+	for sig := range m.Signatures {
+		sigs = append(sigs, sig)
+	}
+	sort.Slice(sigs, func(i, j int) bool { return sigs[i] < sigs[j] })
+	m.sigIDs = make(map[string]int32, len(sigs))
+	m.sigByID = make([]*SignatureModel, len(sigs))
+	for i, sig := range sigs {
+		m.sigIDs[string(sig)] = int32(i)
+		m.sigByID[i] = m.Signatures[sig]
+	}
 }
 
 // SortedSignatures returns the stage's signature models ordered by
@@ -80,6 +105,22 @@ type Model struct {
 	Stages map[logpoint.StageID]*StageModel
 	// TrainedOn is the number of synopses in the training trace.
 	TrainedOn int
+
+	// indexOnce guards the lazy one-time build of the per-stage signature
+	// interning indexes. Once a detector (or engine) is created from the
+	// model, Stages and Signatures must not be mutated: the index — shared
+	// read-only across all engine shards — would go stale.
+	indexOnce sync.Once
+}
+
+// ensureIndex builds every stage's signature interning index exactly once.
+// Safe for concurrent use; after the first call the indexes are read-only.
+func (m *Model) ensureIndex() {
+	m.indexOnce.Do(func() {
+		for _, sm := range m.Stages {
+			sm.buildIndex()
+		}
+	})
 }
 
 // Stage returns the model for a stage, or nil if the stage never appeared

@@ -250,7 +250,7 @@ func TestModelSerializeRoundTrip(t *testing.T) {
 			t.Fatalf("signature %v lost", sig)
 		}
 		if g.Count != want.Count || g.FlowOutlier != want.FlowOutlier ||
-			g.DurationThreshold != want.DurationThreshold.Truncate(time.Microsecond) ||
+			g.DurationThreshold != want.DurationThreshold ||
 			g.PerfEligible != want.PerfEligible {
 			t.Fatalf("signature %v = %+v, want %+v", sig, g, want)
 		}

@@ -45,6 +45,7 @@ type sigJSON struct {
 	Share          float64 `json:"share"`
 	FlowOutlier    bool    `json:"flowOutlier"`
 	DurThresholdUs int64   `json:"durationThresholdUs"`
+	DurThresholdNs int64   `json:"durationThresholdNs,omitempty"`
 	PerfTrainShare float64 `json:"perfTrainShare"`
 	PerfEligible   bool    `json:"perfEligible"`
 	CVOutlierShare float64 `json:"cvOutlierShare"`
@@ -79,6 +80,7 @@ func (m *Model) toJSON() modelJSON {
 				Share:          sig.Share,
 				FlowOutlier:    sig.FlowOutlier,
 				DurThresholdUs: sig.DurationThreshold.Microseconds(),
+				DurThresholdNs: int64(sig.DurationThreshold),
 				PerfTrainShare: sig.PerfTrainShare,
 				PerfEligible:   sig.PerfEligible,
 				CVOutlierShare: sig.CVOutlierShare,
@@ -142,12 +144,18 @@ func modelFromJSON(raw modelJSON) (*Model, error) {
 				return nil, fmt.Errorf("analyzer: stage %d signature %q: %w", sj.Stage, gj.SignatureHex, err)
 			}
 			sig := synopsis.Signature(sigBytes)
+			// Newer files carry the threshold at nanosecond precision;
+			// older ones only have the truncated microsecond field.
+			thr := time.Duration(gj.DurThresholdNs)
+			if thr == 0 {
+				thr = time.Duration(gj.DurThresholdUs) * time.Microsecond
+			}
 			sm.Signatures[sig] = &SignatureModel{
 				Signature:         sig,
 				Count:             gj.Count,
 				Share:             gj.Share,
 				FlowOutlier:       gj.FlowOutlier,
-				DurationThreshold: time.Duration(gj.DurThresholdUs) * time.Microsecond,
+				DurationThreshold: thr,
 				PerfTrainShare:    gj.PerfTrainShare,
 				PerfEligible:      gj.PerfEligible,
 				CVOutlierShare:    gj.CVOutlierShare,

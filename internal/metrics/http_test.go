@@ -25,6 +25,10 @@ func registerPipelineFixture(t *testing.T) *Registry {
 	p.Tracker.TasksBegun.Add(10)
 	p.Analyzer.WindowCloseLatency.Observe(0.004)
 	p.Analyzer.Anomalies.With("flow", "3").Inc()
+	p.Analyzer.ShardQueueDepth.With("0").Set(5)
+	p.Analyzer.ShardBusyNanos.With("0").Add(1200)
+	p.Analyzer.ShardSynopses.With("0").Inc()
+	p.Analyzer.ShardOverflows.With("0").Inc()
 	p.Monitor.Mode.Set(2)
 	return r
 }

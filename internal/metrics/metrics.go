@@ -206,6 +206,49 @@ func (v *CounterVec) With(values ...string) *Counter {
 	return c
 }
 
+// GaugeVec is a family of gauges partitioned by label values, mirroring
+// CounterVec. Looking up a child takes a mutex; callers on hot paths should
+// hold on to the returned *Gauge.
+type GaugeVec struct {
+	labelNames []string
+
+	mu       sync.Mutex
+	children map[string]*Gauge
+	values   map[string][]string
+}
+
+// With returns the gauge for the given label values (created on first use).
+// The number of values must match the label names the vector was registered
+// with; a mismatch panics (programmer error).
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	if len(values) != len(v.labelNames) {
+		panic(fmt.Sprintf("metrics: GaugeVec got %d label values for %d labels", len(values), len(v.labelNames)))
+	}
+	key := labelKey(values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	g := v.children[key]
+	if g == nil {
+		g = &Gauge{}
+		v.children[key] = g
+		v.values[key] = append([]string(nil), values...)
+	}
+	return g
+}
+
+// sortedKeys returns child keys in deterministic (label-value) order.
+func (v *GaugeVec) sortedKeys() []string {
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // labelKey joins label values unambiguously (values may contain commas).
 func labelKey(values []string) string {
 	key := ""

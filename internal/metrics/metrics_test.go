@@ -90,6 +90,53 @@ func TestCounterVec(t *testing.T) {
 	}
 }
 
+func TestGaugeVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewGaugeVec("test_gvec", "t", "shard")
+	v.With("0").Set(3)
+	v.With("1").Set(7.5)
+	v.With("0").Add(1)
+	snap := r.Snapshot()
+	if got := snap.Gauge(`test_gvec{shard="0"}`); got != 4 {
+		t.Fatalf("shard 0 gauge = %v, want 4", got)
+	}
+	if got := snap.Gauge(`test_gvec{shard="1"}`); got != 7.5 {
+		t.Fatalf("shard 1 gauge = %v, want 7.5", got)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "# TYPE test_gvec gauge") {
+		t.Fatalf("missing TYPE line:\n%s", out)
+	}
+	if !strings.Contains(out, `test_gvec{shard="0"} 4`) || !strings.Contains(out, `test_gvec{shard="1"} 7.5`) {
+		t.Fatalf("gauge vec rendering wrong:\n%s", out)
+	}
+}
+
+func TestGaugeVecNilSafe(t *testing.T) {
+	var v *GaugeVec
+	g := v.With("anything")
+	g.Set(1)
+	g.Add(1)
+	if got := g.Value(); got != 0 {
+		t.Fatalf("nil gauge vec child = %v, want 0", got)
+	}
+}
+
+func TestGaugeVecArityPanics(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewGaugeVec("test_gvec2", "t", "shard")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong label arity")
+		}
+	}()
+	v.With("a", "b")
+}
+
 func TestCounterVecArityPanics(t *testing.T) {
 	r := NewRegistry()
 	v := r.NewCounterVec("test_vec2_total", "t", "kind")

@@ -141,6 +141,21 @@ type AnalyzerMetrics struct {
 	FilterHeld *Gauge
 	// FilterPassed counts anomalies that cleared the alarm filter.
 	FilterPassed *Counter
+	// LateSynopses counts synopses dropped because their Start preceded
+	// the group's open window — late/out-of-order arrivals the detector
+	// refuses to misattribute to the current window.
+	LateSynopses *Counter
+	// ShardQueueDepth tracks synopses queued per engine shard, labeled by
+	// shard index.
+	ShardQueueDepth *GaugeVec
+	// ShardBusyNanos counts nanoseconds each shard worker spent processing
+	// (vs blocked on its queue), labeled by shard index.
+	ShardBusyNanos *CounterVec
+	// ShardSynopses counts synopses processed per engine shard.
+	ShardSynopses *CounterVec
+	// ShardOverflows counts feeds that found a shard queue full and had to
+	// block (backpressure events), labeled by shard index.
+	ShardOverflows *CounterVec
 }
 
 // NewAnalyzerMetrics registers the analyzer metric family on r.
@@ -152,6 +167,11 @@ func NewAnalyzerMetrics(r *Registry) *AnalyzerMetrics {
 		Anomalies:          r.NewCounterVec("saad_analyzer_anomalies_total", "Anomalies raised before alarm filtering.", "kind", "stage"),
 		FilterHeld:         r.NewGauge("saad_analyzer_filter_held", "Anomalies currently suppressed by the alarm filter."),
 		FilterPassed:       r.NewCounter("saad_analyzer_filter_passed_total", "Anomalies that passed the alarm filter."),
+		LateSynopses:       r.NewCounter("saad_analyzer_late_synopses_total", "Synopses dropped because they arrived after their window closed."),
+		ShardQueueDepth:    r.NewGaugeVec("saad_analyzer_shard_queue_depth", "Synopses queued per engine shard.", "shard"),
+		ShardBusyNanos:     r.NewCounterVec("saad_analyzer_shard_busy_nanos_total", "Nanoseconds each engine shard spent processing synopses.", "shard"),
+		ShardSynopses:      r.NewCounterVec("saad_analyzer_shard_synopses_total", "Synopses processed per engine shard.", "shard"),
+		ShardOverflows:     r.NewCounterVec("saad_analyzer_shard_overflows_total", "Feeds that found a full shard queue and blocked (backpressure).", "shard"),
 	}
 }
 

@@ -43,6 +43,7 @@ type entry struct {
 	gaugeFn   func() float64
 	hist      *Histogram
 	vec       *CounterVec
+	gvec      *GaugeVec
 }
 
 // Registry holds named metrics and renders them. Registration is expected
@@ -122,6 +123,20 @@ func (r *Registry) NewCounterVec(name, help string, labelNames ...string) *Count
 	return v
 }
 
+// NewGaugeVec registers and returns a labeled gauge family.
+func (r *Registry) NewGaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	for _, l := range labelNames {
+		validName(l)
+	}
+	v := &GaugeVec{
+		labelNames: labelNames,
+		children:   make(map[string]*Gauge),
+		values:     make(map[string][]string),
+	}
+	r.register(&entry{name: name, help: help, kind: kindGauge, gvec: v})
+	return v
+}
+
 // Names returns all registered metric names in registration order.
 func (r *Registry) Names() []string {
 	r.mu.Lock()
@@ -160,6 +175,12 @@ func (r *Registry) Snapshot() Snapshot {
 				s.Counters[e.name+renderLabels(e.vec.labelNames, e.vec.values[key])] = c.Value()
 			}
 			e.vec.mu.Unlock()
+		case e.gvec != nil:
+			e.gvec.mu.Lock()
+			for key, g := range e.gvec.children {
+				s.Gauges[e.name+renderLabels(e.gvec.labelNames, e.gvec.values[key])] = g.Value()
+			}
+			e.gvec.mu.Unlock()
 		case e.gauge != nil:
 			s.Gauges[e.name] = e.gauge.Value()
 		case e.gaugeFn != nil:
@@ -192,6 +213,13 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 					renderLabels(e.vec.labelNames, e.vec.values[key]), e.vec.children[key].Value())
 			}
 			e.vec.mu.Unlock()
+		case e.gvec != nil:
+			e.gvec.mu.Lock()
+			for _, key := range e.gvec.sortedKeys() {
+				fmt.Fprintf(&b, "%s%s %s\n", e.name,
+					renderLabels(e.gvec.labelNames, e.gvec.values[key]), formatFloat(e.gvec.children[key].Value()))
+			}
+			e.gvec.mu.Unlock()
 		case e.gauge != nil:
 			fmt.Fprintf(&b, "%s %s\n", e.name, formatFloat(e.gauge.Value()))
 		case e.gaugeFn != nil:

@@ -32,6 +32,8 @@ type Monitor struct {
 	trainer  *analyzer.Trainer
 	model    *Model
 	detector *Detector
+	engine   *analyzer.Engine
+	shards   int
 	filter   *AlarmFilter
 	filterMW int
 	filterSp int
@@ -60,6 +62,7 @@ type monitorOptions struct {
 	filterMinWindows int
 	filterSpan       int
 	metricsAddr      string
+	engineShards     int
 }
 
 // WithHost sets the host id stamped on synopses (default 1).
@@ -85,6 +88,22 @@ func WithAlarmFilter(minWindows, span int) MonitorOption {
 	return func(o *monitorOptions) {
 		o.filterMinWindows = minWindows
 		o.filterSpan = span
+	}
+}
+
+// WithEngineShards runs detection on the sharded concurrent analyzer
+// engine with n shard workers (n < 1 selects GOMAXPROCS) instead of a
+// single in-line detector. Detection semantics are identical — the engine
+// routes each (host, stage) group wholly to one shard, preserving the
+// per-group order the windowed statistics depend on — but Poll and Flush
+// fan the drained synopses out across cores, which pays off when many
+// hosts or stages stream through one monitor.
+func WithEngineShards(n int) MonitorOption {
+	return func(o *monitorOptions) {
+		if n < 1 {
+			n = -1 // engine mode with the auto (GOMAXPROCS) shard count
+		}
+		o.engineShards = n
 	}
 }
 
@@ -119,6 +138,7 @@ func NewMonitor(opts ...MonitorOption) (*Monitor, error) {
 		pipeline: pipeline,
 		mode:     modeTraining,
 		trainer:  trainer,
+		shards:   o.engineShards,
 		filterMW: o.filterMinWindows,
 		filterSp: o.filterSpan,
 	}
@@ -150,11 +170,18 @@ func (m *Monitor) MetricsAddr() string {
 	return m.msrv.Addr()
 }
 
-// Close stops the metrics HTTP server (if any) and the synopsis channel.
-// The tracker side stays safe to call — synopses emitted after Close are
-// dropped and counted.
+// Close stops the metrics HTTP server (if any), the synopsis channel, and
+// — in engine mode — the shard workers. The tracker side stays safe to
+// call: synopses emitted after Close are dropped and counted. Call Flush
+// before Close to report the open windows' anomalies.
 func (m *Monitor) Close() error {
 	m.ch.Close()
+	m.mu.Lock()
+	eng := m.engine
+	m.mu.Unlock()
+	if eng != nil {
+		_ = eng.Close()
+	}
 	if m.msrv != nil {
 		return m.msrv.Close()
 	}
@@ -218,10 +245,25 @@ func (m *Monitor) Train() (*Model, error) {
 	return model, nil
 }
 
-// installDetector wires a detector for model and flips to detection mode.
+// installDetector wires the detection backend for model — a sharded engine
+// when WithEngineShards was given, a single in-line detector otherwise —
+// and flips to detection mode.
 func (m *Monitor) installDetector(model *Model) {
-	m.detector = analyzer.NewDetector(model)
-	m.detector.SetMetrics(m.pipeline.Analyzer)
+	if m.engine != nil {
+		_ = m.engine.Close() // SetModel over a live engine: retire its workers
+		m.engine = nil
+	}
+	m.detector = nil
+	if m.shards != 0 {
+		// WithShards treats n < 1 as "pick GOMAXPROCS", matching the -1
+		// auto sentinel WithEngineShards stores.
+		m.engine = analyzer.NewEngine(model,
+			analyzer.WithShards(m.shards),
+			analyzer.WithEngineMetrics(m.pipeline.Analyzer))
+	} else {
+		m.detector = analyzer.NewDetector(model)
+		m.detector.SetMetrics(m.pipeline.Analyzer)
+	}
 	m.installFilter(model)
 	m.mode = modeDetecting
 	m.pipeline.Monitor.Mode.Set(float64(modeDetecting))
@@ -259,6 +301,12 @@ func (m *Monitor) Poll() ([]Anomaly, error) {
 	if m.mode != modeDetecting {
 		return nil, ErrNotDetecting
 	}
+	if m.engine != nil {
+		if syns := m.ch.Drain(); len(syns) > 0 && !m.engine.Closed() {
+			m.engine.FeedBatch(syns)
+		}
+		return m.applyFilter(m.engine.Drain()), nil
+	}
 	var out []Anomaly
 	for _, s := range m.ch.Drain() {
 		out = append(out, m.applyFilter(m.detector.Feed(s))...)
@@ -285,6 +333,12 @@ func (m *Monitor) Flush() ([]Anomaly, error) {
 	defer m.mu.Unlock()
 	if m.mode != modeDetecting {
 		return nil, ErrNotDetecting
+	}
+	if m.engine != nil {
+		if syns := m.ch.Drain(); len(syns) > 0 && !m.engine.Closed() {
+			m.engine.FeedBatch(syns)
+		}
+		return m.applyFilter(m.engine.Flush()), nil
 	}
 	var out []Anomaly
 	for _, s := range m.ch.Drain() {

@@ -70,6 +70,15 @@ type (
 	Model = analyzer.Model
 	// Detector is the windowed online anomaly detector.
 	Detector = analyzer.Detector
+	// Engine is the sharded concurrent analyzer: it fans synopses out
+	// across shard workers by (host, stage) with detection semantics
+	// bit-identical to a single Detector.
+	Engine = analyzer.Engine
+	// EngineOption configures NewEngine (shard count, queue size,
+	// anomaly sink).
+	EngineOption = analyzer.EngineOption
+	// ShardStat is one engine shard's live load snapshot.
+	ShardStat = analyzer.ShardStat
 	// Anomaly is one detected flow or performance anomaly.
 	Anomaly = analyzer.Anomaly
 	// AnomalyKind is flow or performance.
@@ -159,6 +168,40 @@ func ReadCheckpoint(r io.Reader) (*Detector, error) { return analyzer.ReadCheckp
 // LoadCheckpointFile rebuilds a detector from a checkpoint file written
 // atomically by Detector.WriteCheckpointFile.
 func LoadCheckpointFile(path string) (*Detector, error) { return analyzer.LoadCheckpointFile(path) }
+
+// NewEngine returns a running sharded analyzer engine for the trained
+// model; it implements Sink, so it can terminate a synopsis transport
+// directly. See WithShards, WithAnomalySink.
+func NewEngine(m *Model, opts ...EngineOption) *Engine { return analyzer.NewEngine(m, opts...) }
+
+// WithShards sets the engine's shard worker count; n < 1 selects
+// GOMAXPROCS.
+func WithShards(n int) EngineOption { return analyzer.WithShards(n) }
+
+// WithAnomalySink delivers every anomaly batch to fn as windows close,
+// called from shard worker goroutines (fn must be safe for concurrent
+// use).
+func WithAnomalySink(fn func([]Anomaly)) EngineOption { return analyzer.WithAnomalySink(fn) }
+
+// NewEngineFromDetector lifts a detector (typically restored from a
+// checkpoint) into a running engine, partitioning its window state across
+// shards.
+func NewEngineFromDetector(d *Detector, opts ...EngineOption) *Engine {
+	return analyzer.NewEngineFromDetector(d, opts...)
+}
+
+// ReadEngineCheckpoint rebuilds a running engine from any checkpoint
+// written by Detector.WriteCheckpoint or Engine.WriteCheckpoint (the
+// formats are identical).
+func ReadEngineCheckpoint(r io.Reader, opts ...EngineOption) (*Engine, error) {
+	return analyzer.ReadEngineCheckpoint(r, opts...)
+}
+
+// LoadEngineCheckpointFile rebuilds a running engine from a checkpoint
+// file.
+func LoadEngineCheckpointFile(path string, opts ...EngineOption) (*Engine, error) {
+	return analyzer.LoadEngineCheckpointFile(path, opts...)
+}
 
 // NewAlarmFilter returns an anomaly de-bouncer: anomalies pass only when
 // the same (host, stage, kind) group alarmed in minWindows of the last

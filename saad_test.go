@@ -203,6 +203,84 @@ func TestMonitorSetModelAndSerialization(t *testing.T) {
 	}
 }
 
+// TestMonitorEngineMode runs the end-to-end monitor flow on the sharded
+// engine backend and checks it reports the same class of anomaly the
+// in-line detector does.
+func TestMonitorEngineMode(t *testing.T) {
+	cfg := saad.DefaultAnalyzerConfig()
+	cfg.Window = time.Second
+	cfg.MinTasksPerSignature = 10
+	mon, err := saad.NewMonitor(saad.WithAnalyzerConfig(cfg), saad.WithHost(3), saad.WithEngineShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+	clock := newFakeClock()
+	_, pts := buildStage(t, mon.Dictionary(), "Handler")
+
+	ex, err := mon.NewExecutor("Handler", 2, 16, clock.Now, func(ctx *saad.StageCtx, req any) {
+		ctx.Log(pts[0])
+		ctx.Log(pts[2])
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		if err := ex.Submit(i); err != nil {
+			t.Fatal(err)
+		}
+		if i%100 == 0 {
+			if _, err := mon.PollTraining(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ex.Close()
+	if _, err := mon.Train(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Detection: premature termination, a flow unseen in training.
+	ex2, err := mon.NewExecutor("Handler", 2, 16, clock.Now, func(ctx *saad.StageCtx, req any) {
+		ctx.Log(pts[0])
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(2 * time.Second)
+	for i := 0; i < 100; i++ {
+		if err := ex2.Submit(false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ex2.Close()
+	clock.Advance(5 * time.Second)
+
+	if _, err := mon.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	anomalies, err := mon.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, a := range anomalies {
+		if a.Kind == saad.FlowAnomaly && a.NewSignature {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no new-signature flow anomaly among %d anomalies", len(anomalies))
+	}
+	// Flush after Close must not panic (the engine runs inline once closed).
+	if err := mon.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mon.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestMonitorOverTCPTransport(t *testing.T) {
 	// Tracker on one side, analyzer sink on the other, over real TCP.
 	got := saad.NewChannelSink(1 << 12)
