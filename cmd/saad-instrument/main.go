@@ -12,16 +12,30 @@
 // call:
 //
 //	saad-instrument -dict dict.json -hitpkg saadlog -write ./server
+//
+// Verify already-instrumented sources against their committed dictionary
+// (the same checks the logpointcheck analyzer in saad-vet runs):
+//
+//	saad-instrument -dict dict.json -hitpkg saadlog -check ./server
+//
+// Re-running over an existing dictionary refuses to overwrite it when a
+// template changed at an already-assigned id (a changed statement is a new
+// log point, never a mutation); -force overrides after review.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
 	"os"
 	"path/filepath"
 	"strings"
 
 	"saad/internal/instrument"
+	"saad/internal/logpoint"
 )
 
 func main() {
@@ -39,6 +53,8 @@ func run(args []string) error {
 		methods  = fs.String("methods", "", "comma-separated log method names (default: common Print/level methods)")
 		hitpkg   = fs.String("hitpkg", "", "package identifier for inserted Hit calls (empty = no rewrite)")
 		write    = fs.Bool("write", false, "rewrite source files in place (requires -hitpkg)")
+		check    = fs.Bool("check", false, "verify already-instrumented sources against the dictionary at -dict; no files are written")
+		force    = fs.Bool("force", false, "overwrite an existing dictionary even when templates drifted at assigned ids")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,6 +85,10 @@ func run(args []string) error {
 		return fmt.Errorf("no Go sources in %s", dir)
 	}
 
+	if *check {
+		return runCheck(files, *dictPath, *logger, *methods, *hitpkg)
+	}
+
 	opts := instrument.Options{Logger: *logger, HitPackage: *hitpkg}
 	if *methods != "" {
 		opts.Methods = strings.Split(*methods, ",")
@@ -76,6 +96,25 @@ func run(args []string) error {
 	res, err := instrument.Run(files, opts)
 	if err != nil {
 		return err
+	}
+
+	// Re-instrumentation guard: if a dictionary is already committed at the
+	// output path, a fresh pass must not silently reassign the meaning of an
+	// existing id. DiffDictionaries is the same drift detection logpointcheck
+	// applies at vet time.
+	if old, err := readDict(*dictPath); err == nil {
+		if problems := instrument.DiffDictionaries(old, res.Dictionary); len(problems) > 0 {
+			for _, p := range problems {
+				fmt.Fprintln(os.Stderr, p)
+			}
+			if !*force {
+				return fmt.Errorf("refusing to overwrite %s: %d template(s) drifted at assigned ids (pass -force to override)",
+					*dictPath, len(problems))
+			}
+			fmt.Fprintf(os.Stderr, "saad-instrument: -force set; overwriting %s despite drift\n", *dictPath)
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("existing dictionary %s is unreadable: %w (move it aside or fix it)", *dictPath, err)
 	}
 
 	out, err := os.Create(*dictPath)
@@ -110,4 +149,48 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// runCheck verifies already-instrumented sources against the committed
+// dictionary, using the same scan/verify implementation logpointcheck runs
+// at vet time (internal/instrument.ScanInstrumented + Scan.Verify).
+func runCheck(files []instrument.File, dictPath, logger, methods, hitpkg string) error {
+	dict, err := readDict(dictPath)
+	if err != nil {
+		return fmt.Errorf("read dictionary: %w", err)
+	}
+	fset := token.NewFileSet()
+	var parsed []*ast.File
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f.Name, f.Src, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		parsed = append(parsed, af)
+	}
+	opts := instrument.ScanOptions{HitPackage: hitpkg, Logger: logger}
+	if methods != "" {
+		opts.Methods = strings.Split(methods, ",")
+	}
+	scan := instrument.ScanInstrumented(fset, parsed, opts)
+	problems := scan.Verify(dict)
+	for _, p := range problems {
+		fmt.Fprintln(os.Stderr, p)
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("%d problem(s) against %s", len(problems), dictPath)
+	}
+	fmt.Printf("ok: %d hit(s), %d log statement(s) consistent with %s\n", len(scan.Hits), len(scan.Logs), dictPath)
+	return nil
+}
+
+// readDict loads a committed dictionary from disk. Open errors come back
+// unwrapped enough for errors.Is(err, os.ErrNotExist) to hold.
+func readDict(path string) (*logpoint.Dictionary, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return logpoint.ReadDictionary(f)
 }

@@ -73,6 +73,109 @@ func TestRunRewriteInPlace(t *testing.T) {
 	}
 }
 
+func TestRunCheckMode(t *testing.T) {
+	dir := writeSample(t)
+	dictPath := filepath.Join(t.TempDir(), "dict.json")
+	if err := run([]string{"-dict", dictPath, "-hitpkg", "saadlog", "-write", dir}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Freshly instrumented sources verify clean against their dictionary.
+	if err := run([]string{"-dict", dictPath, "-hitpkg", "saadlog", "-check", dir}); err != nil {
+		t.Fatalf("clean check failed: %v", err)
+	}
+
+	// Editing a template without a new id is the drift -check must catch.
+	path := filepath.Join(dir, "worker.go")
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drifted := strings.Replace(string(src), "task done", "task finished", 1)
+	if err := os.WriteFile(path, []byte(drifted), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{"-dict", dictPath, "-hitpkg", "saadlog", "-check", dir})
+	if err == nil || !strings.Contains(err.Error(), "problem") {
+		t.Fatalf("drifted check err = %v, want problems", err)
+	}
+
+	// A log statement whose Hit was deleted must also fail.
+	stripped := strings.Replace(string(src), "saadlog.Hit(2)\n", "", 1)
+	if err := os.WriteFile(path, []byte(stripped), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-dict", dictPath, "-hitpkg", "saadlog", "-check", dir}); err == nil {
+		t.Fatal("missing Hit accepted by -check")
+	}
+}
+
+func TestRunRefusesDriftedRedictionary(t *testing.T) {
+	dir := writeSample(t)
+	dictPath := filepath.Join(t.TempDir(), "dict.json")
+	if err := run([]string{"-dict", dictPath, dir}); err != nil {
+		t.Fatal(err)
+	}
+	committed, err := os.ReadFile(dictPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Change a template in place, then re-run against the committed
+	// dictionary: the same id would silently change meaning, so the run
+	// must refuse and leave the committed file untouched.
+	path := filepath.Join(dir, "worker.go")
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drifted := strings.Replace(string(src), "task done", "task finished", 1)
+	if err := os.WriteFile(path, []byte(drifted), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{"-dict", dictPath, dir})
+	if err == nil || !strings.Contains(err.Error(), "refusing to overwrite") {
+		t.Fatalf("drifted re-run err = %v, want refusal", err)
+	}
+	after, err := os.ReadFile(dictPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != string(committed) {
+		t.Fatal("refused run still rewrote the dictionary")
+	}
+
+	// -force overrides after review and rewrites the dictionary.
+	if err := run([]string{"-dict", dictPath, "-force", dir}); err != nil {
+		t.Fatalf("-force run failed: %v", err)
+	}
+	forced, err := os.ReadFile(dictPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(forced), "task finished") {
+		t.Fatalf("-force did not update dictionary: %s", forced)
+	}
+
+	// Re-running with unchanged sources over a committed dictionary is not
+	// drift and must succeed without -force.
+	if err := run([]string{"-dict", dictPath, dir}); err != nil {
+		t.Fatalf("no-drift re-run failed: %v", err)
+	}
+}
+
+func TestRunRejectsCorruptExistingDictionary(t *testing.T) {
+	dir := writeSample(t)
+	dictPath := filepath.Join(t.TempDir(), "dict.json")
+	if err := os.WriteFile(dictPath, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-dict", dictPath, dir})
+	if err == nil || !strings.Contains(err.Error(), "unreadable") {
+		t.Fatalf("corrupt existing dictionary err = %v, want unreadable", err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	if err := run([]string{}); err == nil {
 		t.Fatal("missing directory accepted")

@@ -1,0 +1,172 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// vet runs run() with stdout/stderr captured through temp files.
+func vet(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	dir := t.TempDir()
+	outF, err := os.Create(filepath.Join(dir, "stdout"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errF, err := os.Create(filepath.Join(dir, "stderr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	code = run(args, outF, errF)
+	outF.Close()
+	errF.Close()
+	outB, err := os.ReadFile(outF.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	errB, err := os.ReadFile(errF.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, string(outB), string(errB)
+}
+
+// writeTree materializes name->content files under a fresh temp dir.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, content := range files {
+		path := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// The finding fixture needs no imports: without type information lockcheck
+// accepts any Lock/Unlock-shaped receiver, which keeps the load fast.
+const lockedSend = `package demo
+
+func bad(ch chan int) {
+	mu.Lock()
+	ch <- 1
+	mu.Unlock()
+}
+`
+
+const cleanSend = `package demo
+
+func good(ch chan int) {
+	mu.Lock()
+	n := 1
+	mu.Unlock()
+	ch <- n
+}
+`
+
+func TestExitZeroOnCleanTree(t *testing.T) {
+	root := writeTree(t, map[string]string{"demo/demo.go": cleanSend})
+	code, stdout, stderr := vet(t, "-root", root)
+	if code != 0 || stdout != "" {
+		t.Fatalf("code=%d stdout=%q stderr=%q", code, stdout, stderr)
+	}
+}
+
+func TestExitOneOnFindings(t *testing.T) {
+	root := writeTree(t, map[string]string{"demo/demo.go": lockedSend})
+	code, stdout, _ := vet(t, "-root", root)
+	if code != 1 {
+		t.Fatalf("code = %d, want 1\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "lockcheck: mutex mu is held across a channel send") {
+		t.Fatalf("stdout = %q", stdout)
+	}
+	if !strings.Contains(stdout, "demo.go:5:") {
+		t.Fatalf("diagnostic position missing: %q", stdout)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	root := writeTree(t, map[string]string{"demo/demo.go": lockedSend})
+	code, stdout, _ := vet(t, "-root", root, "-json")
+	if code != 1 {
+		t.Fatalf("code = %d, want 1", code)
+	}
+	var diags []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &diags); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, stdout)
+	}
+	if len(diags) != 1 || diags[0].Analyzer != "lockcheck" || diags[0].Line != 5 {
+		t.Fatalf("diags = %+v", diags)
+	}
+
+	// A clean tree must still emit a JSON array, not null.
+	root = writeTree(t, map[string]string{"demo/demo.go": cleanSend})
+	code, stdout, _ = vet(t, "-root", root, "-json")
+	if code != 0 || strings.TrimSpace(stdout) != "[]" {
+		t.Fatalf("clean JSON run: code=%d stdout=%q", code, stdout)
+	}
+}
+
+func TestOnlySelectsAnalyzers(t *testing.T) {
+	root := writeTree(t, map[string]string{"demo/demo.go": lockedSend})
+	// The violation is lockcheck's; restricting to another analyzer passes.
+	code, stdout, _ := vet(t, "-root", root, "-only", "metriccheck")
+	if code != 0 {
+		t.Fatalf("code = %d, want 0\n%s", code, stdout)
+	}
+	code, _, _ = vet(t, "-root", root, "-only", "lockcheck")
+	if code != 1 {
+		t.Fatalf("code = %d, want 1", code)
+	}
+}
+
+func TestExitTwoOnUsageErrors(t *testing.T) {
+	if code, _, stderr := vet(t, "-only", "nosuchanalyzer"); code != 2 || !strings.Contains(stderr, "unknown analyzer") {
+		t.Fatalf("code=%d stderr=%q", code, stderr)
+	}
+	if code, _, _ := vet(t, "-root", t.TempDir(), "nonexistent-dir"); code != 2 {
+		t.Fatal("bad pattern accepted")
+	}
+	if code, _, _ := vet(t, "-badflag"); code != 2 {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	code, stdout, _ := vet(t, "-list")
+	if code != 0 {
+		t.Fatalf("code = %d", code)
+	}
+	for _, name := range []string{"logpointcheck", "atomiccheck", "lockcheck", "hotpathcheck", "metriccheck"} {
+		if !strings.Contains(stdout, name) {
+			t.Errorf("-list missing %s:\n%s", name, stdout)
+		}
+	}
+}
+
+// TestSelfCheck bootstraps saad-vet over its own implementation: the
+// analyzer framework and the multichecker binary must themselves pass every
+// analyzer. This is the supply-chain sanity check — the tool cannot demand
+// a discipline it does not keep.
+func TestSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks go/types from source; skipped in -short")
+	}
+	code, stdout, stderr := vet(t, "-root", filepath.Join("..", ".."), "internal/lint", "cmd/saad-vet", "internal/instrument")
+	if code != 0 {
+		t.Fatalf("saad-vet on itself: exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+}

@@ -1,0 +1,39 @@
+// The simplified HDFS DataXceiver of the paper's Figure 3, carrying the
+// instrumentation cmd/saad-instrument inserted. The //saad:instrumented
+// directive below declares the committed dictionary this file's log-point
+// ids were assigned from; `saad-vet` (logpointcheck) verifies on every CI
+// run that the ids are unique, known to the dictionary, and that no
+// template has drifted since assignment.
+//
+//saad:instrumented dict=saad-dict.json hitpkg=saadlog logger=log
+
+package main
+
+import (
+	"log"
+
+	"saad/examples/instrumented/saadlog"
+)
+
+// DataXceiver streams the packets of one block to disk, one task per
+// block (dispatcher-worker staging: each Run is one tracked task).
+type DataXceiver struct{ blockID int64 }
+
+// Run receives every packet of the block and writes it to the block file.
+func (d *DataXceiver) Run(packets [][]byte) {
+	saadlog.Hit(1)
+	log.Printf("Receiving block blk_%d", d.blockID)
+	for _, pkt := range packets {
+		saadlog.Hit(2)
+		log.Printf("Receiving one packet for blk_%d", d.blockID)
+		if len(pkt) == 0 {
+			saadlog.Hit(3)
+			log.Printf("Receiving empty packet for blk_%d", d.blockID)
+			continue
+		}
+		saadlog.Hit(4)
+		log.Printf("WriteTo blockfile of size %d", len(pkt))
+	}
+	saadlog.Hit(5)
+	log.Println("Closing down.")
+}

@@ -1,0 +1,39 @@
+// Package saadlog is the logging shim that instrumented sources import:
+// cmd/saad-instrument rewrites every log statement to be preceded by
+// saadlog.Hit(<id>), and Hit forwards the log-point encounter to the task
+// execution tracker (paper Section 4.1.1 — the interposed logging library
+// reporting to the tracker).
+//
+// The paper's Java implementation finds the current task in thread-local
+// storage. This example shim binds one task explicitly, which is all a
+// single-goroutine demo needs; the simulated storage systems under
+// internal/storage carry *tracker.Task handles through their stage
+// runtimes instead, which is the idiomatic Go shape.
+package saadlog
+
+import (
+	"time"
+
+	"saad/internal/logpoint"
+	"saad/internal/tracker"
+)
+
+var (
+	current *tracker.Task
+	now     func() time.Time = time.Now
+)
+
+// Bind routes subsequent Hit calls to task, timestamped by clock.
+func Bind(task *tracker.Task, clock func() time.Time) {
+	current = task
+	if clock != nil {
+		now = clock
+	}
+}
+
+// Hit reports one encounter of the log point with the given pre-assigned
+// id. It is what rewritten log statements call; a nil bound task makes it
+// a no-op, so uninstrumented runs pay nothing.
+func Hit(id int) {
+	current.Hit(logpoint.ID(id), now())
+}

@@ -174,6 +174,8 @@ func (d *Detector) PendingTasks() int {
 // already ran — so it is dropped with accounting (LateSynopses and the
 // late_synopses_total metric) rather than silently misattributed to the
 // current window.
+//
+//saad:hotpath
 func (d *Detector) Feed(s *synopsis.Synopsis) []Anomaly {
 	if m := d.metrics; m != nil {
 		m.SynopsesFed.Inc()

@@ -165,13 +165,17 @@ func newEngine(model *Model, opts ...EngineOption) (*Engine, *engineOptions) {
 }
 
 // run is the shard worker loop: it owns the core until the channel closes.
+//
+//saad:hotpath
 func (e *Engine) run(sh *shard) {
 	defer close(sh.done)
 	timed := sh.busy != nil
 	for msg := range sh.ch {
 		var start time.Time
 		if timed {
-			start = time.Now()
+			// Wall-clock reads happen only when shard_busy_nanos metrics
+			// are enabled, and measure real elapsed time by design.
+			start = time.Now() //saad:allow hotpathcheck metrics-gated busy-time measurement wants wall clock
 		}
 		switch {
 		case msg.syn != nil:
@@ -193,6 +197,7 @@ func (e *Engine) run(sh *shard) {
 	}
 }
 
+//saad:hotpath
 func (sh *shard) observe(e *Engine, s *synopsis.Synopsis) {
 	sh.nfed++
 	sh.fed.Inc()
@@ -214,6 +219,8 @@ func (e *Engine) shardFor(s *synopsis.Synopsis) *shard {
 // shardIndex is the routing hash (a Fibonacci/murmur-style mix of the two
 // key halves): checkpoint adoption must partition state with exactly the
 // same function that routes live synopses.
+//
+//saad:hotpath
 func (e *Engine) shardIndex(host uint16, stage logpoint.StageID) int {
 	h := (uint32(host)+1)*0x9E3779B1 ^ (uint32(stage)+1)*0x85EBCA77
 	h ^= h >> 16
@@ -240,6 +247,8 @@ func (e *Engine) send(sh *shard, msg shardMsg) {
 // Feed routes one synopsis to its shard. Safe for concurrent use. Unlike
 // Detector.Feed it returns nothing: anomalies surface via Drain, Flush, or
 // the WithAnomalySink callback.
+//
+//saad:hotpath
 func (e *Engine) Feed(s *synopsis.Synopsis) {
 	e.fed.Add(1)
 	e.send(e.shardFor(s), shardMsg{syn: s})

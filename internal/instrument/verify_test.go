@@ -1,0 +1,193 @@
+package instrument
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"saad/internal/logpoint"
+)
+
+func parseOne(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+// dictFor builds a dictionary whose points mirror the given templates in id
+// order starting at 1, all under one stage.
+func dictFor(t *testing.T, templates ...string) *logpoint.Dictionary {
+	t.Helper()
+	d := logpoint.NewDictionary()
+	sid, err := d.RegisterStage("S", logpoint.ProducerConsumer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tpl := range templates {
+		if _, err := d.RegisterPoint(sid, logpoint.LevelInfo, tpl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func TestScanPairsHitsWithLogs(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+import "log"
+
+func f(n int) {
+	saadlog.Hit(1)
+	log.Printf("starting %d", n)
+	for i := 0; i < n; i++ {
+		saadlog.Hit(2)
+		log.Println("loop body")
+	}
+	saadlog.Hit(3)
+	log.Println("done")
+}
+`)
+	s := ScanInstrumented(fset, files, ScanOptions{})
+	if len(s.Hits) != 3 || len(s.Logs) != 3 || len(s.Dangling) != 0 {
+		t.Fatalf("hits=%d logs=%d dangling=%d", len(s.Hits), len(s.Logs), len(s.Dangling))
+	}
+	// Pairing follows the rewriter's id assignment regardless of the order
+	// statement lists are visited in (outer lists complete before nested).
+	// templateOf trims from the first format verb, so "starting %d"
+	// normalizes to "starting".
+	wantID := map[string]logpoint.ID{"starting": 1, "loop body": 2, "done": 3}
+	for _, l := range s.Logs {
+		if l.Hit == nil || l.Hit.ID != wantID[l.Template] {
+			t.Fatalf("log %q paired with %+v, want id %d", l.Template, l.Hit, wantID[l.Template])
+		}
+	}
+	if probs := s.Verify(dictFor(t, "starting", "loop body", "done")); len(probs) != 0 {
+		t.Fatalf("clean source produced problems: %v", probs)
+	}
+}
+
+func TestVerifyFindsEveryDriftClass(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+import "log"
+
+func f() {
+	saadlog.Hit(1)
+	log.Println("ok")
+	saadlog.Hit(1)
+	log.Println("duplicate id")
+	saadlog.Hit(9)
+	log.Println("unknown id")
+	saadlog.Hit(2)
+	log.Println("edited template")
+	log.Println("orphan statement")
+	saadlog.Hit(3)
+	x := 0
+	_ = x
+}
+`)
+	s := ScanInstrumented(fset, files, ScanOptions{})
+	probs := s.Verify(dictFor(t, "ok", "original template", "trailer"))
+	var got []string
+	for _, p := range probs {
+		got = append(got, p.Message)
+	}
+	wants := []string{
+		"duplicate log-point id 1",
+		// The duplicate's statement also mismatches id 1's template, so it
+		// additionally reports drift — both findings are real.
+		`template drifted from dictionary for id 1: dictionary has "ok"`,
+		"log-point id 9 is not in the dictionary",
+		"template drifted from dictionary for id 2",
+		"log statement lacks a preceding Hit call",
+		"Hit(3) is not immediately followed by its log statement",
+	}
+	for _, w := range wants {
+		found := false
+		for _, g := range got {
+			if strings.Contains(g, w) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing problem %q in %v", w, got)
+		}
+	}
+	if len(probs) != len(wants) {
+		t.Fatalf("problems = %d, want %d: %v", len(probs), len(wants), got)
+	}
+}
+
+func TestScanRespectsCustomHitPackageAndLogger(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+func f() {
+	trace.Hit(1)
+	logger.Infof("custom stack")
+}
+`)
+	s := ScanInstrumented(fset, files, ScanOptions{
+		HitPackage: "trace", Logger: "logger", Methods: []string{"Infof"},
+	})
+	if len(s.Hits) != 1 || len(s.Logs) != 1 || s.Logs[0].Hit == nil {
+		t.Fatalf("hits=%d logs=%d", len(s.Hits), len(s.Logs))
+	}
+	// Default options must not match the custom identifiers.
+	s = ScanInstrumented(fset, files, ScanOptions{})
+	if len(s.Hits) != 0 || len(s.Logs) != 0 {
+		t.Fatalf("defaults matched custom identifiers: hits=%d logs=%d", len(s.Hits), len(s.Logs))
+	}
+}
+
+func TestScanCaseClauseLists(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+import "log"
+
+func f(n int, ch chan int) {
+	switch n {
+	case 0:
+		saadlog.Hit(1)
+		log.Println("zero")
+	}
+	select {
+	case <-ch:
+		saadlog.Hit(2)
+		log.Println("recv")
+	default:
+	}
+}
+`)
+	s := ScanInstrumented(fset, files, ScanOptions{})
+	if len(s.Hits) != 2 || len(s.Logs) != 2 {
+		t.Fatalf("hits=%d logs=%d", len(s.Hits), len(s.Logs))
+	}
+	for i, l := range s.Logs {
+		if l.Hit == nil {
+			t.Fatalf("log %d unpaired", i)
+		}
+	}
+}
+
+func TestDiffDictionaries(t *testing.T) {
+	old := dictFor(t, "alpha", "beta")
+	fresh := dictFor(t, "alpha", "beta-edited", "gamma")
+	probs := DiffDictionaries(old, fresh)
+	if len(probs) != 1 {
+		t.Fatalf("problems = %v, want exactly the id-2 drift", probs)
+	}
+	if !strings.Contains(probs[0].Message, "dictionary drift at id 2") {
+		t.Fatalf("message = %q", probs[0].Message)
+	}
+	// New ids (gamma) are growth, not drift; identical dictionaries diff clean.
+	if probs := DiffDictionaries(old, old); len(probs) != 0 {
+		t.Fatalf("self-diff = %v", probs)
+	}
+}

@@ -1,0 +1,30 @@
+package lint
+
+// All returns SAAD's five project analyzers in their canonical order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		LogpointCheck,
+		AtomicCheck,
+		LockCheck,
+		HotpathCheck,
+		MetricCheck,
+	}
+}
+
+// ByName resolves a comma-separated analyzer selection against All; an
+// unknown name returns (nil, false) with the offending name.
+func ByName(names []string) ([]*Analyzer, string, bool) {
+	index := make(map[string]*Analyzer)
+	for _, a := range All() {
+		index[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range names {
+		a, ok := index[name]
+		if !ok {
+			return nil, name, false
+		}
+		out = append(out, a)
+	}
+	return out, "", true
+}

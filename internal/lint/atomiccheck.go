@@ -1,0 +1,211 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicCheck enforces the sharded engine's atomics-only discipline
+// (DESIGN §10): once a struct field is accessed through sync/atomic —
+// either by being one of the atomic wrapper types (atomic.Bool,
+// atomic.Uint64, ...) or by having its address passed to an atomic
+// function (atomic.AddUint64(&s.n, 1)) — every other access must go
+// through sync/atomic too. A single plain load or store reintroduces
+// exactly the probabilistic data race the CI race detector only sometimes
+// catches.
+var AtomicCheck = &Analyzer{
+	Name: "atomiccheck",
+	Doc: "a struct field accessed via sync/atomic anywhere must never be read " +
+		"or written plainly elsewhere",
+	Run: runAtomicCheck,
+}
+
+// atomicWrapperTypes are the sync/atomic value types whose methods are the
+// only sanctioned access path.
+var atomicWrapperTypes = map[string]bool{
+	"Bool": true, "Int32": true, "Int64": true, "Uint32": true,
+	"Uint64": true, "Uintptr": true, "Pointer": true, "Value": true,
+}
+
+// atomicFuncs are the old-style sync/atomic functions taking an address.
+func isAtomicFuncName(name string) bool {
+	for _, prefix := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"} {
+		if rest, ok := strings.CutPrefix(name, prefix); ok && rest != "" {
+			switch rest {
+			case "Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func runAtomicCheck(pass *Pass) error {
+	info := pass.Pkg.Info
+
+	// Pass 1: collect fields that participate in atomic access.
+	// wrapperFields: fields whose declared type is an atomic wrapper.
+	// addrFields:    plain-typed fields whose address feeds an atomic func.
+	wrapperFields := make(map[*types.Var]bool)
+	addrFields := make(map[*types.Var]token.Position)
+
+	fieldOf := func(sel *ast.SelectorExpr) *types.Var {
+		s, ok := info.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return nil
+		}
+		v, _ := s.Obj().(*types.Var)
+		return v
+	}
+
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			// Wrapper-typed field declarations.
+			if st, ok := n.(*ast.StructType); ok {
+				for _, fld := range st.Fields.List {
+					t := info.TypeOf(fld.Type)
+					if t == nil {
+						continue
+					}
+					if path, name := namedTypePath(t); path == "sync/atomic" && atomicWrapperTypes[name] {
+						for _, id := range fld.Names {
+							if v, ok := info.Defs[id].(*types.Var); ok {
+								wrapperFields[v] = true
+							}
+						}
+					}
+				}
+			}
+			// &s.f arguments to atomic functions.
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !isAtomicFuncName(sel.Sel.Name) {
+				return true
+			}
+			if !pkgFuncCall(info, call, "sync/atomic", sel.Sel.Name) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if fieldSel, ok := un.X.(*ast.SelectorExpr); ok {
+					if v := fieldOf(fieldSel); v != nil {
+						if _, seen := addrFields[v]; !seen {
+							addrFields[v] = pass.Pkg.Fset.Position(call.Pos())
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	if len(wrapperFields) == 0 && len(addrFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: flag plain accesses.
+	for _, file := range pass.Pkg.Files {
+		inspectWithParents(file, func(n ast.Node, parents []ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			v := fieldOf(sel)
+			if v == nil {
+				return true
+			}
+			switch {
+			case wrapperFields[v]:
+				if bad, what := plainWrapperUse(sel, parents); bad {
+					pass.Reportf(sel.Pos(), "field %s has an atomic type and must only be used via its methods; this %s copies or overwrites its value", v.Name(), what)
+				}
+			default:
+				if first, ok := addrFields[v]; ok {
+					if plainAddrUse(sel, parents) {
+						pass.Reportf(sel.Pos(), "field %s is accessed with sync/atomic (e.g. at %s:%d) but read or written plainly here", v.Name(), first.Filename, first.Line)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// plainWrapperUse decides whether a selector of an atomic-wrapper field is
+// a forbidden plain use. Method calls (s.f.Load()) and address-of (&s.f)
+// are sanctioned; assignment and value copies are not.
+func plainWrapperUse(sel *ast.SelectorExpr, parents []ast.Node) (bool, string) {
+	if len(parents) == 0 {
+		return false, ""
+	}
+	switch p := parents[len(parents)-1].(type) {
+	case *ast.SelectorExpr:
+		// s.f.Load() — the wrapper is the receiver of a method selector.
+		return false, ""
+	case *ast.UnaryExpr:
+		if p.Op == token.AND {
+			return false, ""
+		}
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if lhs == sel {
+				return true, "assignment"
+			}
+		}
+		return true, "value copy"
+	case *ast.ValueSpec:
+		return true, "value copy"
+	case *ast.KeyValueExpr:
+		if p.Key == sel {
+			return false, ""
+		}
+		return true, "value copy"
+	case *ast.CallExpr:
+		for _, arg := range p.Args {
+			if arg == sel {
+				return true, "value copy"
+			}
+		}
+		return false, ""
+	case *ast.ReturnStmt, *ast.CompositeLit, *ast.BinaryExpr:
+		return true, "value copy"
+	}
+	return false, ""
+}
+
+// plainAddrUse decides whether a selector of an atomically-accessed
+// plain-typed field is a forbidden plain use. The only sanctioned shape is
+// &s.f passed straight into a sync/atomic call.
+func plainAddrUse(sel *ast.SelectorExpr, parents []ast.Node) bool {
+	if len(parents) == 0 {
+		return false
+	}
+	last := parents[len(parents)-1]
+	if un, ok := last.(*ast.UnaryExpr); ok && un.Op == token.AND {
+		if len(parents) >= 2 {
+			if call, ok := parents[len(parents)-2].(*ast.CallExpr); ok {
+				if fn, ok := call.Fun.(*ast.SelectorExpr); ok && isAtomicFuncName(fn.Sel.Name) {
+					return false
+				}
+			}
+		}
+		// Address escaping anywhere else defeats the analysis; flag it.
+		return true
+	}
+	if p, ok := last.(*ast.SelectorExpr); ok && p.X == sel {
+		// s.f.m() on a plain-typed field cannot happen for scalars; being
+		// the X of another selector means a nested field path — treat the
+		// leaf access as the decision point.
+		return false
+	}
+	return true
+}

@@ -1,0 +1,216 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// SAAD's analyzers are steered by three machine-readable comment
+// directives, all sharing the `//saad:` prefix (no space after //, like
+// //go: directives, so gofmt leaves them alone):
+//
+//	//saad:hotpath
+//	    In a function's doc comment: the function is a declared hot path
+//	    and hotpathcheck enforces its allocation discipline.
+//
+//	//saad:instrumented dict=<path> [hitpkg=<ident>] [logger=<ident>] [methods=<a,b,...>]
+//	    Anywhere in a file: the whole package is an instrumented source in
+//	    the sense of paper §4.1.1 — log statements carry Hit(id) calls and
+//	    the committed dictionary at <path> (relative to the file) is the
+//	    ground truth logpointcheck verifies against.
+//
+//	//saad:allow <analyzer> <reason>
+//	    Suppresses <analyzer>'s diagnostics: on the directive's own line
+//	    (trailing comment), on the line immediately below a standalone
+//	    comment, or across the whole declaration when it appears in a
+//	    func/type/var doc comment. The reason is mandatory — an
+//	    unexplained suppression is itself a diagnostic.
+
+// directivePrefix introduces every SAAD directive comment.
+const directivePrefix = "//saad:"
+
+// allowRange is one region where an analyzer's diagnostics are suppressed.
+type allowRange struct {
+	analyzer  string
+	file      string
+	startLine int
+	endLine   int
+}
+
+// instrumentedSpec is the parsed form of a //saad:instrumented directive.
+type instrumentedSpec struct {
+	// Dict is the dictionary path as written (relative to the file's dir).
+	Dict string
+	// Dir is the directory of the file carrying the directive.
+	Dir string
+	// HitPackage is the identifier Hit calls are qualified with
+	// (default "saadlog").
+	HitPackage string
+	// Logger and Methods mirror instrument.Options.
+	Logger  string
+	Methods []string
+	pos     token.Pos
+}
+
+// directiveError is a malformed directive, reported as a finding.
+type directiveError struct {
+	Pos     token.Pos
+	Message string
+}
+
+// parseDirectives scans one file's comments and accumulates allow ranges,
+// hotpath function marks and instrumented specs onto the package.
+func (pkg *Package) parseDirectives(file *ast.File, filename string) {
+	fset := pkg.Fset
+
+	// Map doc-comment groups to the extent of their declaration so a
+	// directive in a doc comment covers the whole decl.
+	docExtent := make(map[*ast.CommentGroup][2]int)
+	for _, decl := range file.Decls {
+		var doc *ast.CommentGroup
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			doc = d.Doc
+		case *ast.GenDecl:
+			doc = d.Doc
+		}
+		if doc != nil {
+			docExtent[doc] = [2]int{fset.Position(decl.Pos()).Line, fset.Position(decl.End()).Line}
+		}
+	}
+
+	for _, group := range file.Comments {
+		for _, c := range group.List {
+			if !strings.HasPrefix(c.Text, directivePrefix) {
+				continue
+			}
+			body := strings.TrimPrefix(c.Text, directivePrefix)
+			fields := strings.Fields(body)
+			if len(fields) == 0 {
+				pkg.DirectiveErrors = append(pkg.DirectiveErrors, directiveError{
+					Pos: c.Pos(), Message: "empty //saad: directive",
+				})
+				continue
+			}
+			switch fields[0] {
+			case "hotpath":
+				if ext, ok := docExtent[group]; ok {
+					pkg.hotpaths = append(pkg.hotpaths, hotpathMark{file: filename, startLine: ext[0], endLine: ext[1], pos: c.Pos()})
+				} else {
+					pkg.DirectiveErrors = append(pkg.DirectiveErrors, directiveError{
+						Pos: c.Pos(), Message: "//saad:hotpath must appear in a function's doc comment",
+					})
+				}
+			case "allow":
+				if len(fields) < 3 {
+					pkg.DirectiveErrors = append(pkg.DirectiveErrors, directiveError{
+						Pos: c.Pos(), Message: "//saad:allow needs an analyzer name and a reason: //saad:allow <analyzer> <reason>",
+					})
+					continue
+				}
+				r := allowRange{analyzer: fields[1], file: filename}
+				if ext, ok := docExtent[group]; ok {
+					r.startLine, r.endLine = ext[0], ext[1]
+				} else {
+					// Trailing comment suppresses its own line; a
+					// standalone comment suppresses the next line. Cover
+					// both: code and a trailing directive share a line, and
+					// nothing but the directive occupies a standalone line.
+					line := fset.Position(c.Pos()).Line
+					r.startLine, r.endLine = line, line+1
+				}
+				pkg.allows = append(pkg.allows, r)
+			case "instrumented":
+				spec, err := parseInstrumented(fields[1:], filename)
+				if err != nil {
+					pkg.DirectiveErrors = append(pkg.DirectiveErrors, directiveError{Pos: c.Pos(), Message: err.Error()})
+					continue
+				}
+				spec.pos = c.Pos()
+				if pkg.Instrumented != nil && pkg.Instrumented.Dict != spec.Dict {
+					pkg.DirectiveErrors = append(pkg.DirectiveErrors, directiveError{
+						Pos:     c.Pos(),
+						Message: fmt.Sprintf("conflicting //saad:instrumented directives: dict=%s vs dict=%s", pkg.Instrumented.Dict, spec.Dict),
+					})
+					continue
+				}
+				pkg.Instrumented = spec
+			default:
+				pkg.DirectiveErrors = append(pkg.DirectiveErrors, directiveError{
+					Pos: c.Pos(), Message: fmt.Sprintf("unknown //saad: directive %q (want hotpath, allow or instrumented)", fields[0]),
+				})
+			}
+		}
+	}
+}
+
+// parseInstrumented parses the key=value arguments of //saad:instrumented.
+func parseInstrumented(args []string, filename string) (*instrumentedSpec, error) {
+	spec := &instrumentedSpec{
+		Dir:        dirOf(filename),
+		HitPackage: "saadlog",
+		Logger:     "log",
+	}
+	for _, arg := range args {
+		key, val, ok := strings.Cut(arg, "=")
+		if !ok || val == "" {
+			return nil, fmt.Errorf("malformed //saad:instrumented argument %q (want key=value)", arg)
+		}
+		switch key {
+		case "dict":
+			spec.Dict = val
+		case "hitpkg":
+			spec.HitPackage = val
+		case "logger":
+			spec.Logger = val
+		case "methods":
+			spec.Methods = strings.Split(val, ",")
+		default:
+			return nil, fmt.Errorf("unknown //saad:instrumented key %q (want dict, hitpkg, logger or methods)", key)
+		}
+	}
+	if spec.Dict == "" {
+		return nil, fmt.Errorf("//saad:instrumented needs dict=<path>")
+	}
+	return spec, nil
+}
+
+func dirOf(filename string) string {
+	if i := strings.LastIndexByte(filename, '/'); i >= 0 {
+		return filename[:i]
+	}
+	return "."
+}
+
+// hotpathMark records one //saad:hotpath-annotated declaration by its file
+// line extent; hotpathcheck matches function declarations against it.
+type hotpathMark struct {
+	file      string
+	startLine int
+	endLine   int
+	pos       token.Pos
+}
+
+// allowed reports whether an analyzer's diagnostic at file:line falls
+// inside any //saad:allow range.
+func (pkg *Package) allowed(analyzer, file string, line int) bool {
+	for _, r := range pkg.allows {
+		if r.analyzer == analyzer && r.file == file && line >= r.startLine && line <= r.endLine {
+			return true
+		}
+	}
+	return false
+}
+
+// Hotpath reports whether the function declaration spanning the given
+// position range carries a //saad:hotpath mark.
+func (pkg *Package) Hotpath(file string, startLine int) bool {
+	for _, m := range pkg.hotpaths {
+		if m.file == file && m.startLine == startLine {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseSrc runs directive parsing over one in-memory file, the way loadDir
+// would.
+func parseSrc(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &Package{Dir: ".", Fset: fset, Files: nil}
+	pkg.Files = append(pkg.Files, file)
+	pkg.Filenames = append(pkg.Filenames, "src.go")
+	pkg.parseDirectives(file, "src.go")
+	return pkg
+}
+
+func directiveMessages(pkg *Package) []string {
+	var out []string
+	for _, e := range pkg.DirectiveErrors {
+		out = append(out, e.Message)
+	}
+	return out
+}
+
+// TestDirectiveErrors covers the malformed shapes the golden corpus cannot
+// express: directive comments run to end of line, so an allow with trailing
+// want-text would parse as a valid reason.
+func TestDirectiveErrors(t *testing.T) {
+	tests := []struct {
+		name, src, wantErr string
+	}{
+		{
+			name:    "allow without reason",
+			src:     "package p\n\n//saad:allow lockcheck\n",
+			wantErr: "needs an analyzer name and a reason",
+		},
+		{
+			name:    "allow without analyzer",
+			src:     "package p\n\n//saad:allow\n",
+			wantErr: "needs an analyzer name and a reason",
+		},
+		{
+			name:    "empty directive",
+			src:     "package p\n\n//saad:\n",
+			wantErr: "empty //saad: directive",
+		},
+		{
+			name:    "instrumented without dict",
+			src:     "package p\n\n//saad:instrumented hitpkg=saadlog\n",
+			wantErr: "needs dict=<path>",
+		},
+		{
+			name:    "instrumented malformed pair",
+			src:     "package p\n\n//saad:instrumented dict=\n",
+			wantErr: "malformed //saad:instrumented argument",
+		},
+		{
+			name:    "instrumented unknown key",
+			src:     "package p\n\n//saad:instrumented dict=d.json color=red\n",
+			wantErr: "unknown //saad:instrumented key",
+		},
+		{
+			name: "conflicting instrumented dicts",
+			src: "package p\n\n//saad:instrumented dict=a.json\n\n" +
+				"//saad:instrumented dict=b.json\n",
+			wantErr: "conflicting //saad:instrumented directives",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			pkg := parseSrc(t, tt.src)
+			msgs := directiveMessages(pkg)
+			for _, m := range msgs {
+				if strings.Contains(m, tt.wantErr) {
+					return
+				}
+			}
+			t.Fatalf("errors = %v, want one containing %q", msgs, tt.wantErr)
+		})
+	}
+}
+
+// TestAllowRanges pins the three suppression scopes: trailing comment
+// (own line), standalone comment (next line), doc comment (whole decl).
+func TestAllowRanges(t *testing.T) {
+	src := `package p
+
+import "sync"
+
+var mu sync.Mutex
+
+// doc-comment scope covers the whole declaration:
+//
+//saad:allow lockcheck documented protocol
+func whole(ch chan int) {
+	mu.Lock()
+	ch <- 1
+	ch <- 2
+	mu.Unlock()
+}
+
+func lines(ch chan int) {
+	mu.Lock()
+	ch <- 1 //saad:allow lockcheck trailing form
+	//saad:allow lockcheck standalone form
+	ch <- 2
+	ch <- 3
+	mu.Unlock()
+}
+`
+	pkg := parseSrc(t, src)
+	if len(pkg.DirectiveErrors) != 0 {
+		t.Fatalf("unexpected directive errors: %v", directiveMessages(pkg))
+	}
+	cases := []struct {
+		line  int
+		allow bool
+	}{
+		{11, true},  // inside whole(): doc scope
+		{12, true},  // inside whole(): doc scope
+		{13, true},  // inside whole(): doc scope
+		{19, true},  // trailing form, own line
+		{21, true},  // standalone form, next line
+		{22, false}, // past the standalone form's reach
+	}
+	for _, c := range cases {
+		if got := pkg.allowed("lockcheck", "src.go", c.line); got != c.allow {
+			t.Errorf("allowed(lockcheck, line %d) = %v, want %v", c.line, got, c.allow)
+		}
+	}
+	if pkg.allowed("atomiccheck", "src.go", 11) {
+		t.Error("allow leaked across analyzer names")
+	}
+}

@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestGolden proves every analyzer both fires on its seeded-violation
+// fixture and stays silent on its clean twin. Each analyzer owns a
+// testdata/src/<name>/{bad,clean} pair; expectations live in the fixtures
+// as `// want "regex"` comments (double- or backquoted, several per line
+// allowed), matched by file and line against "analyzer: message". The
+// special corpus "directive" runs with no analyzers and exercises the
+// runner's own malformed-directive reporting.
+func TestGolden(t *testing.T) {
+	srcRoot := filepath.Join("testdata", "src")
+	entries, err := os.ReadDir(srcRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var dirs []string
+	covered := make(map[string]bool)
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		covered[e.Name()] = true
+		for _, variant := range []string{"bad", "clean"} {
+			dir := filepath.Join(srcRoot, e.Name(), variant)
+			if _, err := os.Stat(dir); err != nil {
+				t.Fatalf("analyzer %s lacks a %s fixture: %v", e.Name(), variant, err)
+			}
+			dirs = append(dirs, dir)
+		}
+	}
+	// Every registered analyzer must have a corpus — a new analyzer without
+	// golden coverage fails here, not in review.
+	for _, a := range All() {
+		if !covered[a.Name] {
+			t.Errorf("analyzer %s has no golden corpus under %s", a.Name, srcRoot)
+		}
+	}
+
+	// One Load shares a single source importer across all fixtures so each
+	// dependency is type-checked once.
+	pkgs, err := Load(LoadConfig{Root: "."}, dirs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != len(dirs) {
+		t.Fatalf("loaded %d packages from %d fixture dirs", len(pkgs), len(dirs))
+	}
+
+	for _, pkg := range pkgs {
+		rel, err := filepath.Rel(srcRoot, pkg.Dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts := strings.SplitN(filepath.ToSlash(rel), "/", 2)
+		name, variant := parts[0], parts[1]
+		t.Run(name+"/"+variant, func(t *testing.T) {
+			var analyzers []*Analyzer
+			if name != "directive" {
+				sel, bad, ok := ByName([]string{name})
+				if !ok {
+					t.Fatalf("fixture dir names unknown analyzer %q", bad)
+				}
+				analyzers = sel
+			}
+			diags, err := Run([]*Package{pkg}, analyzers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wants := parseWants(t, pkg)
+			if variant == "clean" && len(wants) > 0 {
+				t.Fatalf("clean fixture carries want comments")
+			}
+			if variant == "bad" && len(wants) == 0 {
+				t.Fatalf("bad fixture carries no want comments")
+			}
+			for _, d := range diags {
+				rendered := d.Analyzer + ": " + d.Message
+				matched := false
+				for _, w := range wants {
+					if !w.matched && w.file == d.File && w.line == d.Line && w.re.MatchString(rendered) {
+						w.matched = true
+						matched = true
+						break
+					}
+				}
+				if !matched {
+					t.Errorf("unexpected diagnostic: %s", d)
+				}
+			}
+			for _, w := range wants {
+				if !w.matched {
+					t.Errorf("%s:%d: no diagnostic matched %q", w.file, w.line, w.re)
+				}
+			}
+		})
+	}
+}
+
+// want is one `// want "regex"` expectation pinned to a fixture line.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantMarker finds the start of a want expectation inside a comment; the
+// quoted regexes follow immediately after.
+var wantMarker = regexp.MustCompile("want\\s+([\"`].*)$")
+
+func parseWants(t *testing.T, pkg *Package) []*want {
+	t.Helper()
+	var out []*want
+	for i, file := range pkg.Files {
+		filename := pkg.Filenames[i]
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				m := wantMarker.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				line := pkg.Fset.Position(c.Pos()).Line
+				rest := m[1]
+				for {
+					rest = strings.TrimSpace(rest)
+					if rest == "" || (rest[0] != '"' && rest[0] != '`') {
+						break
+					}
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Fatalf("%s:%d: malformed want string: %v", filename, line, err)
+					}
+					pattern, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: malformed want string: %v", filename, line, err)
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s:%d: want regex: %v", filename, line, err)
+					}
+					out = append(out, &want{file: filename, line: line, re: re})
+					rest = rest[len(q):]
+				}
+			}
+		}
+	}
+	return out
+}

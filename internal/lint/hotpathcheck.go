@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotpathCheck enforces the allocation discipline of functions marked
+// //saad:hotpath — the per-Hit tracker path, stream.Channel.Emit, the
+// engine shard loop and the synopsis codec, which between them run once
+// per log statement executed by the monitored system (paper Figure 7's
+// <2% overhead budget). Inside a marked function it flags:
+//
+//   - time.Now() — hot paths take virtual time as a parameter; a wall
+//     clock read is both a syscall-adjacent cost and a semantics bug
+//     (vtime discipline, DESIGN §7)
+//   - fmt.Sprintf / Sprint / Sprintln / Errorf / Sprintf-family calls —
+//     each one allocates; signature interning exists precisely to keep
+//     string building out of Feed (DESIGN §10)
+//   - ranging over a map — nondeterministic order and hash-iteration cost
+//   - literals passed to interface-typed parameters — the boxing
+//     allocation go build will not warn about
+//
+// A fmt call whose result is immediately returned (return fmt.Errorf(...))
+// is treated as a cold exit path and exempt: error construction happens
+// after the hot path has already failed.
+var HotpathCheck = &Analyzer{
+	Name: "hotpathcheck",
+	Doc: "//saad:hotpath functions must not call time.Now or fmt.Sprintf-family " +
+		"functions, range over maps, or box literals into interfaces",
+	Run: runHotpathCheck,
+}
+
+// sprintFamily are the fmt allocating formatters flagged on hot paths.
+var sprintFamily = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true, "Errorf": true,
+	"Appendf": true, "Append": true, "Appendln": true,
+}
+
+func runHotpathCheck(pass *Pass) error {
+	for i, file := range pass.Pkg.Files {
+		filename := pass.Pkg.Filenames[i]
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !pass.Pkg.Hotpath(filename, pass.Pkg.Fset.Position(fn.Pos()).Line) {
+				continue
+			}
+			checkHotpathBody(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkHotpathBody(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	inspectWithParents(fn.Body, func(n ast.Node, parents []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Pos(), "hot path %s ranges over a map (nondeterministic order, hash iteration cost)", fn.Name.Name)
+				}
+			}
+		case *ast.CallExpr:
+			checkHotpathCall(pass, fn, n, parents)
+		}
+		return true
+	})
+}
+
+func checkHotpathCall(pass *Pass, fn *ast.FuncDecl, call *ast.CallExpr, parents []ast.Node) {
+	info := pass.Pkg.Info
+	if pkgFuncCall(info, call, "time", "Now") {
+		pass.Reportf(call.Pos(), "hot path %s calls time.Now (virtual time must arrive as a parameter)", fn.Name.Name)
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sprintFamily[sel.Sel.Name] &&
+		pkgFuncCall(info, call, "fmt", sel.Sel.Name) {
+		if !inReturn(parents) {
+			pass.Reportf(call.Pos(), "hot path %s calls fmt.%s (allocates; cold error exits may `return fmt.Errorf(...)` directly)", fn.Name.Name, sel.Sel.Name)
+		}
+	}
+	checkBoxedLiterals(pass, fn, call)
+}
+
+// inReturn reports whether the node whose parent stack is given sits
+// directly inside a return statement — the cold-exit exemption.
+func inReturn(parents []ast.Node) bool {
+	for i := len(parents) - 1; i >= 0; i-- {
+		switch parents[i].(type) {
+		case *ast.ReturnStmt:
+			return true
+		case *ast.BlockStmt, *ast.FuncLit, *ast.FuncDecl:
+			return false
+		}
+	}
+	return false
+}
+
+// checkBoxedLiterals flags basic or composite literals passed where the
+// callee expects an interface: the conversion allocates on every call.
+func checkBoxedLiterals(pass *Pass, fn *ast.FuncDecl, call *ast.CallExpr) {
+	info := pass.Pkg.Info
+	sigT := info.TypeOf(call.Fun)
+	if sigT == nil {
+		return
+	}
+	sig, ok := sigT.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		switch arg.(type) {
+		case *ast.BasicLit, *ast.CompositeLit:
+		default:
+			continue
+		}
+		pt := paramType(sig, i)
+		if pt == nil {
+			continue
+		}
+		if iface, isIface := pt.Underlying().(*types.Interface); isIface {
+			// A literal that is already of an interface type does not box.
+			if at := info.TypeOf(arg); at != nil {
+				if _, argIsIface := at.Underlying().(*types.Interface); argIsIface {
+					continue
+				}
+			}
+			what := "interface"
+			if iface.Empty() {
+				what = "any"
+			}
+			pass.Reportf(arg.Pos(), "hot path %s boxes a literal into an %s parameter (allocates per call)", fn.Name.Name, what)
+		}
+	}
+}
+
+// paramType resolves the type of argument i, unrolling variadic tails.
+func paramType(sig *types.Signature, i int) types.Type {
+	n := sig.Params().Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= n-1 {
+		last := sig.Params().At(n - 1).Type()
+		if sl, ok := last.(*types.Slice); ok {
+			return sl.Elem()
+		}
+		return nil
+	}
+	if i >= n {
+		return nil
+	}
+	return sig.Params().At(i).Type()
+}

@@ -1,0 +1,128 @@
+// Package lint is SAAD's project-specific static-analysis framework: a
+// stdlib-only (go/ast, go/parser, go/types, go/token) miniature of the
+// golang.org/x/tools analysis machinery, specialized to machine-check the
+// invariants SAAD's correctness rests on but `go build` and `go vet` cannot
+// see — the paper's one-time instrumentation pass (every log statement
+// carries a unique pre-assigned log-point id consistent with the committed
+// template dictionary, Sections 3.2.2/4.1.1) and the concurrency discipline
+// the sharded engine of DESIGN §10 depends on (atomics-only field access,
+// no mutex held across blocking operations, allocation-free hot paths,
+// panic-free metric registration).
+//
+// cmd/saad-vet wires the five project analyzers into a multichecker run
+// over ./...; the golden corpus under testdata/ proves each analyzer both
+// fires on a seeded violation and stays silent on clean code.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// An Analyzer is one static check. Run inspects a single type-checked
+// package through the Pass and reports findings; it must not retain the
+// Pass after returning.
+type Analyzer struct {
+	// Name is the analyzer's identifier, used in diagnostics and in
+	// //saad:allow directives. Lowercase, no spaces.
+	Name string
+	// Doc is a one-paragraph description of the invariant the analyzer
+	// enforces.
+	Doc string
+	// Run performs the check. Errors are infrastructure failures (e.g. an
+	// unreadable dictionary file), not findings; findings go through
+	// Pass.Reportf.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding, rendered as "file:line:col: analyzer: msg".
+type Diagnostic struct {
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Analyzer string         `json:"analyzer"`
+	Message  string         `json:"message"`
+}
+
+// String renders the diagnostic in the canonical grep-friendly form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// A Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies every analyzer to every package, applies //saad:allow
+// suppression, and returns the surviving diagnostics sorted by position.
+// The returned error reports infrastructure failures only (an analyzer
+// that could not run), never findings.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		// Malformed //saad: directives are findings in their own right:
+		// a typo'd suppression silently stops suppressing (or worse,
+		// never checked anything).
+		for _, bad := range pkg.DirectiveErrors {
+			pos := pkg.Fset.Position(bad.Pos)
+			diags = append(diags, Diagnostic{
+				Pos: pos, File: pos.Filename, Line: pos.Line, Col: pos.Column,
+				Analyzer: "directive", Message: bad.Message,
+			})
+		}
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+		diags = suppress(diags, pkg)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].File != diags[j].File {
+			return diags[i].File < diags[j].File
+		}
+		if diags[i].Line != diags[j].Line {
+			return diags[i].Line < diags[j].Line
+		}
+		if diags[i].Col != diags[j].Col {
+			return diags[i].Col < diags[j].Col
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// suppress drops diagnostics covered by a //saad:allow directive for their
+// analyzer.
+func suppress(diags []Diagnostic, pkg *Package) []Diagnostic {
+	if len(pkg.allows) == 0 {
+		return diags
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if !pkg.allowed(d.Analyzer, d.File, d.Line) {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,270 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed and type-checked package ready for
+// analysis.
+type Package struct {
+	// Path is the package's import path (module path + relative dir).
+	Path string
+	// Dir is the package directory on disk.
+	Dir string
+	// Fset positions every file in the load.
+	Fset *token.FileSet
+	// Files are the parsed sources in Filenames order.
+	Files []*ast.File
+	// Filenames are the loaded file paths (as given to the parser).
+	Filenames []string
+	// Types and Info are the type-checker's output. Type errors do not
+	// abort the load — syntactic analyzers still run, and golden fixtures
+	// are deliberately not always complete programs — but are recorded in
+	// TypeErrors for callers that insist on a clean universe.
+	Types      *types.Package
+	Info       *types.Info
+	TypeErrors []error
+
+	// Instrumented is the package's //saad:instrumented spec, if any.
+	Instrumented *instrumentedSpec
+	// DirectiveErrors are malformed //saad: directives, reported by the
+	// runner under the "directive" analyzer name.
+	DirectiveErrors []directiveError
+
+	allows   []allowRange
+	hotpaths []hotpathMark
+}
+
+// LoadConfig configures Load.
+type LoadConfig struct {
+	// Root is the module root directory; patterns resolve against it.
+	// Empty means the current working directory.
+	Root string
+	// IncludeTests includes in-package _test.go files. External test
+	// packages (package foo_test) are never loaded.
+	IncludeTests bool
+}
+
+// Load parses and type-checks the packages matched by patterns. A pattern
+// is a directory path relative to Root; the suffix "/..." walks
+// recursively, and "./..." loads the whole module. Directories named
+// testdata or vendor, and directories whose name starts with "." or "_",
+// are skipped by recursive walks (but can be named directly — the golden
+// corpus loads its fixtures that way).
+//
+// Type-checking uses the stdlib source importer, which resolves both
+// standard-library and module-local imports from source; nothing needs to
+// be compiled or installed first.
+func Load(cfg LoadConfig, patterns ...string) ([]*Package, error) {
+	root := cfg.Root
+	if root == "" {
+		root = "."
+	}
+	modPath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+
+	dirs, err := expandPatterns(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	// One importer instance serves the whole load so each dependency is
+	// type-checked at most once per process.
+	imp := importer.ForCompiler(fset, "source", nil)
+
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := loadDir(fset, imp, root, modPath, dir, cfg.IncludeTests)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// modulePath reads the module path from go.mod under root; without a
+// go.mod the directory name is used (good enough for fixture trees).
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			abs, _ := filepath.Abs(root)
+			return filepath.Base(abs), nil
+		}
+		return "", fmt.Errorf("lint: read go.mod: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s", filepath.Join(root, "go.mod"))
+}
+
+// expandPatterns resolves patterns into a sorted list of package dirs.
+func expandPatterns(root string, patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if strings.HasSuffix(pat, "/...") || pat == "..." {
+			recursive = true
+			pat = strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/")
+			if pat == "" {
+				pat = "."
+			}
+		}
+		base := pat
+		if !filepath.IsAbs(base) {
+			base = filepath.Join(root, base)
+		}
+		info, err := os.Stat(base)
+		if err != nil {
+			return nil, fmt.Errorf("lint: pattern %q: %w", pat, err)
+		}
+		if !info.IsDir() {
+			return nil, fmt.Errorf("lint: pattern %q is not a directory", pat)
+		}
+		if !recursive {
+			add(base)
+			continue
+		}
+		err = filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			add(path)
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("lint: walk %q: %w", pat, err)
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// loadDir parses and type-checks one directory; it returns (nil, nil) for
+// directories with no loadable Go files.
+func loadDir(fset *token.FileSet, imp types.Importer, root, modPath, dir string, includeTests bool) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: read %s: %w", dir, err)
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if !includeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	pkg := &Package{Dir: dir, Fset: fset}
+	var pkgName string
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("lint: read %s: %w", path, err)
+		}
+		if ignoredByBuildTag(src) {
+			continue
+		}
+		file, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse: %w", err)
+		}
+		fileName := file.Name.Name
+		if strings.HasSuffix(fileName, "_test") {
+			continue // external test package
+		}
+		if pkgName == "" {
+			pkgName = fileName
+		} else if fileName != pkgName {
+			return nil, fmt.Errorf("lint: %s: found packages %s and %s", dir, pkgName, fileName)
+		}
+		pkg.Files = append(pkg.Files, file)
+		pkg.Filenames = append(pkg.Filenames, path)
+		pkg.parseDirectives(file, path)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil
+	}
+
+	rel, err := filepath.Rel(root, dir)
+	if err != nil || rel == "." {
+		pkg.Path = modPath
+	} else {
+		pkg.Path = modPath + "/" + filepath.ToSlash(rel)
+	}
+
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	// Check returns the (possibly incomplete) package even on error; the
+	// per-error callback already captured what went wrong.
+	pkg.Types, _ = conf.Check(pkg.Path, fset, pkg.Files, pkg.Info)
+	return pkg, nil
+}
+
+// ignoredByBuildTag reports whether src opts out of every build via
+// //go:build ignore (the only constraint the loader honors; SAAD has no
+// platform-specific sources).
+func ignoredByBuildTag(src []byte) bool {
+	for _, line := range strings.Split(string(src), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "//go:build ignore" || strings.HasPrefix(line, "//go:build ignore ") {
+			return true
+		}
+		if line == "" || strings.HasPrefix(line, "//") {
+			continue
+		}
+		return false // reached package clause
+	}
+	return false
+}

@@ -1,0 +1,317 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockCheck forbids holding a mutex across an operation that can block
+// indefinitely or re-enter user code: a channel send or receive, a call to
+// an Emit method (the pipeline's fan-out points — tracker.Sink
+// implementations may do arbitrary work, DESIGN §10's callback-isolation
+// rule), or blocking I/O. SAAD is a monitoring layer: a mutex held across
+// a blocking operation turns one slow consumer into a pipeline-wide stall,
+// which is how the pre-PR-1 Channel.Emit lost ~11 ns/op and how monitoring
+// layers end up being the outage.
+//
+// The analysis is an intra-function approximation: Lock()/RLock() opens a
+// hold on the receiver expression, Unlock()/RUnlock() closes it, a
+// deferred Unlock holds to the end of the function. Function literals are
+// analyzed separately with an empty hold set (they typically run
+// elsewhere). Sends and receives inside a select that has a default clause
+// are non-blocking and exempt.
+var LockCheck = &Analyzer{
+	Name: "lockcheck",
+	Doc:  "no mutex may be held across a channel send/receive, an Emit call, or blocking I/O",
+	Run:  runLockCheck,
+}
+
+// blockingIOPkgs are packages whose Read/Write-shaped methods block.
+var blockingIOPkgs = map[string]bool{"net": true, "os": true, "bufio": true, "io": true}
+
+// blockingIOMethods are the method names treated as blocking I/O when the
+// receiver comes from a blockingIOPkgs package.
+var blockingIOMethods = map[string]bool{
+	"Read": true, "Write": true, "ReadFrom": true, "WriteTo": true,
+	"Accept": true, "Flush": true, "Sync": true, "ReadFull": true, "Copy": true,
+}
+
+func runLockCheck(pass *Pass) error {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkLockBody(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkLockBody(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// hold is one open mutex acquisition.
+type hold struct {
+	expr     string // receiver expression text, e.g. "c.mu"
+	deferred bool
+}
+
+// lockState tracks held mutexes through one function body.
+type lockState struct {
+	pass  *Pass
+	holds []hold
+}
+
+func checkLockBody(pass *Pass, body *ast.BlockStmt) {
+	st := &lockState{pass: pass}
+	st.stmts(body.List)
+}
+
+// stmts walks one statement list in order, updating holds and flagging
+// blocking operations while any hold is open.
+func (st *lockState) stmts(list []ast.Stmt) {
+	for _, stmt := range list {
+		st.stmt(stmt)
+	}
+}
+
+func (st *lockState) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if recv, kind, ok := st.lockCall(s.X); ok {
+			switch kind {
+			case "Lock", "RLock":
+				st.holds = append(st.holds, hold{expr: recv})
+			case "Unlock", "RUnlock":
+				st.release(recv)
+			}
+			return
+		}
+		st.expr(s.X)
+	case *ast.DeferStmt:
+		if recv, kind, ok := st.lockCall(s.Call); ok && (kind == "Unlock" || kind == "RUnlock") {
+			st.markDeferred(recv)
+			return
+		}
+		// A deferred call runs at return, when this function's locks are
+		// no longer the caller's concern; only its arguments evaluate now.
+		for _, arg := range s.Call.Args {
+			st.expr(arg)
+		}
+	case *ast.GoStmt:
+		// The goroutine body runs concurrently without our locks; its
+		// arguments evaluate now.
+		for _, arg := range s.Call.Args {
+			st.expr(arg)
+		}
+	case *ast.SendStmt:
+		st.flagBlocking(s.Pos(), "channel send")
+		st.expr(s.Chan)
+		st.expr(s.Value)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			st.expr(e)
+		}
+		for _, e := range s.Lhs {
+			st.expr(e)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			st.expr(e)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st.stmt(s.Init)
+		}
+		st.expr(s.Cond)
+		st.branch(s.Body.List)
+		if s.Else != nil {
+			st.branch([]ast.Stmt{s.Else})
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			st.expr(s.Cond)
+		}
+		st.branch(s.Body.List)
+	case *ast.RangeStmt:
+		st.expr(s.X)
+		st.branch(s.Body.List)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			st.expr(s.Tag)
+		}
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				st.branch(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				st.branch(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		nonBlocking := false
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+				nonBlocking = true
+			}
+		}
+		if !nonBlocking && len(st.holds) > 0 {
+			st.flagBlocking(s.Pos(), "blocking select")
+		}
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				st.branch(cc.Body)
+			}
+		}
+	case *ast.BlockStmt:
+		st.branch(s.List)
+	case *ast.LabeledStmt:
+		st.stmt(s.Stmt)
+	case *ast.IncDecStmt:
+		st.expr(s.X)
+	}
+}
+
+// branch walks a nested statement list and restores the hold set after:
+// an Unlock inside one branch must not release the lock for the code after
+// the branch (the conservative direction for a checker — a lock released
+// on only some paths is still a finding waiting to happen on the others).
+func (st *lockState) branch(list []ast.Stmt) {
+	saved := append([]hold(nil), st.holds...)
+	st.stmts(list)
+	st.holds = saved
+}
+
+// expr scans an expression for blocking operations while locks are held.
+func (st *lockState) expr(e ast.Expr) {
+	if e == nil || len(st.holds) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // analyzed separately with an empty hold set
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				st.flagBlocking(n.Pos(), "channel receive")
+			}
+		case *ast.CallExpr:
+			st.call(n)
+		}
+		return true
+	})
+}
+
+func (st *lockState) call(call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	name := sel.Sel.Name
+	if name == "Emit" {
+		st.flagBlocking(call.Pos(), "Emit call")
+		return
+	}
+	if !blockingIOMethods[name] {
+		return
+	}
+	info := st.pass.Pkg.Info
+	// Method on a net/os/bufio/io value, or a package function like
+	// io.Copy / io.ReadFull.
+	if obj := info.Uses[sel.Sel]; obj != nil {
+		if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil && blockingIOPkgs[fn.Pkg().Path()] {
+			st.flagBlocking(call.Pos(), "blocking I/O ("+fn.Pkg().Path()+"."+name+")")
+			return
+		}
+		if recv := recvTypePkg(obj); blockingIOPkgs[recv] {
+			st.flagBlocking(call.Pos(), "blocking I/O ("+recv+" "+name+")")
+		}
+	}
+}
+
+// recvTypePkg returns the package path of a method's receiver type, or "".
+func recvTypePkg(obj types.Object) string {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	path, _ := namedTypePath(sig.Recv().Type())
+	return path
+}
+
+// flagBlocking reports every currently held mutex at a blocking operation.
+func (st *lockState) flagBlocking(pos token.Pos, what string) {
+	for _, h := range st.holds {
+		st.pass.Reportf(pos, "mutex %s is held across a %s", h.expr, what)
+	}
+}
+
+// release drops the most recent hold on recv (LIFO, matching the
+// lock/unlock pairing discipline).
+func (st *lockState) release(recv string) {
+	for i := len(st.holds) - 1; i >= 0; i-- {
+		if st.holds[i].expr == recv && !st.holds[i].deferred {
+			st.holds = append(st.holds[:i], st.holds[i+1:]...)
+			return
+		}
+	}
+}
+
+// markDeferred records that recv's most recent hold is released only at
+// function exit; without a matching open hold (defer before Lock, or a
+// helper locking pattern) it opens a hold outright — the lock is evidently
+// meant to be held from here on.
+func (st *lockState) markDeferred(recv string) {
+	for i := len(st.holds) - 1; i >= 0; i-- {
+		if st.holds[i].expr == recv {
+			st.holds[i].deferred = true
+			return
+		}
+	}
+	st.holds = append(st.holds, hold{expr: recv, deferred: true})
+}
+
+// lockCall matches `<expr>.Lock/RLock/Unlock/RUnlock()` and returns the
+// receiver expression's text and the method name. Only receivers that are
+// plausibly sync.Mutex/RWMutex values qualify: when type information is
+// available the receiver must come from package sync (possibly embedded);
+// without it, any receiver matches (golden fixtures).
+func (st *lockState) lockCall(e ast.Expr) (recv, kind string, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall || len(call.Args) != 0 {
+		return "", "", false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	if obj := st.pass.Pkg.Info.Uses[sel.Sel]; obj != nil {
+		fn, isFn := obj.(*types.Func)
+		if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+			return "", "", false
+		}
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}

@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+
+	"saad/internal/instrument"
+	"saad/internal/logpoint"
+)
+
+// LogpointCheck verifies the paper's instrumentation invariant (§3.2.2,
+// §4.1.1) in packages marked //saad:instrumented: every log statement is
+// preceded by a Hit call carrying a unique pre-assigned log-point id, every
+// id exists in the committed dictionary, and no template has drifted from
+// its dictionary entry. The detection logic is shared with
+// cmd/saad-instrument (internal/instrument.Scan.Verify), so the build-time
+// pass and this vet-time pass cannot disagree about what drift is.
+var LogpointCheck = &Analyzer{
+	Name: "logpointcheck",
+	Doc: "in //saad:instrumented packages, Hit ids are unique and present in the " +
+		"committed dictionary, templates match it, and every log statement has its Hit",
+	Run: runLogpointCheck,
+}
+
+func runLogpointCheck(pass *Pass) error {
+	spec := pass.Pkg.Instrumented
+	if spec == nil {
+		return nil
+	}
+	dictPath := spec.Dict
+	if !filepath.IsAbs(dictPath) {
+		dictPath = filepath.Join(spec.Dir, dictPath)
+	}
+	f, err := os.Open(dictPath)
+	if err != nil {
+		pass.Reportf(spec.pos, "cannot open committed dictionary: %v", err)
+		return nil
+	}
+	defer f.Close()
+	dict, err := logpoint.ReadDictionary(f)
+	if err != nil {
+		pass.Reportf(spec.pos, "cannot parse committed dictionary %s: %v", dictPath, err)
+		return nil
+	}
+
+	scan := instrument.ScanInstrumented(pass.Pkg.Fset, pass.Pkg.Files, instrument.ScanOptions{
+		HitPackage: spec.HitPackage,
+		Logger:     spec.Logger,
+		Methods:    spec.Methods,
+	})
+	for _, p := range scan.Verify(dict) {
+		pass.Reportf(posOf(pass, p), "%s", p.Message)
+	}
+	return nil
+}
+
+// posOf maps an instrument.Problem position back to a token.Pos in the
+// pass's file set so Reportf renders it like every other diagnostic.
+func posOf(pass *Pass, p instrument.Problem) token.Pos {
+	for i, name := range pass.Pkg.Filenames {
+		if name == p.Pos.Filename {
+			file := pass.Pkg.Fset.File(pass.Pkg.Files[i].Pos())
+			if file != nil && p.Pos.Line >= 1 && p.Pos.Line <= file.LineCount() {
+				return file.LineStart(p.Pos.Line) + token.Pos(p.Pos.Column-1)
+			}
+		}
+	}
+	return pass.Pkg.Files[0].Pos()
+}

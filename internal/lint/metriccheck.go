@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// MetricCheck validates metric registration against internal/metrics'
+// runtime rules at vet time instead of panic time: names and label names
+// passed to Registry constructors must be valid Prometheus identifiers,
+// and a name must not be registered twice on the same registry (the
+// registry panics on duplicates — MustRegister semantics — which in SAAD
+// means the analyzer process dies at startup, after the monitored system
+// is already running).
+//
+// The duplicate check is a static approximation scoped to where it is
+// reliable: two registrations of the same literal name on the same
+// receiver expression within one function. Cross-function duplicates
+// depend on which bundles a caller composes and are the runtime panic's
+// job.
+var MetricCheck = &Analyzer{
+	Name: "metriccheck",
+	Doc: "metric names passed to internal/metrics constructors must be valid " +
+		"Prometheus identifiers and registered at most once per registry",
+	Run: runMetricCheck,
+}
+
+// metricConstructors maps Registry method names to whether their trailing
+// variadic arguments are label names.
+var metricConstructors = map[string]bool{
+	"NewCounter": false, "NewGauge": false, "NewHistogram": false,
+	"NewCounterFunc": false, "NewGaugeFunc": false,
+	"NewCounterVec": true, "NewGaugeVec": true,
+}
+
+var (
+	metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRE  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+func runMetricCheck(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			// seen maps "receiverExpr\x00name" to the first registration
+			// line within this function.
+			seen := make(map[string]int)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				checkMetricCall(pass, info, call, seen)
+				return true
+			})
+			return true
+		})
+	}
+	return nil
+}
+
+func checkMetricCall(pass *Pass, info *types.Info, call *ast.CallExpr, seen map[string]int) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	labeled, isCtor := metricConstructors[sel.Sel.Name]
+	if !isCtor || len(call.Args) < 1 {
+		return
+	}
+	if !isRegistryReceiver(info, sel) {
+		return
+	}
+	name, isLit := stringLiteral(call.Args[0])
+	if !isLit {
+		return // dynamic names are the runtime validator's job
+	}
+	if !metricNameRE.MatchString(name) {
+		pass.Reportf(call.Args[0].Pos(), "metric name %q is not a valid Prometheus identifier (want [a-zA-Z_:][a-zA-Z0-9_:]*)", name)
+	}
+	recvText := types.ExprString(sel.X)
+	key := recvText + "\x00" + name
+	line := pass.Pkg.Fset.Position(call.Pos()).Line
+	if first, dup := seen[key]; dup {
+		pass.Reportf(call.Args[0].Pos(), "metric %q is already registered on %s at line %d (the registry panics on duplicates)", name, recvText, first)
+	} else {
+		seen[key] = line
+	}
+	if labeled && len(call.Args) > 2 {
+		for _, arg := range call.Args[2:] {
+			label, isLit := stringLiteral(arg)
+			if !isLit {
+				continue
+			}
+			if !labelNameRE.MatchString(label) {
+				pass.Reportf(arg.Pos(), "label name %q is not a valid Prometheus identifier (want [a-zA-Z_][a-zA-Z0-9_]*)", label)
+			}
+		}
+	}
+}
+
+// isRegistryReceiver reports whether sel's receiver is a
+// saad/internal/metrics.Registry, falling back to a syntactic heuristic
+// (an identifier named r/reg/registry) when type information is absent.
+func isRegistryReceiver(info *types.Info, sel *ast.SelectorExpr) bool {
+	if t := info.TypeOf(sel.X); t != nil {
+		path, name := namedTypePath(t)
+		return name == "Registry" && strings.HasSuffix(path, "internal/metrics")
+	}
+	if id, ok := sel.X.(*ast.Ident); ok {
+		switch id.Name {
+		case "r", "reg", "registry":
+			return true
+		}
+	}
+	return false
+}
+
+// stringLiteral unquotes a string literal expression.
+func stringLiteral(e ast.Expr) (string, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}

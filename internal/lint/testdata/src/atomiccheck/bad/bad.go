@@ -1,0 +1,30 @@
+// Package bad mixes atomic and plain access to the same struct fields —
+// the probabilistic data race atomiccheck exists to make deterministic.
+package bad
+
+import "sync/atomic"
+
+type counters struct {
+	hits  atomic.Uint64
+	drops uint64
+}
+
+// Record is the sanctioned access path for both fields.
+func (c *counters) Record() {
+	c.hits.Add(1)
+	atomic.AddUint64(&c.drops, 1)
+}
+
+// Snapshot reads drops without sync/atomic even though Record updates it
+// atomically.
+func (c *counters) Snapshot() (uint64, uint64) {
+	a := c.hits.Load()
+	b := c.drops // want "field drops is accessed with sync/atomic"
+	return a, b
+}
+
+// Reset overwrites both fields plainly.
+func (c *counters) Reset() {
+	c.hits = atomic.Uint64{} // want "field hits has an atomic type"
+	c.drops = 0              // want "field drops is accessed with sync/atomic"
+}

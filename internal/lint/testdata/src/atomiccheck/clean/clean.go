@@ -1,0 +1,32 @@
+// Package clean accesses atomic fields only through sync/atomic, and its
+// plain fields never touch sync/atomic at all — atomiccheck must stay
+// silent on both.
+package clean
+
+import "sync/atomic"
+
+type counters struct {
+	hits  atomic.Uint64
+	drops uint64
+	name  string
+}
+
+func (c *counters) Record() {
+	c.hits.Add(1)
+	atomic.AddUint64(&c.drops, 1)
+}
+
+func (c *counters) Snapshot() (uint64, uint64) {
+	return c.hits.Load(), atomic.LoadUint64(&c.drops)
+}
+
+// Rename uses a field no atomic access ever touches; plain use is fine.
+func (c *counters) Rename(name string) {
+	c.name = name
+}
+
+// Handoff takes the wrapper's address, which is how a field reaches a
+// helper without copying the value.
+func (c *counters) Handoff() *atomic.Uint64 {
+	return &c.hits
+}

@@ -1,0 +1,14 @@
+// Package bad contains malformed //saad: directives; the runner reports
+// them under the "directive" analyzer name so a typo'd directive cannot
+// silently stop checking (or suppressing) anything. Directive comments run
+// to end of line, so the want expectations ride inside the directives
+// themselves — the parser only interprets the first word after the prefix.
+package bad
+
+//saad:frobnicate want "unknown //saad: directive"
+
+//saad:hotpath want "must appear in a function's doc comment"
+
+var x = justOne()
+
+func justOne() int { return 1 }

@@ -1,0 +1,27 @@
+// Package clean uses every directive shape correctly; the runner must
+// report no "directive" diagnostics.
+package clean
+
+import "sync"
+
+var mu sync.Mutex
+
+// hot is a declared hot path (doc-comment directive).
+//
+//saad:hotpath
+func hot(now int64) int64 { return now + 1 }
+
+// whole-declaration suppression via doc comment:
+//
+//saad:allow lockcheck this function's send is drained by a dedicated goroutine
+func sendLocked(ch chan int) {
+	mu.Lock()
+	ch <- 1
+	mu.Unlock()
+}
+
+func trailing(ch chan int) {
+	mu.Lock()
+	ch <- 2 //saad:allow lockcheck trailing-comment suppression form
+	mu.Unlock()
+}

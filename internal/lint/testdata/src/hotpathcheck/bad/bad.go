@@ -1,0 +1,24 @@
+// Package bad violates every rule of the //saad:hotpath allocation
+// discipline inside a marked function.
+package bad
+
+import (
+	"fmt"
+	"time"
+)
+
+func consume(v any) {}
+
+// process is the per-event hot loop.
+//
+//saad:hotpath
+func process(events map[int]string, out []string) {
+	ts := time.Now()                // want "calls time.Now"
+	msg := fmt.Sprintf("at %v", ts) // want "calls fmt.Sprintf"
+	for id := range events {        // want "ranges over a map"
+		_ = id
+	}
+	consume(42) // want "boxes a literal into an any parameter"
+	_ = msg
+	_ = out
+}

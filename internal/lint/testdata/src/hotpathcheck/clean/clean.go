@@ -1,0 +1,41 @@
+// Package clean observes the hot-path discipline: time arrives as a
+// parameter, fmt only runs on the cold return path, iteration is over
+// slices, and unmarked functions stay unconstrained. One deliberate wall
+// clock read proves //saad:allow suppression.
+package clean
+
+import (
+	"fmt"
+	"time"
+)
+
+// tick is allocation-free on its hot path; the fmt.Errorf is a cold exit
+// (directly returned) and therefore exempt.
+//
+//saad:hotpath
+func tick(now int64, events []string) error {
+	if len(events) == 0 {
+		return fmt.Errorf("no events at %d", now)
+	}
+	for i := range events {
+		_ = i
+	}
+	return nil
+}
+
+// drain reads the wall clock deliberately — the annotation records why, and
+// the analyzer must honor it.
+//
+//saad:hotpath
+func drain() int64 {
+	t := time.Now() //saad:allow hotpathcheck fixture proves allow-suppression on a hot path
+	return t.UnixNano()
+}
+
+// cold is not marked; it may allocate and read clocks freely.
+func cold(events map[int]string) string {
+	for _, v := range events {
+		_ = v
+	}
+	return fmt.Sprintf("at %v", time.Now())
+}

@@ -1,0 +1,46 @@
+// Package bad holds mutexes across the blocking operations lockcheck
+// forbids: channel sends and receives, Emit calls, and blocking selects.
+package bad
+
+import "sync"
+
+type sink struct{}
+
+func (sink) Emit(v int) {}
+
+type queue struct {
+	mu  sync.Mutex
+	n   int
+	ch  chan int
+	out sink
+}
+
+func (q *queue) Push(v int) {
+	q.mu.Lock()
+	q.n++
+	q.ch <- v // want "mutex q.mu is held across a channel send"
+	q.mu.Unlock()
+}
+
+func (q *queue) Pop() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return <-q.ch // want "mutex q.mu is held across a channel receive"
+}
+
+func (q *queue) Publish(v int) {
+	q.mu.Lock()
+	q.out.Emit(v) // want "mutex q.mu is held across a Emit call"
+	q.mu.Unlock()
+}
+
+func (q *queue) WaitEither(other chan int) {
+	q.mu.Lock()
+	select { // want "mutex q.mu is held across a blocking select"
+	case v := <-q.ch:
+		_ = v
+	case v := <-other:
+		_ = v
+	}
+	q.mu.Unlock()
+}

@@ -1,0 +1,57 @@
+// Package clean releases its locks before blocking, uses non-blocking
+// selects under locks, and hands blocking work to goroutines that do not
+// inherit the holder's locks — all shapes lockcheck must accept.
+package clean
+
+import "sync"
+
+type sink struct{}
+
+func (sink) Emit(v int) {}
+
+type queue struct {
+	mu  sync.Mutex
+	n   int
+	ch  chan int
+	out sink
+}
+
+func (q *queue) Push(v int) {
+	q.mu.Lock()
+	q.n++
+	q.mu.Unlock()
+	q.ch <- v
+}
+
+// TryPublish sends under the lock, but the default clause makes the select
+// non-blocking — the bounded-queue drop pattern.
+func (q *queue) TryPublish(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select {
+	case q.ch <- v:
+	default:
+	}
+}
+
+// Background spawns the Emit into its own goroutine; the goroutine does not
+// hold the caller's lock.
+func (q *queue) Background() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.n++
+	go func() {
+		q.out.Emit(1)
+	}()
+}
+
+// Branches may release and re-acquire; the checker restores the hold set
+// conservatively but must not flag the unlocked send on the main path.
+func (q *queue) Conditional(v int, fast bool) {
+	q.mu.Lock()
+	if fast {
+		q.n++
+	}
+	q.mu.Unlock()
+	q.ch <- v
+}

@@ -1,0 +1,36 @@
+// Package bad seeds every drift class logpointcheck must detect against
+// the committed testdict.json: a reused id, an id the dictionary has never
+// assigned, a template edited in place, a log statement whose Hit was
+// deleted, and a Hit orphaned from its log statement.
+//
+//saad:instrumented dict=testdict.json
+package bad
+
+import "log"
+
+type hitter struct{}
+
+func (hitter) Hit(id int) {}
+
+var saadlog hitter
+
+func Run() {
+	saadlog.Hit(1)
+	log.Println("service starting")
+
+	saadlog.Hit(1) // want "duplicate log-point id 1"
+	log.Println("service starting")
+
+	saadlog.Hit(9) // want "log-point id 9 is not in the dictionary"
+	log.Println("request handled")
+
+	saadlog.Hit(3)
+	log.Println("shutting down early") // want "template drifted from dictionary for id 3"
+
+	log.Println("request handled") // want "log statement lacks a preceding Hit call"
+
+	saadlog.Hit(2) // want "is not immediately followed by its log statement"
+	doWork()
+}
+
+func doWork() {}

@@ -1,0 +1,28 @@
+// Package clean is a correctly instrumented source: every log statement is
+// preceded by its Hit, every id is unique and present in testdict.json, and
+// no template has drifted. logpointcheck must stay silent, including on
+// log-like calls inside nested blocks and case clauses.
+//
+//saad:instrumented dict=testdict.json
+package clean
+
+import "log"
+
+type hitter struct{}
+
+func (hitter) Hit(id int) {}
+
+var saadlog hitter
+
+func Run(requests []int) {
+	saadlog.Hit(1)
+	log.Println("service starting")
+
+	for range requests {
+		saadlog.Hit(2)
+		log.Println("request handled")
+	}
+
+	saadlog.Hit(3)
+	log.Println("shutting down")
+}

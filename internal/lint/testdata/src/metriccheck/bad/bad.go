@@ -1,0 +1,12 @@
+// Package bad registers metrics the runtime registry would panic on:
+// an invalid name, a duplicate registration, and an invalid label name.
+package bad
+
+import "saad/internal/metrics"
+
+func register(r *metrics.Registry) {
+	r.NewCounter("events_total", "events processed")
+	r.NewCounter("events-total", "dashes are invalid")                    // want "is not a valid Prometheus identifier"
+	r.NewCounter("events_total", "second registration panics")            // want "already registered on r at line"
+	r.NewCounterVec("lag_seconds", "per-shard lag", "shard", "bad label") // want "label name \"bad label\" is not a valid Prometheus identifier"
+}

@@ -1,0 +1,23 @@
+// Package clean registers valid, distinct metric names — and calls
+// constructor-shaped methods on a type that is not the metrics Registry,
+// which metriccheck must ignore.
+package clean
+
+import "saad/internal/metrics"
+
+type builder struct{}
+
+func (builder) NewCounter(name, help string) {}
+
+func register(r *metrics.Registry) {
+	r.NewCounter("events_total", "events processed")
+	r.NewGauge("queue_depth", "current queue depth")
+	r.NewCounterVec("errors_total", "errors by kind", "kind", "shard")
+}
+
+// registerElsewhere uses an unrelated builder; its names are not metric
+// registrations no matter how invalid they look.
+func registerElsewhere(b builder) {
+	b.NewCounter("not-a-metric", "different receiver type")
+	b.NewCounter("not-a-metric", "registered twice but not on a registry")
+}

@@ -261,4 +261,15 @@ func TestReadDictionaryRejectsBadInput(t *testing.T) {
 	if _, err := ReadDictionary(strings.NewReader(`{"points":[{"id":1,"stage":9}]}`)); err == nil {
 		t.Fatal("dangling stage reference accepted")
 	}
+	// Duplicate ids would silently merge two statements' counts into one
+	// signature dimension; the reader refuses the dictionary.
+	dup := `{"stages":[{"id":1,"name":"S"}],"points":[
+		{"id":7,"stage":1,"template":"a"},{"id":7,"stage":1,"template":"b"}]}`
+	if _, err := ReadDictionary(strings.NewReader(dup)); err == nil || !strings.Contains(err.Error(), "duplicate point id 7") {
+		t.Fatalf("duplicate point id err = %v", err)
+	}
+	dupStage := `{"stages":[{"id":1,"name":"S"},{"id":1,"name":"T"}]}`
+	if _, err := ReadDictionary(strings.NewReader(dupStage)); err == nil || !strings.Contains(err.Error(), "duplicate stage id 1") {
+		t.Fatalf("duplicate stage id err = %v", err)
+	}
 }

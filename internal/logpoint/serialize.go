@@ -41,6 +41,9 @@ func ReadDictionary(r io.Reader) (*Dictionary, error) {
 		if s.ID == 0 {
 			return nil, fmt.Errorf("logpoint: stage %q has zero id", s.Name)
 		}
+		if prev, dup := d.stages[s.ID]; dup {
+			return nil, fmt.Errorf("logpoint: duplicate stage id %d (%q and %q)", s.ID, prev.Name, s.Name)
+		}
 		d.stages[s.ID] = s
 		d.stageNames[s.Name] = s.ID
 		if s.ID >= d.nextStage {
@@ -50,6 +53,11 @@ func ReadDictionary(r io.Reader) (*Dictionary, error) {
 	for _, p := range raw.Points {
 		if p.ID == 0 {
 			return nil, fmt.Errorf("logpoint: point %q has zero id", p.Template)
+		}
+		if prev, dup := d.points[p.ID]; dup {
+			// A duplicated id would silently merge two statements' counts
+			// into one signature dimension; refuse the dictionary outright.
+			return nil, fmt.Errorf("logpoint: duplicate point id %d (%q and %q)", p.ID, prev.Template, p.Template)
 		}
 		if _, ok := d.stages[p.Stage]; !ok && p.Stage != 0 {
 			return nil, fmt.Errorf("logpoint: point %d references %w %d", p.ID, ErrUnknownStage, p.Stage)

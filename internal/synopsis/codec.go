@@ -26,6 +26,8 @@ var ErrRecordTooLarge = errors.New("synopsis: record exceeds size limit")
 
 // AppendRecord appends the canonical binary encoding of s to dst and returns
 // the extended slice. The synopsis should be normalized.
+//
+//saad:hotpath
 func AppendRecord(dst []byte, s *Synopsis) []byte {
 	bodyBuf := make([]byte, 0, 16+6*len(s.Points))
 	bodyBuf = binary.AppendUvarint(bodyBuf, uint64(s.Stage))
@@ -64,6 +66,8 @@ func NewEncoder(w io.Writer) *Encoder {
 }
 
 // Encode writes one record.
+//
+//saad:hotpath
 func (e *Encoder) Encode(s *Synopsis) error {
 	e.buf = AppendRecord(e.buf[:0], s)
 	n, err := e.w.Write(e.buf)
@@ -100,6 +104,8 @@ func NewDecoder(r io.Reader) *Decoder {
 
 // Decode reads the next record into s. It returns io.EOF at a clean end of
 // stream and io.ErrUnexpectedEOF for a truncated record.
+//
+//saad:hotpath
 func (d *Decoder) Decode(s *Synopsis) error {
 	size, err := binary.ReadUvarint(d.r)
 	if err != nil {
@@ -124,6 +130,7 @@ func (d *Decoder) Decode(s *Synopsis) error {
 	return decodeBody(d.buf, s)
 }
 
+//saad:hotpath
 func decodeBody(buf []byte, s *Synopsis) error {
 	get := func() (uint64, error) {
 		v, n := binary.Uvarint(buf)
