@@ -30,12 +30,32 @@
 //
 //	saad-analyzer -listen :7077 -model model.json -checkpoint analyzer.ckpt
 //
+// Model lifecycle (detect mode): with -model-store the analyzer serves the
+// newest model from a versioned on-disk store (falling back to importing
+// -model as version 1 when the store is empty), buffers recent synopses,
+// and retrains every -retrain-every. A retrained candidate is stored with
+// full lineage metadata and shadow-evaluated side-by-side with the serving
+// model on the live stream (-shadow, on by default); when its anomaly rate
+// stays within the false-positive budget it is hot-swapped into the engine
+// at a window boundary with zero dropped synopses. The /model endpoint on
+// -http exposes the lifecycle: GET returns the serving version, lineage,
+// drift reports and shadow verdicts; POST ?action=retrain and
+// ?action=promote drive it manually:
+//
+//	saad-analyzer -listen :7077 -model model.json -model-store ./models \
+//	    -retrain-every 30m -http :9090
+//
+// Flag reference (detect mode): -listen, -model, -dict, -shards, -http,
+// -events, -stats-interval, -checkpoint, -checkpoint-interval,
+// -model-store, -retrain-every, -shadow.
+//
 // On SIGINT/SIGTERM the analyzer shuts down gracefully: it stops accepting,
 // drains already-received synopses, flushes open windows (reporting their
 // anomalies), writes a final checkpoint, and closes the event log.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -47,6 +67,7 @@ import (
 	"time"
 
 	"saad/internal/analyzer"
+	"saad/internal/lifecycle"
 	"saad/internal/logpoint"
 	"saad/internal/metrics"
 	"saad/internal/report"
@@ -54,6 +75,23 @@ import (
 	"saad/internal/synopsis"
 	"saad/internal/tracker"
 )
+
+// readModelFile loads a serialized model from disk.
+func readModelFile(path string) (*analyzer.Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	model, err := analyzer.ReadModel(f)
+	closeErr := f.Close()
+	if err != nil {
+		return nil, err
+	}
+	if closeErr != nil {
+		return nil, closeErr
+	}
+	return model, nil
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -77,6 +115,9 @@ func run(args []string) error {
 		ckptPath  = fs.String("checkpoint", "", "restore detector state from this file at startup and persist it periodically (detect mode; empty = off)")
 		ckptIntv  = fs.Duration("checkpoint-interval", 30*time.Second, "how often to persist the checkpoint (detect mode; 0 = only at shutdown)")
 		shards    = fs.Int("shards", 0, "analyzer shard workers (detect mode; 0 = GOMAXPROCS)")
+		storeDir  = fs.String("model-store", "", "versioned model store directory: serve its latest version, record retrains as new versions (empty = off)")
+		retrainEv = fs.Duration("retrain-every", 0, "retrain a candidate from the live stream this often (detect mode; needs -model-store; 0 = only via POST /model)")
+		shadowOn  = fs.Bool("shadow", true, "shadow-evaluate retrained candidates against the serving model before promoting (detect mode; false = promote immediately)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -100,7 +141,7 @@ func run(args []string) error {
 	}
 
 	if *trainN > 0 {
-		return trainMode(*listen, *modelPath, *trainN, *window, *alpha)
+		return trainMode(*listen, *modelPath, *storeDir, *trainN, *window, *alpha)
 	}
 	return detectMode(*listen, *modelPath, dict, detectOptions{
 		httpAddr:           *httpAddr,
@@ -109,11 +150,15 @@ func run(args []string) error {
 		checkpointPath:     *ckptPath,
 		checkpointInterval: *ckptIntv,
 		shards:             *shards,
+		storeDir:           *storeDir,
+		retrainEvery:       *retrainEv,
+		shadow:             *shadowOn,
 	})
 }
 
-// trainMode collects synopses and writes the trained model.
-func trainMode(listen, modelPath string, n int, window time.Duration, alpha float64) error {
+// trainMode collects synopses and writes the trained model — to the model
+// file, and as a new version of the model store when one is configured.
+func trainMode(listen, modelPath, storeDir string, n int, window time.Duration, alpha float64) error {
 	cfg := analyzer.DefaultConfig()
 	cfg.Window = window
 	cfg.Alpha = alpha
@@ -167,6 +212,21 @@ func trainMode(listen, modelPath string, n int, window time.Duration, alpha floa
 		return err
 	}
 	fmt.Printf("model over %d synopses written to %s\n", model.TrainedOn, modelPath)
+	if storeDir != "" {
+		store, err := lifecycle.Open(storeDir)
+		if err != nil {
+			return err
+		}
+		parent := 0
+		if latest, err := store.Latest(); err == nil {
+			parent = latest.Version
+		}
+		meta, err := store.Put(model, lifecycle.PutInfo{Parent: parent})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("model stored as version %d in %s\n", meta.Version, storeDir)
+	}
 	return nil
 }
 
@@ -179,6 +239,9 @@ type detectOptions struct {
 	checkpointPath     string          // persist/restore detector state ("" = off)
 	checkpointInterval time.Duration   // 0 = only at shutdown
 	shards             int             // engine shard workers (0 = GOMAXPROCS)
+	storeDir           string          // versioned model store ("" = off)
+	retrainEvery       time.Duration   // periodic live retraining (0 = off)
+	shadow             bool            // shadow-evaluate candidates before promotion
 	stop               <-chan struct{} // optional programmatic shutdown (tests)
 }
 
@@ -223,7 +286,19 @@ func detectMode(listen, modelPath string, dict *logpoint.Dictionary, opts detect
 		analyzer.WithEngineMetrics(pipe.Analyzer),
 		analyzer.WithAnomalySink(emit),
 	}
-	var eng *analyzer.Engine
+	var store *lifecycle.Store
+	if opts.storeDir != "" {
+		opened, err := lifecycle.Open(opts.storeDir)
+		if err != nil {
+			return err
+		}
+		store = opened
+	}
+	var (
+		eng         *analyzer.Engine
+		servingMeta lifecycle.Meta
+		hasServing  bool
+	)
 	if opts.checkpointPath != "" {
 		if _, statErr := os.Stat(opts.checkpointPath); statErr == nil {
 			restored, err := analyzer.LoadEngineCheckpointFile(opts.checkpointPath, engineOpts...)
@@ -235,18 +310,34 @@ func detectMode(listen, modelPath string, dict *logpoint.Dictionary, opts detect
 				opts.checkpointPath, eng.PendingTasks())
 		}
 	}
+	if eng == nil && store != nil {
+		// Serve the store's latest version; an empty store bootstraps from
+		// the -model file, recorded as version 1 so lineage starts there.
+		switch model, meta, err := store.LoadLatest(); {
+		case err == nil:
+			eng = analyzer.NewEngine(model, engineOpts...)
+			servingMeta, hasServing = meta, true
+			fmt.Printf("serving model version %d from %s\n", meta.Version, opts.storeDir)
+		case errors.Is(err, lifecycle.ErrEmptyStore):
+			model, err := readModelFile(modelPath)
+			if err != nil {
+				return err
+			}
+			meta, err := store.Put(model, lifecycle.PutInfo{})
+			if err != nil {
+				return err
+			}
+			eng = analyzer.NewEngine(model, engineOpts...)
+			servingMeta, hasServing = meta, true
+			fmt.Printf("imported %s into %s as version %d\n", modelPath, opts.storeDir, meta.Version)
+		default:
+			return err
+		}
+	}
 	if eng == nil {
-		f, err := os.Open(modelPath)
+		model, err := readModelFile(modelPath)
 		if err != nil {
 			return err
-		}
-		model, err := analyzer.ReadModel(f)
-		closeErr := f.Close()
-		if err != nil {
-			return err
-		}
-		if closeErr != nil {
-			return closeErr
 		}
 		eng = analyzer.NewEngine(model, engineOpts...)
 	}
@@ -274,12 +365,34 @@ func detectMode(listen, modelPath string, dict *logpoint.Dictionary, opts detect
 		closeEvents = closers[len(closers)-1]
 	}
 
+	// With a model store, a lifecycle manager rides shotgun on the stream:
+	// it buffers recent synopses for retraining, watches for drift, shadow-
+	// evaluates candidates and hot-swaps promoted models into the engine.
+	var mgr *lifecycle.Manager
+	if store != nil {
+		mcfg := lifecycle.ManagerConfig{DisableShadow: !opts.shadow}
+		mopts := []lifecycle.ManagerOption{lifecycle.WithLifecycleMetrics(pipe.Lifecycle)}
+		if hasServing {
+			mopts = append(mopts, lifecycle.WithServingVersion(servingMeta))
+		}
+		mgr = lifecycle.NewManager(eng, store, mcfg, mopts...)
+	}
+
 	// The engine is the server's sink: each connection handler's Emit routes
 	// directly to the owning shard, so connections are decoded in parallel
 	// and the per-connection synopsis order is preserved per (host, stage)
-	// group — exactly the ordering the detection semantics need.
+	// group — exactly the ordering the detection semantics need. With a
+	// lifecycle manager the sink is a tee: engine first (FIFO into the
+	// shard), then the manager's observers.
+	var sink tracker.Sink = eng
+	if mgr != nil {
+		sink = tracker.SinkFunc(func(s *synopsis.Synopsis) {
+			eng.Emit(s)
+			mgr.Observe(s)
+		})
+	}
 	srvMetrics := metrics.NewTCPServerMetrics(pipe.Registry)
-	srv, err := stream.Listen(listen, eng, stream.WithServerMetrics(srvMetrics))
+	srv, err := stream.Listen(listen, sink, stream.WithServerMetrics(srvMetrics))
 	if err != nil {
 		return fail(err)
 	}
@@ -287,13 +400,20 @@ func detectMode(listen, modelPath string, dict *logpoint.Dictionary, opts detect
 		srv.Addr(), model.TrainedOn, eng.Shards())
 
 	if opts.httpAddr != "" {
-		msrv, err := metrics.Serve(opts.httpAddr, pipe.Registry)
+		mux := metrics.NewMux(pipe.Registry)
+		if mgr != nil {
+			mux.Handle("/model", mgr)
+		}
+		msrv, err := metrics.ServeMux(opts.httpAddr, mux)
 		if err != nil {
 			_ = srv.Close()
 			return fail(err)
 		}
 		defer func() { _ = msrv.Close() }()
 		fmt.Printf("metrics: http://%s/metrics (also /debug/vars, /debug/pprof)\n", msrv.Addr())
+		if mgr != nil {
+			fmt.Printf("model admin: http://%s/model (GET status, POST action=retrain|promote)\n", msrv.Addr())
+		}
 	}
 
 	interrupt := make(chan os.Signal, 1)
@@ -310,6 +430,12 @@ func detectMode(listen, modelPath string, dict *logpoint.Dictionary, opts detect
 		ticker := time.NewTicker(opts.checkpointInterval)
 		defer ticker.Stop()
 		checkpoint = ticker.C
+	}
+	var retrain <-chan time.Time
+	if mgr != nil && opts.retrainEvery > 0 {
+		ticker := time.NewTicker(opts.retrainEvery)
+		defer ticker.Stop()
+		retrain = ticker.C
 	}
 
 	// shutdown is the graceful exit: stop accepting (which waits for the
@@ -356,6 +482,15 @@ func detectMode(listen, modelPath string, dict *logpoint.Dictionary, opts detect
 			// shutdown checkpoint still gets a chance to persist state.
 			if err := eng.WriteCheckpointFile(opts.checkpointPath); err != nil {
 				fmt.Fprintln(os.Stderr, "saad-analyzer: checkpoint:", err)
+			}
+		case <-retrain:
+			// A failed retrain (typically too few buffered synopses yet)
+			// must not stop detection; the next tick retries.
+			if meta, err := mgr.Retrain(); err != nil {
+				fmt.Fprintln(os.Stderr, "saad-analyzer: retrain:", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "saad-analyzer: retrained candidate version %d (parent %d)\n",
+					meta.Version, meta.Parent)
 			}
 		case <-interrupt:
 			return shutdown()

@@ -50,7 +50,7 @@ func TestTrainAndDetectOnFixedPort(t *testing.T) {
 	modelPath := filepath.Join(t.TempDir(), "model.json")
 	trainDone := make(chan error, 1)
 	go func() {
-		trainDone <- trainMode(addr, modelPath, 500, time.Minute, 0.001)
+		trainDone <- trainMode(addr, modelPath, "", 500, time.Minute, 0.001)
 	}()
 	// Retry until the trainer is listening.
 	deadline := time.Now().Add(5 * time.Second)

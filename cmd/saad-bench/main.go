@@ -8,10 +8,13 @@
 // fig9c fig9d fig10 fig11 all
 //
 // Each experiment prints the rows/series the paper reports; timelines
-// render as per-stage ASCII grids with one column per paper minute.
+// render as per-stage ASCII grids with one column per paper minute. With
+// -json <file> each experiment also appends one machine-readable JSON
+// record (experiment, seed, elapsed_ms, result) for regression tracking.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -40,6 +43,7 @@ func run(args []string) error {
 		seed    = fs.Uint64("seed", 20141208, "random seed")
 		runs    = fs.Int("runs", 5, "repetitions for fig11")
 		csvDir  = fs.String("csv", "", "directory to write throughput/anomaly CSVs for fig9*/fig10 (optional)")
+		jsonOut = fs.String("json", "", `file to append one JSON record per experiment ("-" for stdout)`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,19 +63,53 @@ func run(args []string) error {
 	name := fs.Arg(0)
 	if name == "all" {
 		for _, exp := range []string{"fig6", "fig7", "fig8", "sec533", "table1", "fig9a", "fig9b", "fig9c", "fig9d", "fig10", "fig11"} {
-			if err := runOne(cfg, exp, *csvDir); err != nil {
+			if err := runOne(cfg, exp, *csvDir, *jsonOut); err != nil {
 				return fmt.Errorf("%s: %w", exp, err)
 			}
 			fmt.Println()
 		}
 		return nil
 	}
-	return runOne(cfg, name, *csvDir)
+	return runOne(cfg, name, *csvDir, *jsonOut)
 }
 
-func runOne(cfg experiments.Config, name, csvDir string) error {
+// benchRecord is the machine-readable form of one experiment run, appended
+// as one JSON line per experiment when -json is set.
+type benchRecord struct {
+	Experiment string `json:"experiment"`
+	Seed       uint64 `json:"seed"`
+	ElapsedMS  int64  `json:"elapsed_ms"`
+	// Result is the experiment's native result struct (tables, series,
+	// anomaly lists); static tables and the model dump carry their text.
+	Result any `json:"result"`
+}
+
+// writeJSONRecord appends rec to path as one JSON line ("-" = stdout).
+func writeJSONRecord(path string, rec benchRecord) error {
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if path == "-" {
+		_, err := os.Stdout.Write(raw)
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(raw); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func runOne(cfg experiments.Config, name, csvDir, jsonOut string) error {
 	started := time.Now()
 	var out fmt.Stringer
+	var text string
 	var err error
 	switch name {
 	case "fig6":
@@ -85,11 +123,9 @@ func runOne(cfg experiments.Config, name, csvDir string) error {
 	case "table1":
 		out, err = experiments.Table1(cfg)
 	case "table2":
-		fmt.Print(experiments.Table2String())
-		return nil
+		text = experiments.Table2String()
 	case "table3":
-		fmt.Print(experiments.Table3String())
-		return nil
+		text = experiments.Table3String()
 	case "fig9a", "fig9b", "fig9c", "fig9d":
 		variant := map[string]experiments.Fig9Variant{
 			"fig9a": experiments.Fig9ErrorWAL,
@@ -117,20 +153,33 @@ func runOne(cfg experiments.Config, name, csvDir string) error {
 	case "model":
 		// Not a paper artifact: train on a fault-free Cassandra run and
 		// print the learned per-stage signature tables for inspection.
-		var text string
 		text, err = experiments.ModelSummary(cfg)
-		if err == nil {
-			fmt.Print(text)
-			return nil
-		}
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}
 	if err != nil {
 		return err
 	}
-	fmt.Print(out.String())
-	fmt.Printf("[%s completed in %v]\n", name, time.Since(started).Round(time.Millisecond))
+	var result any
+	if out != nil {
+		result = out
+		fmt.Print(out.String())
+		fmt.Printf("[%s completed in %v]\n", name, time.Since(started).Round(time.Millisecond))
+	} else {
+		result = text
+		fmt.Print(text)
+	}
+	if jsonOut != "" {
+		rec := benchRecord{
+			Experiment: name,
+			Seed:       cfg.Seed,
+			ElapsedMS:  time.Since(started).Milliseconds(),
+			Result:     result,
+		}
+		if err := writeJSONRecord(jsonOut, rec); err != nil {
+			return fmt.Errorf("write -json record: %w", err)
+		}
+	}
 	return nil
 }
 

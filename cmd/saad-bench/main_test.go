@@ -1,6 +1,10 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -34,21 +38,61 @@ func TestRunArgErrors(t *testing.T) {
 
 func TestRunOneStaticTables(t *testing.T) {
 	for _, name := range []string{"table2", "table3"} {
-		if err := runOne(fastConfig(), name, ""); err != nil {
+		if err := runOne(fastConfig(), name, "", ""); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 	}
 }
 
 func TestRunOneFig7Fast(t *testing.T) {
-	if err := runOne(fastConfig(), "fig7", ""); err != nil {
+	if err := runOne(fastConfig(), "fig7", "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunOneFig9CSV(t *testing.T) {
 	dir := t.TempDir()
-	if err := runOne(fastConfig(), "fig9c", dir); err != nil {
+	if err := runOne(fastConfig(), "fig9c", dir, ""); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunOneJSONRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.jsonl")
+	// One structured-result experiment and one static table, appended to
+	// the same file.
+	if err := runOne(fastConfig(), "fig7", "", path); err != nil {
+		t.Fatal(err)
+	}
+	if err := runOne(fastConfig(), "table2", "", path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("json records = %d, want 2", len(lines))
+	}
+	for i, want := range []string{"fig7", "table2"} {
+		var rec struct {
+			Experiment string          `json:"experiment"`
+			Seed       uint64          `json:"seed"`
+			ElapsedMS  int64           `json:"elapsed_ms"`
+			Result     json.RawMessage `json:"result"`
+		}
+		if err := json.Unmarshal([]byte(lines[i]), &rec); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if rec.Experiment != want {
+			t.Fatalf("line %d experiment = %q, want %q", i, rec.Experiment, want)
+		}
+		if rec.Seed != fastConfig().Seed {
+			t.Fatalf("line %d seed = %d", i, rec.Seed)
+		}
+		if len(rec.Result) == 0 || string(rec.Result) == "null" {
+			t.Fatalf("line %d has no result payload", i)
+		}
 	}
 }

@@ -151,10 +151,13 @@ func NewDetector(model *Model) *Detector {
 // windows closed, window-close latency and per-stage anomaly counts.
 func (d *Detector) SetMetrics(m *metrics.AnalyzerMetrics) { d.metrics = m }
 
-// Model returns the trained model the detector judges against. A detector
-// restored from a checkpoint carries its model with it, so callers need no
-// separate model file.
-func (d *Detector) Model() *Model { return d.model }
+// Model returns a deep copy of the trained model the detector judges
+// against. A detector restored from a checkpoint carries its model with
+// it, so callers need no separate model file. The copy is defensive:
+// lifecycle code (retraining, stores, admin endpoints) can inspect or even
+// mutate the returned model without perturbing the serving state, whose
+// interning index is shared read-only across engine shards.
+func (d *Detector) Model() *Model { return d.model.Clone() }
 
 // PendingTasks returns the number of tasks observed in still-open windows —
 // the live evidence a checkpoint would carry across a restart.

@@ -291,8 +291,12 @@ func (e *Engine) Closed() bool { return e.closed.Load() }
 // Shards returns the shard count.
 func (e *Engine) Shards() int { return len(e.shards) }
 
-// Model returns the shared trained model.
-func (e *Engine) Model() *Model { return e.model }
+// Model returns a deep copy of the trained model every shard currently
+// serves (defensive, like Detector.Model: the live model's interning index
+// is shared read-only across shards and must never be mutated). Call from
+// the control goroutine only — SwapModel replaces the model between
+// windows.
+func (e *Engine) Model() *Model { return e.model.Clone() }
 
 // quiesce runs fn against every shard's core with the shard parked: the
 // control message traverses the same FIFO queue as data, so fn observes

@@ -1,0 +1,60 @@
+package analyzer
+
+// Hot model swap: SwapModel rides the same quiesce control plane as the
+// engine's snapshot operations, so the cutover needs no new locks and
+// cannot drop or reorder synopses. The swap command travels each shard's
+// FIFO data channel; every synopsis enqueued before the swap is therefore
+// judged by the old model, every synopsis enqueued after by the new one,
+// and per-group FIFO is untouched because group-to-shard routing does not
+// depend on the model.
+
+// SwapModel atomically replaces the serving model on every shard and
+// returns the anomalies of the windows the swap closed (in canonical
+// order; with an anomaly sink attached they go to the sink instead and the
+// return is nil, exactly like Flush).
+//
+// Each shard cuts over at a window boundary: its open windows are closed
+// and tested against the OLD model — evidence gathered under one model is
+// never judged by another — and a fresh detector core on the new model
+// takes ownership of the shard, inheriting the closed-window history and
+// late-synopsis accounting so reporting and checkpoints stay continuous
+// across the swap.
+//
+// Like the other control-plane methods, call SwapModel from one control
+// goroutine at a time; concurrent feeders are safe and simply queue behind
+// the swap. The model must not be mutated after the call (its interning
+// index becomes shared read-only across shards).
+func (e *Engine) SwapModel(model *Model) []Anomaly {
+	model.ensureIndex()
+	parts := make([][]Anomaly, len(e.shards))
+	e.quiesce(func(i int, sh *shard) {
+		part := sh.out
+		sh.out = nil
+		if fl := sh.core.Flush(); len(fl) > 0 {
+			if e.sink != nil {
+				e.sink(fl)
+			} else {
+				part = append(part, fl...)
+			}
+		}
+		fresh := NewDetector(model)
+		fresh.stats = sh.core.stats
+		fresh.late = sh.core.late
+		fresh.metrics = sh.core.metrics
+		sh.core = fresh
+		parts[i] = part
+	})
+	// Safe to write outside the quiesce: e.model is only read by
+	// control-plane methods (WriteCheckpoint, Model), which share this
+	// goroutine; the data path never touches it.
+	e.model = model
+	if e.sink != nil {
+		return nil
+	}
+	var out []Anomaly
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	sortAnomalies(out)
+	return out
+}

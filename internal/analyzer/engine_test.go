@@ -380,8 +380,8 @@ func TestEngineDefaultsAndClose(t *testing.T) {
 	if eng.Shards() < 1 {
 		t.Fatalf("default shards = %d", eng.Shards())
 	}
-	if eng.Model() != model {
-		t.Fatal("Model() lost the trained model")
+	if got := eng.Model(); got == model || got.TrainedOn != model.TrainedOn || len(got.Stages) != len(model.Stages) {
+		t.Fatalf("Model() should return a defensive copy of the trained model: %p vs %p", got, model)
 	}
 	eng.Feed(makeSyn(1, 1, epoch, 10*time.Millisecond, 1, 2, 4, 5))
 	if err := eng.Close(); err != nil {

@@ -127,6 +127,32 @@ func (m *Model) ensureIndex() {
 // in training.
 func (m *Model) Stage(id logpoint.StageID) *StageModel { return m.Stages[id] }
 
+// Clone returns a deep copy of the model: mutating the copy's stages or
+// signature models never affects the original (or any detector serving
+// it). The interning index is not copied — the clone rebuilds its own on
+// first use.
+func (m *Model) Clone() *Model {
+	out := &Model{
+		Config:    m.Config,
+		TrainedOn: m.TrainedOn,
+		Stages:    make(map[logpoint.StageID]*StageModel, len(m.Stages)),
+	}
+	for id, sm := range m.Stages {
+		cp := &StageModel{
+			Stage:            sm.Stage,
+			Total:            sm.Total,
+			FlowOutlierShare: sm.FlowOutlierShare,
+			Signatures:       make(map[synopsis.Signature]*SignatureModel, len(sm.Signatures)),
+		}
+		for sig, sigModel := range sm.Signatures {
+			sigCopy := *sigModel
+			cp.Signatures[sig] = &sigCopy
+		}
+		out.Stages[id] = cp
+	}
+	return out
+}
+
 // Knows reports whether the signature was seen in training for the stage.
 func (m *Model) Knows(stage logpoint.StageID, sig synopsis.Signature) bool {
 	sm := m.Stages[stage]

@@ -1,0 +1,111 @@
+package lifecycle
+
+import (
+	"testing"
+	"time"
+
+	"saad/internal/analyzer"
+	"saad/internal/faults"
+	"saad/internal/logpoint"
+	"saad/internal/synopsis"
+	"saad/internal/vtime"
+)
+
+var epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// makeSyn builds a normalized synopsis for stage with the given log points
+// and duration.
+func makeSyn(stage logpoint.StageID, host uint16, start time.Time, dur time.Duration, pts ...logpoint.ID) *synopsis.Synopsis {
+	s := &synopsis.Synopsis{Stage: stage, Host: host, Start: start, Duration: dur}
+	for _, p := range pts {
+		s.Points = append(s.Points, synopsis.PointCount{Point: p, Count: 1})
+	}
+	s.Normalize()
+	return s
+}
+
+// traffic generates a healthy stage-1 workload: a dominant flow {1,2,4,5}
+// (~79%), a moderate secondary flow {1,2,6,7} (~20%) and a rare tail
+// {1,2,3,4,5} (~1%), with 9-11ms durations spaced 5ms apart from start.
+//
+// When inj is non-nil every secondary-flow task passes through the injector
+// at the net-send point: an injected error reroutes the task down the error
+// path {1,2,9} with a short duration — the log shape of a faulted storage
+// node — and injected delays stretch the duration instead.
+func traffic(n int, seed uint64, start time.Time, inj *faults.Injector) []*synopsis.Synopsis {
+	rng := vtime.NewRNG(seed)
+	out := make([]*synopsis.Synopsis, 0, n)
+	at := start
+	for i := 0; i < n; i++ {
+		dur := 9*time.Millisecond + time.Duration(rng.Intn(int(2*time.Millisecond)))
+		var pts []logpoint.ID
+		switch r := rng.Intn(100); {
+		case r < 79:
+			pts = []logpoint.ID{1, 2, 4, 5}
+		case r < 99:
+			pts = []logpoint.ID{1, 2, 6, 7}
+			if inj != nil {
+				if oc := inj.Apply(1, faults.PointNetSend, at, rng); oc.Err != nil {
+					pts = []logpoint.ID{1, 2, 9}
+					dur = time.Millisecond
+				} else {
+					dur += oc.ExtraDelay
+				}
+			}
+		default:
+			pts = []logpoint.ID{1, 2, 3, 4, 5}
+		}
+		out = append(out, makeSyn(1, 1, at, dur, pts...))
+		at = at.Add(5 * time.Millisecond)
+	}
+	return out
+}
+
+// netSendError is an always-on error fault at the net-send point, active
+// over the whole virtual-time range the tests use.
+func netSendError() faults.Fault {
+	return faults.Fault{
+		Name:        "netsend-err",
+		Point:       faults.PointNetSend,
+		Mode:        faults.ModeError,
+		Probability: 1,
+		Host:        faults.AllHosts,
+		From:        epoch,
+		To:          epoch.Add(24 * time.Hour),
+	}
+}
+
+// testConfig is the analyzer configuration the lifecycle tests train with: a
+// 1-second detection window so shadow evaluations close windows quickly.
+func testConfig() analyzer.Config {
+	cfg := analyzer.DefaultConfig()
+	cfg.Window = time.Second
+	return cfg
+}
+
+// trainOn trains a model on trace under testConfig.
+func trainOn(t *testing.T, trace []*synopsis.Synopsis) *analyzer.Model {
+	t.Helper()
+	model, err := analyzer.Train(testConfig(), trace)
+	if err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	return model
+}
+
+// after returns the start time 5ms past the end of trace, so a follow-up
+// traffic call continues the virtual clock without reordering.
+func after(trace []*synopsis.Synopsis) time.Time {
+	return trace[len(trace)-1].Start.Add(5 * time.Millisecond)
+}
+
+// detect runs a fresh detector over stream and returns its anomalies
+// (including the final flush).
+func detect(model *analyzer.Model, stream []*synopsis.Synopsis) []analyzer.Anomaly {
+	det := analyzer.NewDetector(model)
+	var out []analyzer.Anomaly
+	for _, s := range stream {
+		out = append(out, det.Feed(s)...)
+	}
+	return append(out, det.Flush()...)
+}

@@ -1,0 +1,418 @@
+package lifecycle
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"saad/internal/analyzer"
+	"saad/internal/metrics"
+	"saad/internal/synopsis"
+)
+
+// ErrRetrainTooFew is returned when the retrain buffer holds fewer
+// synopses than ManagerConfig.MinRetrain.
+var ErrRetrainTooFew = errors.New("lifecycle: not enough buffered synopses to retrain")
+
+// ErrNoCandidate is returned by Promote when no candidate is pending.
+var ErrNoCandidate = errors.New("lifecycle: no candidate model pending")
+
+// ManagerConfig tunes the lifecycle manager.
+type ManagerConfig struct {
+	// RetrainWindow is the capacity of the ring buffer of recent synopses
+	// a retrain trains on. Default 50000.
+	RetrainWindow int
+	// MinRetrain is the minimum ring occupancy before Retrain succeeds.
+	// Default 2000.
+	MinRetrain int
+	// Shadow gates promotion behind a shadow evaluation: a freshly
+	// trained candidate runs side-by-side with the serving model and is
+	// only promoted when its verdict passes. When false, Retrain promotes
+	// immediately. Default true (set DisableShadow to turn off).
+	DisableShadow bool
+	// DisableAutoPromote stops a passing shadow verdict from being
+	// applied automatically; the verdict is only recorded and promotion
+	// waits for an explicit Promote call.
+	DisableAutoPromote bool
+	// VerdictEvery is how often (in observed synopses) an active shadow
+	// evaluation is polled for a verdict. Default 256.
+	VerdictEvery int
+	// KeepVersions bounds the store via GC after every Put; 0 disables
+	// collection.
+	KeepVersions int
+	// ShadowConfig and Drift tune the two evaluators.
+	ShadowConfig ShadowConfig
+	Drift        DriftConfig
+}
+
+func (c *ManagerConfig) applyDefaults() {
+	if c.RetrainWindow <= 0 {
+		c.RetrainWindow = 50000
+	}
+	if c.MinRetrain <= 0 {
+		c.MinRetrain = 2000
+	}
+	if c.VerdictEvery <= 0 {
+		c.VerdictEvery = 256
+	}
+}
+
+// Status is the manager's introspectable state, served on /model.
+type Status struct {
+	ServingVersion int          `json:"serving_version"`
+	Serving        *Meta        `json:"serving,omitempty"`
+	Candidate      *Meta        `json:"candidate,omitempty"`
+	ShadowActive   bool         `json:"shadow_active"`
+	LastDrift      *DriftReport `json:"last_drift,omitempty"`
+	LastVerdict    *Verdict     `json:"last_verdict,omitempty"`
+	Buffered       int          `json:"buffered"`
+	Retrains       uint64       `json:"retrains"`
+	Swaps          uint64       `json:"swaps"`
+	Lineage        []Meta       `json:"lineage,omitempty"`
+}
+
+// Manager owns the adaptive model lifecycle around a serving engine: it
+// buffers recent synopses for retraining, watches the stream for drift,
+// shadow-evaluates candidates and hot-swaps promoted models into the
+// engine. All methods are safe for concurrent use; the engine swap itself
+// happens outside the manager's lock (it has its own quiesce protocol).
+type Manager struct {
+	eng   *analyzer.Engine
+	store *Store
+	cfg   ManagerConfig
+	lm    *metrics.LifecycleMetrics
+
+	mu          sync.Mutex
+	serving     Meta
+	hasServing  bool
+	drift       *DriftMonitor
+	ring        []*synopsis.Synopsis
+	ringNext    int
+	ringCount   int
+	shadow      *Shadow
+	candidate   Meta
+	candModel   *analyzer.Model
+	lastDrift   *DriftReport
+	lastVerdict *Verdict
+	retrains    uint64
+	swaps       uint64
+	swapping    bool
+}
+
+// ManagerOption customizes a Manager.
+type ManagerOption func(*Manager)
+
+// WithLifecycleMetrics attaches the lifecycle metric bundle.
+func WithLifecycleMetrics(lm *metrics.LifecycleMetrics) ManagerOption {
+	return func(m *Manager) { m.lm = lm }
+}
+
+// WithServingVersion records which store version the engine is serving.
+func WithServingVersion(meta Meta) ManagerOption {
+	return func(m *Manager) {
+		m.serving = meta
+		m.hasServing = true
+	}
+}
+
+// NewManager builds a manager around a serving engine and a store. The
+// engine must already be serving; the manager reads its current model to
+// seed the drift monitor.
+func NewManager(eng *analyzer.Engine, store *Store, cfg ManagerConfig, opts ...ManagerOption) *Manager {
+	cfg.applyDefaults()
+	m := &Manager{
+		eng:   eng,
+		store: store,
+		cfg:   cfg,
+		ring:  make([]*synopsis.Synopsis, cfg.RetrainWindow),
+		drift: NewDriftMonitor(eng.Model(), cfg.Drift),
+	}
+	for _, opt := range opts {
+		opt(m)
+	}
+	if m.lm != nil && m.hasServing {
+		m.lm.ModelVersion.Set(float64(m.serving.Version))
+	}
+	return m
+}
+
+// ServingVersion returns the store version currently serving (0 when the
+// serving model never came from the store).
+func (m *Manager) ServingVersion() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.serving.Version
+}
+
+// LastDrift returns the most recent drift report (nil before the first
+// epoch completes).
+func (m *Manager) LastDrift() *DriftReport {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastDrift
+}
+
+// LastVerdict returns the most recent shadow verdict (nil before one is
+// computed).
+func (m *Manager) LastVerdict() *Verdict {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastVerdict
+}
+
+// Observe feeds one live synopsis to the lifecycle: the retrain ring, the
+// drift monitor and any active shadow evaluation. Call it from the same
+// tee that feeds the engine. A passing shadow verdict triggers promotion
+// here when AutoPromote is set.
+func (m *Manager) Observe(s *synopsis.Synopsis) {
+	var promote bool
+	m.mu.Lock()
+	m.ring[m.ringNext] = s
+	m.ringNext = (m.ringNext + 1) % len(m.ring)
+	if m.ringCount < len(m.ring) {
+		m.ringCount++
+	}
+	if rep := m.drift.Observe(s); rep != nil {
+		m.lastDrift = rep
+		if m.lm != nil {
+			m.lm.DriftScore.Set(rep.Score)
+		}
+	}
+	if m.shadow != nil {
+		m.shadow.Observe(s)
+		if m.shadow.Fed()%m.cfg.VerdictEvery == 0 {
+			v := m.shadow.Verdict()
+			if v.Ready {
+				m.lastVerdict = &v
+				if m.lm != nil {
+					m.lm.ShadowDivergence.Set(v.Divergence)
+				}
+				if !v.Promote {
+					// Rejected: drop the candidate, keep its store version
+					// for forensics.
+					m.shadow = nil
+					m.candModel = nil
+				} else if !m.cfg.DisableAutoPromote && !m.swapping {
+					m.swapping = true
+					promote = true
+				}
+			}
+		}
+	}
+	m.mu.Unlock()
+	if promote {
+		m.promote()
+	}
+}
+
+// snapshotRing copies the buffered synopses in arrival order.
+func (m *Manager) snapshotRing() []*synopsis.Synopsis {
+	out := make([]*synopsis.Synopsis, 0, m.ringCount)
+	start := 0
+	if m.ringCount == len(m.ring) {
+		start = m.ringNext
+	}
+	for i := 0; i < m.ringCount; i++ {
+		out = append(out, m.ring[(start+i)%len(m.ring)])
+	}
+	return out
+}
+
+// Retrain trains a candidate on the buffered recent synopses, stores it as
+// a new version (parent = serving version) and — unless shadow evaluation
+// is disabled — starts shadowing it against the serving model. With shadow
+// disabled the candidate is promoted immediately. It returns the new
+// version's metadata.
+func (m *Manager) Retrain() (Meta, error) {
+	m.mu.Lock()
+	if m.ringCount < m.cfg.MinRetrain {
+		n := m.ringCount
+		m.mu.Unlock()
+		return Meta{}, fmt.Errorf("%w: %d < %d", ErrRetrainTooFew, n, m.cfg.MinRetrain)
+	}
+	trace := m.snapshotRing()
+	parent := m.serving.Version
+	m.mu.Unlock()
+
+	// Train outside the lock: training is O(trace) and must not stall
+	// Observe.
+	cfg := m.eng.Model().Config
+	model, err := analyzer.Train(cfg, trace)
+	if err != nil {
+		return Meta{}, fmt.Errorf("lifecycle: retrain: %w", err)
+	}
+	meta, err := m.store.Put(model, PutInfo{
+		Parent:      parent,
+		TrainedFrom: trace[0].Start,
+		TrainedTo:   trace[len(trace)-1].Start,
+	})
+	if err != nil {
+		return Meta{}, err
+	}
+	if m.cfg.KeepVersions > 0 {
+		if _, err := m.store.GC(m.cfg.KeepVersions); err != nil {
+			return Meta{}, err
+		}
+	}
+
+	m.mu.Lock()
+	m.retrains++
+	if m.lm != nil {
+		m.lm.Retrains.Inc()
+	}
+	m.candidate = meta
+	m.candModel = model
+	if m.cfg.DisableShadow {
+		immediate := !m.swapping
+		if immediate {
+			m.swapping = true
+		}
+		m.mu.Unlock()
+		if immediate {
+			m.promote()
+		}
+		return meta, nil
+	}
+	m.shadow = NewShadow(m.eng.Model(), model.Clone(), m.cfg.ShadowConfig)
+	m.lastVerdict = nil
+	m.mu.Unlock()
+	return meta, nil
+}
+
+// Promote forces promotion of the pending candidate regardless of the
+// shadow verdict (operator override). It returns the promoted version's
+// metadata.
+func (m *Manager) Promote() (Meta, error) {
+	m.mu.Lock()
+	if m.candModel == nil {
+		m.mu.Unlock()
+		return Meta{}, ErrNoCandidate
+	}
+	if m.swapping {
+		meta := m.candidate
+		m.mu.Unlock()
+		return meta, nil
+	}
+	m.swapping = true
+	meta := m.candidate
+	m.mu.Unlock()
+	m.promote()
+	return meta, nil
+}
+
+// promote performs the hot swap. The engine swap runs outside the
+// manager's lock: SwapModel has its own quiesce protocol and concurrent
+// Observe calls must keep flowing while shards cut over. m.swapping (set
+// by the caller) excludes concurrent promotions.
+func (m *Manager) promote() {
+	m.mu.Lock()
+	model := m.candModel
+	meta := m.candidate
+	m.mu.Unlock()
+	if model == nil {
+		m.mu.Lock()
+		m.swapping = false
+		m.mu.Unlock()
+		return
+	}
+
+	m.eng.SwapModel(model)
+
+	m.mu.Lock()
+	m.serving = meta
+	m.hasServing = true
+	m.swaps++
+	m.candModel = nil
+	m.shadow = nil
+	// The drift monitor restarts against the promoted model: its known
+	// signatures and reference distributions all change.
+	m.drift = NewDriftMonitor(model, m.cfg.Drift)
+	if m.lm != nil {
+		m.lm.Swaps.Inc()
+		m.lm.ModelVersion.Set(float64(meta.Version))
+		m.lm.DriftScore.Set(0)
+	}
+	m.swapping = false
+	m.mu.Unlock()
+}
+
+// Status reports the manager's current state, including the store lineage.
+func (m *Manager) Status() Status {
+	lineage, _ := m.store.List()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := Status{
+		ServingVersion: m.serving.Version,
+		ShadowActive:   m.shadow != nil,
+		LastDrift:      m.lastDrift,
+		LastVerdict:    m.lastVerdict,
+		Buffered:       m.ringCount,
+		Retrains:       m.retrains,
+		Swaps:          m.swaps,
+		Lineage:        lineage,
+	}
+	if m.hasServing {
+		serving := m.serving
+		st.Serving = &serving
+	}
+	if m.candModel != nil {
+		cand := m.candidate
+		st.Candidate = &cand
+	}
+	return st
+}
+
+// ServeHTTP implements the /model admin endpoint:
+//
+//	GET  /model                  → Status JSON (version, lineage, drift, verdict)
+//	POST /model?action=retrain   → train + store a candidate from the buffer
+//	POST /model?action=promote   → force-promote the pending candidate
+func (m *Manager) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, m.Status())
+	case http.MethodPost:
+		switch action := r.FormValue("action"); action {
+		case "retrain":
+			meta, err := m.Retrain()
+			if err != nil {
+				status := http.StatusInternalServerError
+				if errors.Is(err, ErrRetrainTooFew) {
+					status = http.StatusConflict
+				}
+				writeJSON(w, status, map[string]string{"error": err.Error()})
+				return
+			}
+			writeJSON(w, http.StatusOK, meta)
+		case "promote":
+			meta, err := m.Promote()
+			if err != nil {
+				status := http.StatusInternalServerError
+				if errors.Is(err, ErrNoCandidate) {
+					status = http.StatusConflict
+				}
+				writeJSON(w, status, map[string]string{"error": err.Error()})
+				return
+			}
+			writeJSON(w, http.StatusOK, meta)
+		default:
+			writeJSON(w, http.StatusBadRequest, map[string]string{
+				"error": "unknown action " + strconv.Quote(action) + " (want retrain or promote)",
+			})
+		}
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	enc.Encode(v)
+}

@@ -1,0 +1,280 @@
+package lifecycle
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"saad/internal/analyzer"
+	"saad/internal/faults"
+	"saad/internal/metrics"
+	"saad/internal/synopsis"
+)
+
+func managerTestConfig() ManagerConfig {
+	return ManagerConfig{
+		RetrainWindow: 6000,
+		MinRetrain:    1000,
+		VerdictEvery:  100,
+		ShadowConfig:  ShadowConfig{MinWindows: 5, FalsePositiveBudget: 0.05},
+		Drift:         DriftConfig{EpochTasks: 1000, MinStageTasks: 200},
+	}
+}
+
+// newServingStack trains a model, stores it as version 1 and builds an
+// engine + manager pair serving it.
+func newServingStack(t *testing.T, cfg ManagerConfig, opts ...ManagerOption) (*analyzer.Engine, *Manager, *Store, *metrics.LifecycleMetrics) {
+	t.Helper()
+	model := trainOn(t, traffic(6000, 30, epoch, nil))
+	store := openStore(t)
+	meta, err := store.Put(model, PutInfo{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := analyzer.NewEngine(model, analyzer.WithShards(2))
+	t.Cleanup(func() { _ = eng.Close() })
+	lm := metrics.NewLifecycleMetrics(metrics.NewRegistry())
+	opts = append([]ManagerOption{WithServingVersion(meta), WithLifecycleMetrics(lm)}, opts...)
+	return eng, NewManager(eng, store, cfg, opts...), store, lm
+}
+
+// feed tees a stream to the engine and the manager, like the analyzer CLI's
+// sink does.
+func feed(eng *analyzer.Engine, mgr *Manager, stream []*synopsis.Synopsis) {
+	for _, s := range stream {
+		eng.Feed(s)
+		mgr.Observe(s)
+	}
+}
+
+// TestManagerAutoPromote closes the whole loop: buffer live traffic,
+// retrain, shadow the candidate against the serving model and hot-swap it
+// into the engine when the verdict passes.
+func TestManagerAutoPromote(t *testing.T) {
+	eng, mgr, _, lm := newServingStack(t, managerTestConfig())
+
+	live := traffic(3000, 31, epoch.Add(time.Hour), nil)
+	feed(eng, mgr, live)
+
+	meta, err := mgr.Retrain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Version != 2 || meta.Parent != 1 {
+		t.Fatalf("candidate meta = %+v", meta)
+	}
+	if meta.Synopses != 3000 {
+		t.Fatalf("candidate trained on %d synopses, want the 3000 buffered", meta.Synopses)
+	}
+	if !meta.TrainedFrom.Equal(live[0].Start) || !meta.TrainedTo.Equal(live[len(live)-1].Start) {
+		t.Fatalf("trained window = %v..%v", meta.TrainedFrom, meta.TrainedTo)
+	}
+	st := mgr.Status()
+	if !st.ShadowActive || st.Candidate == nil || st.Candidate.Version != 2 {
+		t.Fatalf("status after retrain = %+v", st)
+	}
+	if mgr.ServingVersion() != 1 {
+		t.Fatal("promoted before any shadow windows closed")
+	}
+
+	// More healthy traffic: the shadow accumulates windows, the verdict
+	// passes and the manager swaps the engine over, all inside Observe.
+	feed(eng, mgr, traffic(3000, 32, after(live), nil))
+
+	if got := mgr.ServingVersion(); got != 2 {
+		t.Fatalf("serving version = %d, want auto-promotion to 2", got)
+	}
+	if got := eng.Model().TrainedOn; got != 3000 {
+		t.Fatalf("engine model TrainedOn = %d, want the retrained 3000", got)
+	}
+	v := mgr.LastVerdict()
+	if v == nil || !v.Ready || !v.Promote {
+		t.Fatalf("last verdict = %+v", v)
+	}
+	st = mgr.Status()
+	if st.ShadowActive || st.Candidate != nil {
+		t.Fatalf("shadow still active after promotion: %+v", st)
+	}
+	if st.Retrains != 1 || st.Swaps != 1 {
+		t.Fatalf("retrains/swaps = %d/%d", st.Retrains, st.Swaps)
+	}
+	if got := lm.ModelVersion.Value(); got != 2 {
+		t.Fatalf("model_version gauge = %v", got)
+	}
+	if got := lm.Swaps.Value(); got != 1 {
+		t.Fatalf("swaps counter = %v", got)
+	}
+	if got := lm.Retrains.Value(); got != 1 {
+		t.Fatalf("retrains counter = %v", got)
+	}
+	// The drift monitor restarted against the promoted model.
+	if rep := mgr.LastDrift(); rep == nil {
+		t.Fatal("no drift report despite 6000 observed synopses")
+	}
+}
+
+// TestManagerRejectsPoisonedCandidate: a candidate retrained from a buffer
+// recorded under fault injection alarms on clean traffic; the shadow gate
+// drops it and the serving model stays.
+func TestManagerRejectsPoisonedCandidate(t *testing.T) {
+	eng, mgr, _, _ := newServingStack(t, managerTestConfig())
+
+	inj := faults.NewInjector(netSendError())
+	faulted := traffic(2000, 33, epoch.Add(time.Hour), inj)
+	feed(eng, mgr, faulted)
+
+	meta, err := mgr.Retrain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Version != 2 {
+		t.Fatalf("candidate version = %d", meta.Version)
+	}
+
+	// The fault clears; live traffic is healthy again.
+	feed(eng, mgr, traffic(3000, 34, after(faulted), nil))
+
+	if got := mgr.ServingVersion(); got != 1 {
+		t.Fatalf("poisoned candidate promoted to serving (version %d)", got)
+	}
+	if got := eng.Model().TrainedOn; got != 6000 {
+		t.Fatalf("engine model TrainedOn = %d, want the original 6000", got)
+	}
+	v := mgr.LastVerdict()
+	if v == nil || !v.Ready || v.Promote {
+		t.Fatalf("last verdict = %+v, want a ready rejection", v)
+	}
+	st := mgr.Status()
+	if st.ShadowActive || st.Candidate != nil || st.Swaps != 0 {
+		t.Fatalf("status after rejection = %+v", st)
+	}
+	// The rejected version stays in the store for forensics.
+	if len(st.Lineage) != 2 {
+		t.Fatalf("lineage = %+v, want both versions kept", st.Lineage)
+	}
+}
+
+func TestManagerRetrainTooFew(t *testing.T) {
+	eng, mgr, _, _ := newServingStack(t, managerTestConfig())
+	feed(eng, mgr, traffic(10, 35, epoch.Add(time.Hour), nil))
+	if _, err := mgr.Retrain(); !errors.Is(err, ErrRetrainTooFew) {
+		t.Fatalf("Retrain on near-empty buffer: %v", err)
+	}
+}
+
+func TestManagerPromoteForcesPendingCandidate(t *testing.T) {
+	cfg := managerTestConfig()
+	cfg.DisableAutoPromote = true
+	eng, mgr, _, _ := newServingStack(t, cfg)
+
+	if _, err := mgr.Promote(); !errors.Is(err, ErrNoCandidate) {
+		t.Fatalf("Promote with no candidate: %v", err)
+	}
+	feed(eng, mgr, traffic(2000, 36, epoch.Add(time.Hour), nil))
+	if _, err := mgr.Retrain(); err != nil {
+		t.Fatal(err)
+	}
+	// No shadow windows yet — the operator overrides.
+	meta, err := mgr.Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Version != 2 || mgr.ServingVersion() != 2 {
+		t.Fatalf("force-promote: meta %+v, serving %d", meta, mgr.ServingVersion())
+	}
+	if got := eng.Model().TrainedOn; got != 2000 {
+		t.Fatalf("engine model TrainedOn = %d after force-promote", got)
+	}
+}
+
+func TestManagerDisableShadowPromotesImmediately(t *testing.T) {
+	cfg := managerTestConfig()
+	cfg.DisableShadow = true
+	cfg.KeepVersions = 2
+	eng, mgr, store, _ := newServingStack(t, cfg)
+
+	feed(eng, mgr, traffic(2000, 37, epoch.Add(time.Hour), nil))
+	meta, err := mgr.Retrain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mgr.ServingVersion() != meta.Version {
+		t.Fatalf("shadowless retrain did not promote: serving %d, new %d", mgr.ServingVersion(), meta.Version)
+	}
+	// KeepVersions bounds the store.
+	feed(eng, mgr, traffic(2000, 38, epoch.Add(2*time.Hour), nil))
+	if _, err := mgr.Retrain(); err != nil {
+		t.Fatal(err)
+	}
+	metas, err := store.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) != 2 {
+		t.Fatalf("store holds %d versions, want GC to keep 2", len(metas))
+	}
+}
+
+// TestManagerServeHTTP drives the /model admin endpoint end to end.
+func TestManagerServeHTTP(t *testing.T) {
+	eng, mgr, _, _ := newServingStack(t, managerTestConfig())
+
+	do := func(method, target string) *httptest.ResponseRecorder {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		mgr.ServeHTTP(rec, httptest.NewRequest(method, target, nil))
+		return rec
+	}
+
+	rec := do(http.MethodGet, "/model")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET = %d: %s", rec.Code, rec.Body)
+	}
+	var st Status
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ServingVersion != 1 || len(st.Lineage) != 1 {
+		t.Fatalf("GET status = %+v", st)
+	}
+
+	// Retrain with an empty buffer conflicts.
+	if rec := do(http.MethodPost, "/model?action=retrain"); rec.Code != http.StatusConflict {
+		t.Fatalf("retrain with empty buffer = %d: %s", rec.Code, rec.Body)
+	}
+	if rec := do(http.MethodPost, "/model?action=promote"); rec.Code != http.StatusConflict {
+		t.Fatalf("promote with no candidate = %d: %s", rec.Code, rec.Body)
+	}
+	if rec := do(http.MethodPost, "/model?action=selfdestruct"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("unknown action = %d", rec.Code)
+	}
+	if rec := do(http.MethodPut, "/model"); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("PUT = %d", rec.Code)
+	}
+
+	feed(eng, mgr, traffic(2000, 39, epoch.Add(time.Hour), nil))
+	rec = do(http.MethodPost, "/model?action=retrain")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("retrain = %d: %s", rec.Code, rec.Body)
+	}
+	var meta Meta
+	if err := json.Unmarshal(rec.Body.Bytes(), &meta); err != nil {
+		t.Fatal(err)
+	}
+	if meta.Version != 2 || meta.Parent != 1 {
+		t.Fatalf("retrain meta = %+v", meta)
+	}
+	if rec := do(http.MethodPost, "/model?action=promote"); rec.Code != http.StatusOK {
+		t.Fatalf("promote = %d: %s", rec.Code, rec.Body)
+	}
+	rec = do(http.MethodGet, "/model")
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ServingVersion != 2 || st.Swaps != 1 || len(st.Lineage) != 2 {
+		t.Fatalf("status after promote = %+v", st)
+	}
+}

@@ -81,11 +81,18 @@ type Server struct {
 // exposing NewMux(r). It returns once the listener is bound, so Addr is
 // immediately valid.
 func Serve(addr string, r *Registry) (*Server, error) {
+	return ServeMux(addr, NewMux(r))
+}
+
+// ServeMux starts an HTTP server on addr with a caller-built mux —
+// typically NewMux(r) with extra admin endpoints mounted on top (the
+// analyzer's /model lifecycle endpoint rides the metrics mux this way).
+func ServeMux(addr string, mux *http.ServeMux) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ln: ln, srv: &http.Server{Handler: NewMux(r), ReadHeaderTimeout: 10 * time.Second}}
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
 }

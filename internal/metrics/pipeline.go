@@ -195,24 +195,55 @@ func NewMonitorMetrics(r *Registry) *MonitorMetrics {
 	}
 }
 
+// LifecycleMetrics instruments the adaptive model lifecycle: versioned
+// store, drift monitoring, shadow evaluation and hot swaps.
+type LifecycleMetrics struct {
+	// ModelVersion is the store version currently serving (0 when the
+	// serving model never came from a store).
+	ModelVersion *Gauge
+	// DriftScore is the score of the most recent drift report (0 = no
+	// drift observed, approaching 1 = strong drift evidence).
+	DriftScore *Gauge
+	// ShadowDivergence is the candidate-minus-serving anomaly-rate
+	// divergence of the most recent shadow verdict.
+	ShadowDivergence *Gauge
+	// Swaps counts hot model swaps applied to the serving engine.
+	Swaps *Counter
+	// Retrains counts candidate models trained from the live stream.
+	Retrains *Counter
+}
+
+// NewLifecycleMetrics registers the model-lifecycle metric family on r.
+func NewLifecycleMetrics(r *Registry) *LifecycleMetrics {
+	return &LifecycleMetrics{
+		ModelVersion:     r.NewGauge("saad_lifecycle_model_version", "Store version of the model currently serving."),
+		DriftScore:       r.NewGauge("saad_lifecycle_drift_score", "Drift score of the most recent drift report (0 none, 1 strong)."),
+		ShadowDivergence: r.NewGauge("saad_lifecycle_shadow_divergence", "Candidate minus serving anomaly-rate divergence of the last shadow verdict."),
+		Swaps:            r.NewCounter("saad_lifecycle_model_swaps_total", "Hot model swaps applied to the serving engine."),
+		Retrains:         r.NewCounter("saad_lifecycle_retrains_total", "Candidate models trained from the live synopsis stream."),
+	}
+}
+
 // Pipeline bundles the in-process pipeline metric families sharing one
 // registry — the full set a Monitor (or the standalone analyzer) exposes.
 // The channel transport registers its scrape-time counters separately
 // (RegisterChannel), since they read the channel's own atomics.
 type Pipeline struct {
-	Registry *Registry
-	Tracker  *TrackerMetrics
-	Analyzer *AnalyzerMetrics
-	Monitor  *MonitorMetrics
+	Registry  *Registry
+	Tracker   *TrackerMetrics
+	Analyzer  *AnalyzerMetrics
+	Monitor   *MonitorMetrics
+	Lifecycle *LifecycleMetrics
 }
 
 // NewPipeline registers every in-process pipeline metric family on r; all
 // series exist (at zero) from startup, so scrapes see a stable schema.
 func NewPipeline(r *Registry) *Pipeline {
 	return &Pipeline{
-		Registry: r,
-		Tracker:  NewTrackerMetrics(r),
-		Analyzer: NewAnalyzerMetrics(r),
-		Monitor:  NewMonitorMetrics(r),
+		Registry:  r,
+		Tracker:   NewTrackerMetrics(r),
+		Analyzer:  NewAnalyzerMetrics(r),
+		Monitor:   NewMonitorMetrics(r),
+		Lifecycle: NewLifecycleMetrics(r),
 	}
 }

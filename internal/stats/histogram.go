@@ -63,6 +63,33 @@ func (h *Histogram) Counts() []int {
 	return out
 }
 
+// CountsWithTails returns the per-bucket counts with the underflow count
+// prepended and the overflow count appended — the fixed-length vector the
+// two-sample distribution tests compare, where tail mass matters as much
+// as in-range mass.
+func (h *Histogram) CountsWithTails() []int {
+	out := make([]int, 0, len(h.counts)+2)
+	out = append(out, h.under)
+	out = append(out, h.counts...)
+	return append(out, h.over)
+}
+
+// Underflow returns the number of observations below the histogram range.
+func (h *Histogram) Underflow() int { return h.under }
+
+// Overflow returns the number of observations at or above the histogram
+// range's upper bound.
+func (h *Histogram) Overflow() int { return h.over }
+
+// Reset zeroes every bucket and tail count so the histogram can accumulate
+// a fresh epoch with identical bucketing.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.under, h.over, h.total = 0, 0, 0
+}
+
 // Render draws an ASCII bar chart with the given maximum bar width.
 func (h *Histogram) Render(barWidth int) string {
 	if barWidth <= 0 {

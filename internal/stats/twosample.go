@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrBucketMismatch is returned when the two histograms of a two-sample
+// test have different bucket counts.
+var ErrBucketMismatch = errors.New("stats: histograms have different bucket counts")
+
+// TwoSampleResult reports the outcome of a two-sample distribution test of
+// H0: both samples are drawn from the same distribution.
+type TwoSampleResult struct {
+	// NA and NB are the two sample sizes (summed histogram counts).
+	NA, NB int
+	// Stat is the chi-square statistic over the merged buckets.
+	Stat float64
+	// DF is the degrees of freedom (merged buckets - 1).
+	DF float64
+	// PValue is P(X >= Stat) under H0.
+	PValue float64
+	// Reject reports whether H0 was rejected at the configured significance.
+	Reject bool
+	// Alpha is the significance level the decision used.
+	Alpha float64
+	// Buckets is the number of merged buckets the statistic ran over (after
+	// pooling sparse adjacent buckets).
+	Buckets int
+}
+
+// String implements fmt.Stringer with a compact report line.
+func (r TwoSampleResult) String() string {
+	verdict := "accept"
+	if r.Reject {
+		verdict = "REJECT"
+	}
+	return fmt.Sprintf("chi2-2samp nA=%d nB=%d chi2=%.3f df=%.0f p=%.2e alpha=%g: %s",
+		r.NA, r.NB, r.Stat, r.DF, r.PValue, r.Alpha, verdict)
+}
+
+// minExpectedPerBucket is the classical chi-square validity rule: adjacent
+// buckets are pooled until every merged bucket holds at least this many
+// observations across both samples, so the asymptotic distribution of the
+// statistic is trustworthy even for sparse histogram tails.
+const minExpectedPerBucket = 5
+
+// ChiSquareTwoSample performs a two-sample chi-square homogeneity test over
+// two histograms with identical bucketing: H0 is that both count vectors
+// are draws from the same underlying distribution. Sparse adjacent buckets
+// are pooled (left to right) until each merged bucket holds at least 5
+// observations across both samples; the test needs at least two merged
+// buckets and one observation on each side.
+//
+// This is the distribution-shift test of the model-lifecycle drift monitor
+// (reference duration histogram vs the current epoch's), but it applies to
+// any pair of equally-bucketed histograms.
+func ChiSquareTwoSample(a, b []int, alpha float64) (TwoSampleResult, error) {
+	if len(a) != len(b) {
+		return TwoSampleResult{}, ErrBucketMismatch
+	}
+	res := TwoSampleResult{Alpha: alpha}
+	for i := range a {
+		if a[i] < 0 || b[i] < 0 {
+			return TwoSampleResult{}, fmt.Errorf("stats: negative bucket count at index %d", i)
+		}
+		res.NA += a[i]
+		res.NB += b[i]
+	}
+	if res.NA == 0 || res.NB == 0 {
+		return TwoSampleResult{}, ErrNoData
+	}
+
+	// Pool sparse adjacent buckets so every merged bucket's combined count
+	// reaches the validity floor; a sparse trailing run merges into the
+	// last kept bucket.
+	var ma, mb []int
+	accA, accB := 0, 0
+	for i := range a {
+		accA += a[i]
+		accB += b[i]
+		if accA+accB >= minExpectedPerBucket {
+			ma = append(ma, accA)
+			mb = append(mb, accB)
+			accA, accB = 0, 0
+		}
+	}
+	if accA+accB > 0 {
+		if len(ma) == 0 {
+			ma = append(ma, accA)
+			mb = append(mb, accB)
+		} else {
+			ma[len(ma)-1] += accA
+			mb[len(mb)-1] += accB
+		}
+	}
+	res.Buckets = len(ma)
+	if res.Buckets < 2 {
+		// Everything pooled into one bucket: the histograms cannot be told
+		// apart at this resolution. Not an error — just no evidence.
+		res.PValue = 1
+		return res, nil
+	}
+
+	// Chi-square homogeneity statistic: expected count of sample s in
+	// bucket i is (row total)*(column total)/(grand total).
+	nA := float64(res.NA)
+	nB := float64(res.NB)
+	total := nA + nB
+	for i := range ma {
+		col := float64(ma[i] + mb[i])
+		expA := col * nA / total
+		expB := col * nB / total
+		if expA > 0 {
+			d := float64(ma[i]) - expA
+			res.Stat += d * d / expA
+		}
+		if expB > 0 {
+			d := float64(mb[i]) - expB
+			res.Stat += d * d / expB
+		}
+	}
+	res.DF = float64(res.Buckets - 1)
+	res.PValue = 1 - ChiSquareCDF(res.Stat, res.DF)
+	if math.IsNaN(res.PValue) {
+		res.PValue = 1
+	}
+	res.Reject = res.PValue < alpha
+	return res, nil
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"saad/internal/analyzer"
+	"saad/internal/lifecycle"
 	"saad/internal/metrics"
 	"saad/internal/stream"
 )
@@ -37,6 +38,8 @@ type Monitor struct {
 	filter   *AlarmFilter
 	filterMW int
 	filterSp int
+	store    *lifecycle.Store
+	modelVer int
 }
 
 type monitorMode int
@@ -63,6 +66,7 @@ type monitorOptions struct {
 	filterSpan       int
 	metricsAddr      string
 	engineShards     int
+	storeDir         string
 }
 
 // WithHost sets the host id stamped on synopses (default 1).
@@ -107,6 +111,14 @@ func WithEngineShards(n int) MonitorOption {
 	}
 }
 
+// WithModelStore versions the monitor's trained models in the on-disk
+// store at dir: every Train records the model as a new store version
+// (parent-linked to the previous one), and ModelVersion reports which
+// version is serving. The directory is created if needed.
+func WithModelStore(dir string) MonitorOption {
+	return func(o *monitorOptions) { o.storeDir = dir }
+}
+
 // WithMetricsAddr serves the monitor's self-observability endpoints
 // (Prometheus /metrics, /debug/vars, net/http/pprof) on addr, e.g.
 // "127.0.0.1:9090" or ":0" for an ephemeral port (see Monitor.MetricsAddr).
@@ -143,6 +155,13 @@ func NewMonitor(opts ...MonitorOption) (*Monitor, error) {
 		filterSp: o.filterSpan,
 	}
 	pipeline.Monitor.Mode.Set(float64(modeTraining))
+	if o.storeDir != "" {
+		store, err := lifecycle.Open(o.storeDir)
+		if err != nil {
+			return nil, fmt.Errorf("saad: model store: %w", err)
+		}
+		m.store = store
+	}
 	if o.metricsAddr != "" {
 		srv, err := metrics.Serve(o.metricsAddr, pipeline.Registry)
 		if err != nil {
@@ -241,9 +260,34 @@ func (m *Monitor) Train() (*Model, error) {
 	}
 	m.pipeline.Monitor.TrainSeconds.Set(time.Since(start).Seconds())
 	m.model = model
+	if m.store != nil {
+		parent := 0
+		if latest, lerr := m.store.Latest(); lerr == nil {
+			parent = latest.Version
+		}
+		meta, err := m.store.Put(model, lifecycle.PutInfo{Parent: parent})
+		if err != nil {
+			return nil, fmt.Errorf("saad: store trained model: %w", err)
+		}
+		m.modelVer = meta.Version
+		m.pipeline.Lifecycle.ModelVersion.Set(float64(meta.Version))
+	}
 	m.installDetector(model)
 	return model, nil
 }
+
+// ModelVersion returns the store version of the serving model, or 0 when
+// the monitor has no model store (WithModelStore) or the model never went
+// through one.
+func (m *Monitor) ModelVersion() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.modelVer
+}
+
+// ModelStore returns the monitor's versioned model store, or nil without
+// WithModelStore.
+func (m *Monitor) ModelStore() *lifecycle.Store { return m.store }
 
 // installDetector wires the detection backend for model — a sharded engine
 // when WithEngineShards was given, a single in-line detector otherwise —
