@@ -45,9 +45,12 @@
 //	saad-analyzer -listen :7077 -model model.json -model-store ./models \
 //	    -retrain-every 30m -http :9090
 //
+// The store is garbage-collected after each retrain to the newest
+// -model-keep versions (default 16; 0 keeps every version forever).
+//
 // Flag reference (detect mode): -listen, -model, -dict, -shards, -http,
 // -events, -stats-interval, -checkpoint, -checkpoint-interval,
-// -model-store, -retrain-every, -shadow.
+// -model-store, -retrain-every, -shadow, -model-keep.
 //
 // On SIGINT/SIGTERM the analyzer shuts down gracefully: it stops accepting,
 // drains already-received synopses, flushes open windows (reporting their
@@ -118,6 +121,7 @@ func run(args []string) error {
 		storeDir  = fs.String("model-store", "", "versioned model store directory: serve its latest version, record retrains as new versions (empty = off)")
 		retrainEv = fs.Duration("retrain-every", 0, "retrain a candidate from the live stream this often (detect mode; needs -model-store; 0 = only via POST /model)")
 		shadowOn  = fs.Bool("shadow", true, "shadow-evaluate retrained candidates against the serving model before promoting (detect mode; false = promote immediately)")
+		keepVers  = fs.Int("model-keep", 16, "model store versions to retain, older ones are garbage-collected after each retrain (0 = keep all, unbounded)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -153,6 +157,7 @@ func run(args []string) error {
 		storeDir:           *storeDir,
 		retrainEvery:       *retrainEv,
 		shadow:             *shadowOn,
+		keepVersions:       *keepVers,
 	})
 }
 
@@ -242,6 +247,7 @@ type detectOptions struct {
 	storeDir           string          // versioned model store ("" = off)
 	retrainEvery       time.Duration   // periodic live retraining (0 = off)
 	shadow             bool            // shadow-evaluate candidates before promotion
+	keepVersions       int             // store versions retained by GC (0 = unbounded)
 	stop               <-chan struct{} // optional programmatic shutdown (tests)
 }
 
@@ -370,7 +376,10 @@ func detectMode(listen, modelPath string, dict *logpoint.Dictionary, opts detect
 	// evaluates candidates and hot-swaps promoted models into the engine.
 	var mgr *lifecycle.Manager
 	if store != nil {
-		mcfg := lifecycle.ManagerConfig{DisableShadow: !opts.shadow}
+		mcfg := lifecycle.ManagerConfig{
+			DisableShadow: !opts.shadow,
+			KeepVersions:  opts.keepVersions,
+		}
 		mopts := []lifecycle.ManagerOption{lifecycle.WithLifecycleMetrics(pipe.Lifecycle)}
 		if hasServing {
 			mopts = append(mopts, lifecycle.WithServingVersion(servingMeta))

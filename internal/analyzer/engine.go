@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -23,13 +24,19 @@ import (
 // output is reproducible regardless of shard interleaving.
 //
 // Concurrency contract: Feed, FeedBatch and Emit are safe from any number
-// of goroutines. The inspection and lifecycle methods (Drain, Flush,
+// of goroutines. The control-plane methods (Model, SwapModel, Drain, Flush,
 // WindowHistory, PendingTasks, LateSynopses, ShardStats, WriteCheckpoint,
-// Close) must be called from one goroutine at a time, and quiescent ones
-// (Flush, Close) only after feeders have stopped or between their calls —
-// the engine briefly parks every shard, so a concurrent feeder would only
+// Close) serialize on an internal mutex, so they too are safe from any
+// goroutine — an auto-promoted SwapModel from a stream handler cannot
+// interleave with a checkpoint tick. Quiescent ones (Flush, Close) should
+// still run only after feeders have stopped or between their calls — the
+// engine briefly parks every shard, so a concurrent feeder would only
 // block, not corrupt, but the snapshot would be ambiguous.
 type Engine struct {
+	// ctl serializes the control-plane methods against each other; model is
+	// only read or written with ctl held (the shard data path never touches
+	// it — each core holds its own reference).
+	ctl    sync.Mutex
 	model  *Model
 	shards []*shard
 	mask   uint32 // len(shards)-1 when power of two, else 0 and mod is used
@@ -293,10 +300,14 @@ func (e *Engine) Shards() int { return len(e.shards) }
 
 // Model returns a deep copy of the trained model every shard currently
 // serves (defensive, like Detector.Model: the live model's interning index
-// is shared read-only across shards and must never be mutated). Call from
-// the control goroutine only — SwapModel replaces the model between
-// windows.
-func (e *Engine) Model() *Model { return e.model.Clone() }
+// is shared read-only across shards and must never be mutated). Safe for
+// concurrent use — SwapModel replaces the model under the same control
+// mutex.
+func (e *Engine) Model() *Model {
+	e.ctl.Lock()
+	defer e.ctl.Unlock()
+	return e.model.Clone()
+}
 
 // quiesce runs fn against every shard's core with the shard parked: the
 // control message traverses the same FIFO queue as data, so fn observes
@@ -345,6 +356,8 @@ func (e *Engine) takeBuffered() []Anomaly {
 // sink attached it still acts as a barrier (all queued synopses observed)
 // but returns nil.
 func (e *Engine) Drain() []Anomaly {
+	e.ctl.Lock()
+	defer e.ctl.Unlock()
 	out := e.takeBuffered()
 	sortAnomalies(out)
 	return out
@@ -354,6 +367,8 @@ func (e *Engine) Drain() []Anomaly {
 // together with any buffered ones, in canonical order. Call at end of
 // stream. With an anomaly sink attached, flush anomalies go to the sink.
 func (e *Engine) Flush() []Anomaly {
+	e.ctl.Lock()
+	defer e.ctl.Unlock()
 	parts := make([][]Anomaly, len(e.shards))
 	e.quiesce(func(i int, sh *shard) {
 		part := sh.out
@@ -378,6 +393,8 @@ func (e *Engine) Flush() []Anomaly {
 // WindowHistory returns the merged closed-window statistics of every
 // shard, sorted by host, stage, then window start.
 func (e *Engine) WindowHistory() []WindowStats {
+	e.ctl.Lock()
+	defer e.ctl.Unlock()
 	parts := make([][]WindowStats, len(e.shards))
 	e.quiesce(func(i int, sh *shard) {
 		parts[i] = sh.core.stats
@@ -401,6 +418,8 @@ func (e *Engine) WindowHistory() []WindowStats {
 
 // PendingTasks sums tasks in still-open windows across shards.
 func (e *Engine) PendingTasks() int {
+	e.ctl.Lock()
+	defer e.ctl.Unlock()
 	counts := make([]int, len(e.shards))
 	e.quiesce(func(i int, sh *shard) { counts[i] = sh.core.PendingTasks() })
 	n := 0
@@ -412,6 +431,8 @@ func (e *Engine) PendingTasks() int {
 
 // LateSynopses sums dropped late arrivals across shards.
 func (e *Engine) LateSynopses() uint64 {
+	e.ctl.Lock()
+	defer e.ctl.Unlock()
 	counts := make([]uint64, len(e.shards))
 	e.quiesce(func(i int, sh *shard) { counts[i] = sh.core.late })
 	var n uint64
@@ -434,6 +455,8 @@ type ShardStat struct {
 
 // ShardStats snapshots per-shard load under quiesce.
 func (e *Engine) ShardStats() []ShardStat {
+	e.ctl.Lock()
+	defer e.ctl.Unlock()
 	out := make([]ShardStat, len(e.shards))
 	e.quiesce(func(i int, sh *shard) {
 		out[i] = ShardStat{
@@ -454,6 +477,8 @@ func (e *Engine) ShardStats() []ShardStat {
 // would have written. ReadCheckpoint/ReadEngineCheckpoint both accept the
 // result.
 func (e *Engine) WriteCheckpoint(w io.Writer) (int64, error) {
+	e.ctl.Lock()
+	defer e.ctl.Unlock()
 	out := checkpointJSON{Version: checkpointVersion, Model: e.model.toJSON()}
 	type section struct {
 		windows []windowJSON
@@ -561,6 +586,8 @@ func LoadEngineCheckpointFile(path string, opts ...EngineOption) (*Engine, error
 // feeders first. Open windows are NOT flushed; call Flush before Close (or
 // WriteCheckpoint to carry them across a restart).
 func (e *Engine) Close() error {
+	e.ctl.Lock()
+	defer e.ctl.Unlock()
 	if !e.closed.CompareAndSwap(false, true) {
 		return nil
 	}
@@ -568,7 +595,7 @@ func (e *Engine) Close() error {
 		close(sh.ch)
 	}
 	for _, sh := range e.shards {
-		<-sh.done
+		<-sh.done //saad:allow lockcheck Close must hold the control mutex until workers drain, or a concurrent control call would run inline on cores still owned by live workers
 	}
 	return nil
 }

@@ -20,11 +20,15 @@ package analyzer
 // late-synopsis accounting so reporting and checkpoints stay continuous
 // across the swap.
 //
-// Like the other control-plane methods, call SwapModel from one control
-// goroutine at a time; concurrent feeders are safe and simply queue behind
-// the swap. The model must not be mutated after the call (its interning
-// index becomes shared read-only across shards).
+// Like the other control-plane methods, SwapModel serializes on the
+// engine's control mutex, so it is safe from any goroutine — a lifecycle
+// auto-promotion firing on a stream handler cannot interleave with a
+// checkpoint or a second swap. Concurrent feeders are safe and simply
+// queue behind the swap. The model must not be mutated after the call (its
+// interning index becomes shared read-only across shards).
 func (e *Engine) SwapModel(model *Model) []Anomaly {
+	e.ctl.Lock()
+	defer e.ctl.Unlock()
 	model.ensureIndex()
 	parts := make([][]Anomaly, len(e.shards))
 	e.quiesce(func(i int, sh *shard) {
@@ -44,9 +48,9 @@ func (e *Engine) SwapModel(model *Model) []Anomaly {
 		sh.core = fresh
 		parts[i] = part
 	})
-	// Safe to write outside the quiesce: e.model is only read by
-	// control-plane methods (WriteCheckpoint, Model), which share this
-	// goroutine; the data path never touches it.
+	// Safe to write outside the quiesce: e.model is only touched by
+	// control-plane methods (WriteCheckpoint, Model), which hold e.ctl like
+	// this one; the data path never reads it.
 	e.model = model
 	if e.sink != nil {
 		return nil

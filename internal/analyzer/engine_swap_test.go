@@ -307,6 +307,75 @@ func TestEngineSwapChaosKill(t *testing.T) {
 	}
 }
 
+// TestEngineSwapControlPlaneConcurrent hammers the control plane from many
+// goroutines at once — swaps, checkpoints, model reads, stats — while
+// feeders run: exactly the mix a lifecycle auto-promotion firing on a
+// stream handler produces against the checkpoint tick and the /model
+// endpoint. The engine's internal control mutex must serialize them; under
+// -race this is the regression test for the old "one control goroutine"
+// assumption, and any checkpoint or Model() taken mid-race must carry one
+// whole model (A or B), never a blend of the two.
+func TestEngineSwapControlPlaneConcurrent(t *testing.T) {
+	modelA := trainedModel(t)
+	modelB := trainedModelB(t)
+	stream := multiGroupStream(4)
+
+	eng := NewEngine(modelA, WithShards(4))
+	defer eng.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		feedEngineConcurrently(eng, stream)
+	}()
+	wholeModel := func(trainedOn int) bool {
+		return trainedOn == modelA.TrainedOn || trainedOn == modelB.TrainedOn
+	}
+	for _, m := range []*Model{modelB, modelA, modelB} {
+		m := m
+		wg.Add(3)
+		go func() {
+			defer wg.Done()
+			eng.SwapModel(m)
+		}()
+		go func() {
+			defer wg.Done()
+			var buf bytes.Buffer
+			if _, err := eng.WriteCheckpoint(&buf); err != nil {
+				t.Error(err)
+				return
+			}
+			det, err := ReadCheckpoint(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if got := det.Model().TrainedOn; !wholeModel(got) {
+				t.Errorf("mid-race checkpoint carries a blended model: TrainedOn = %d", got)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			if got := eng.Model().TrainedOn; !wholeModel(got) {
+				t.Errorf("mid-race Model() returned a blend: TrainedOn = %d", got)
+			}
+			eng.ShardStats()
+			eng.PendingTasks()
+		}()
+	}
+	wg.Wait()
+	eng.Flush()
+	if got := eng.Fed(); got != uint64(len(stream)) {
+		t.Fatalf("Fed = %d, want %d: synopses dropped under control-plane contention", got, len(stream))
+	}
+	// The swap goroutines serialize in arbitrary order, so either model may
+	// end up serving — but it must be one of them, whole.
+	if got := eng.Model().TrainedOn; !wholeModel(got) {
+		t.Fatalf("Model().TrainedOn = %d after the race, want one whole model", got)
+	}
+}
+
 // TestModelDefensiveCopy: Detector.Model and Engine.Model hand back deep
 // copies — a caller can sabotage every field of the returned model without
 // changing what the serving detector reports.

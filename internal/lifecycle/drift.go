@@ -36,6 +36,13 @@ type DriftConfig struct {
 	// MinStageTasks is the minimum number of epoch tasks a stage needs
 	// before it is judged at all. Default 256.
 	MinStageTasks int
+	// RefWarmupEpochs is how many adequate epochs (>= MinStageTasks tasks)
+	// a stage skips before freezing its duration reference, so a warm-up or
+	// fault transient in the first epoch cannot poison the baseline every
+	// later epoch is tested against. Default 1; negative freezes the
+	// reference at the first adequate epoch. The Manager rebuilds the
+	// monitor after every model swap, which also refreshes the reference.
+	RefWarmupEpochs int
 }
 
 func (c *DriftConfig) applyDefaults() {
@@ -56,6 +63,11 @@ func (c *DriftConfig) applyDefaults() {
 	}
 	if c.MinStageTasks <= 0 {
 		c.MinStageTasks = 256
+	}
+	if c.RefWarmupEpochs == 0 {
+		c.RefWarmupEpochs = 1
+	} else if c.RefWarmupEpochs < 0 {
+		c.RefWarmupEpochs = 0
 	}
 }
 
@@ -108,10 +120,11 @@ type stageDriftState struct {
 	newSigs  int
 	hist     *stats.Histogram
 	// ref is the reference duration histogram (with tail buckets): the
-	// first epoch where the stage had enough tasks becomes the baseline
-	// every later epoch is tested against.
+	// first adequate epoch after the warm-up becomes the baseline every
+	// later epoch is tested against; warm counts the adequate epochs
+	// skipped so far.
 	ref  []int
-	refN int
+	warm int
 }
 
 // DriftMonitor watches the live synopsis stream for evidence that the
@@ -263,9 +276,13 @@ func (m *DriftMonitor) evaluate() *DriftReport {
 			}
 			cur := st.hist.CountsWithTails()
 			if st.ref == nil {
-				// First adequate epoch becomes the reference distribution.
-				st.ref = append([]int(nil), cur...)
-				st.refN = st.tasks
+				// The first adequate epoch past the warm-up becomes the
+				// reference distribution.
+				if st.warm >= m.cfg.RefWarmupEpochs {
+					st.ref = append([]int(nil), cur...)
+				} else {
+					st.warm++
+				}
 			} else {
 				if res, err := stats.ChiSquareTwoSample(st.ref, cur, m.cfg.Alpha); err == nil {
 					sd.DurationShift = res

@@ -75,12 +75,14 @@ func TestDriftFlagsNeverSeenSignatures(t *testing.T) {
 }
 
 // TestDriftFlagsDurationShift: same flows, doubled durations — only the
-// two-sample duration test can catch this, and it does in epoch 2.
+// two-sample duration test can catch this, and it does in the first epoch
+// after the reference freezes (epoch 1 is the default warm-up, epoch 2 the
+// reference, epoch 3 the shift).
 func TestDriftFlagsDurationShift(t *testing.T) {
 	model := trainOn(t, traffic(12000, 10, epoch, nil))
 	m := NewDriftMonitor(model, driftTestConfig())
 
-	ref := traffic(1000, 13, epoch.Add(time.Hour), nil)
+	ref := traffic(2000, 13, epoch.Add(time.Hour), nil)
 	shifted := traffic(1000, 14, after(ref), nil)
 	for _, s := range shifted {
 		s.Duration *= 2
@@ -91,13 +93,15 @@ func TestDriftFlagsDurationShift(t *testing.T) {
 			reports = append(reports, rep)
 		}
 	}
-	if len(reports) != 2 {
-		t.Fatalf("reports = %d, want 2", len(reports))
+	if len(reports) != 3 {
+		t.Fatalf("reports = %d, want 3", len(reports))
 	}
-	if reports[0].Drifted {
-		t.Fatalf("reference epoch drifted: %+v", reports[0])
+	for _, r := range reports[:2] {
+		if r.Drifted {
+			t.Fatalf("warm-up/reference epoch %d drifted: %+v", r.Epoch, r)
+		}
 	}
-	rep := reports[1]
+	rep := reports[2]
 	if !rep.Drifted {
 		t.Fatalf("duration shift not flagged: %+v", rep)
 	}
@@ -113,6 +117,43 @@ func TestDriftFlagsDurationShift(t *testing.T) {
 	}
 	if rep.Score < 0.9 {
 		t.Fatalf("score = %v, want near 1 for a gross shift", rep.Score)
+	}
+}
+
+// TestDriftWarmupSkipsTransientReference: a transient in the very first
+// epoch (doubled durations — a cold cache, a fault mid-recovery) must not
+// freeze into the permanent duration reference. With the default one
+// warm-up epoch the reference comes from the first settled epoch, so
+// steady-state traffic afterwards stays quiet instead of reporting
+// perpetual drift against a poisoned baseline.
+func TestDriftWarmupSkipsTransientReference(t *testing.T) {
+	model := trainOn(t, traffic(12000, 10, epoch, nil))
+	m := NewDriftMonitor(model, driftTestConfig())
+
+	transient := traffic(1000, 16, epoch.Add(time.Hour), nil)
+	for _, s := range transient {
+		s.Duration *= 2
+	}
+	steady := traffic(3000, 17, after(transient), nil)
+	var reports []*DriftReport
+	for _, s := range append(transient, steady...) {
+		if rep := m.Observe(s); rep != nil {
+			reports = append(reports, rep)
+		}
+	}
+	if len(reports) != 4 {
+		t.Fatalf("reports = %d, want 4", len(reports))
+	}
+	// Epochs 3 and 4 compare steady traffic against the steady epoch-2
+	// reference; the transient epoch 1 was only warm-up.
+	for _, rep := range reports[2:] {
+		if rep.Drifted {
+			t.Fatalf("steady epoch %d drifted against a transient-poisoned reference: %+v", rep.Epoch, rep)
+		}
+	}
+	last := reports[3]
+	if len(last.Stages) == 0 || !last.Stages[0].HasDurationShift {
+		t.Fatalf("duration-shift test never ran after warm-up: %+v", last)
 	}
 }
 

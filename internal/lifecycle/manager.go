@@ -41,7 +41,10 @@ type ManagerConfig struct {
 	// evaluation is polled for a verdict. Default 256.
 	VerdictEvery int
 	// KeepVersions bounds the store via GC after every Put; 0 disables
-	// collection.
+	// collection entirely — unbounded retention, which under periodic
+	// retraining grows the store (and the /model lineage listing) without
+	// limit. Long-running deployments should set a small positive number
+	// (the saad-analyzer CLI defaults to 16 via -model-keep).
 	KeepVersions int
 	// ShadowConfig and Drift tune the two evaluators.
 	ShadowConfig ShadowConfig
@@ -85,6 +88,12 @@ type Manager struct {
 	cfg   ManagerConfig
 	lm    *metrics.LifecycleMetrics
 
+	// retrainMu serializes Retrain end-to-end (the retrain ticker and the
+	// POST /model?action=retrain handler can fire together), which is what
+	// upholds the store's single-writer contract. It is separate from mu so
+	// Observe keeps flowing while a retrain trains and stores.
+	retrainMu sync.Mutex
+
 	mu          sync.Mutex
 	serving     Meta
 	hasServing  bool
@@ -100,6 +109,9 @@ type Manager struct {
 	retrains    uint64
 	swaps       uint64
 	swapping    bool
+	// pendingPromote records a promotion request that landed while a swap
+	// was in flight; the goroutine finishing the swap applies it.
+	pendingPromote bool
 }
 
 // ManagerOption customizes a Manager.
@@ -224,9 +236,12 @@ func (m *Manager) snapshotRing() []*synopsis.Synopsis {
 // Retrain trains a candidate on the buffered recent synopses, stores it as
 // a new version (parent = serving version) and — unless shadow evaluation
 // is disabled — starts shadowing it against the serving model. With shadow
-// disabled the candidate is promoted immediately. It returns the new
-// version's metadata.
+// disabled the candidate is promoted immediately (or, when a swap is
+// already in flight, as soon as that swap completes). It returns the new
+// version's metadata. Concurrent Retrain calls serialize.
 func (m *Manager) Retrain() (Meta, error) {
+	m.retrainMu.Lock()
+	defer m.retrainMu.Unlock()
 	m.mu.Lock()
 	if m.ringCount < m.cfg.MinRetrain {
 		n := m.ringCount
@@ -269,6 +284,10 @@ func (m *Manager) Retrain() (Meta, error) {
 		immediate := !m.swapping
 		if immediate {
 			m.swapping = true
+		} else {
+			// A swap is in flight: the goroutine running it promotes this
+			// candidate as soon as it finishes.
+			m.pendingPromote = true
 		}
 		m.mu.Unlock()
 		if immediate {
@@ -284,20 +303,21 @@ func (m *Manager) Retrain() (Meta, error) {
 
 // Promote forces promotion of the pending candidate regardless of the
 // shadow verdict (operator override). It returns the promoted version's
-// metadata.
+// metadata. When a swap is already in flight the promotion is deferred:
+// the goroutine finishing that swap applies it immediately after.
 func (m *Manager) Promote() (Meta, error) {
 	m.mu.Lock()
 	if m.candModel == nil {
 		m.mu.Unlock()
 		return Meta{}, ErrNoCandidate
 	}
+	meta := m.candidate
 	if m.swapping {
-		meta := m.candidate
+		m.pendingPromote = true
 		m.mu.Unlock()
 		return meta, nil
 	}
 	m.swapping = true
-	meta := m.candidate
 	m.mu.Unlock()
 	m.promote()
 	return meta, nil
@@ -306,37 +326,53 @@ func (m *Manager) Promote() (Meta, error) {
 // promote performs the hot swap. The engine swap runs outside the
 // manager's lock: SwapModel has its own quiesce protocol and concurrent
 // Observe calls must keep flowing while shards cut over. m.swapping (set
-// by the caller) excludes concurrent promotions.
+// by the caller) excludes concurrent promotions; a promotion requested
+// while the swap was in flight is recorded in pendingPromote and applied
+// here before swapping is released, so a deferred candidate never waits
+// for a manual nudge.
 func (m *Manager) promote() {
-	m.mu.Lock()
-	model := m.candModel
-	meta := m.candidate
-	m.mu.Unlock()
-	if model == nil {
+	for {
 		m.mu.Lock()
-		m.swapping = false
+		model := m.candModel
+		meta := m.candidate
+		if model == nil {
+			m.swapping = false
+			m.pendingPromote = false
+			m.mu.Unlock()
+			return
+		}
 		m.mu.Unlock()
-		return
-	}
 
-	m.eng.SwapModel(model)
+		m.eng.SwapModel(model)
 
-	m.mu.Lock()
-	m.serving = meta
-	m.hasServing = true
-	m.swaps++
-	m.candModel = nil
-	m.shadow = nil
-	// The drift monitor restarts against the promoted model: its known
-	// signatures and reference distributions all change.
-	m.drift = NewDriftMonitor(model, m.cfg.Drift)
-	if m.lm != nil {
-		m.lm.Swaps.Inc()
-		m.lm.ModelVersion.Set(float64(meta.Version))
-		m.lm.DriftScore.Set(0)
+		m.mu.Lock()
+		m.serving = meta
+		m.hasServing = true
+		m.swaps++
+		if m.candModel == model {
+			m.candModel = nil
+			m.shadow = nil
+		}
+		// A retrain that landed mid-swap may have replaced the candidate;
+		// that newer candidate (and its shadow, when one started) stays
+		// pending, and the branch below promotes it when asked to.
+		// The drift monitor restarts against the promoted model: its known
+		// signatures and reference distributions all change.
+		m.drift = NewDriftMonitor(model, m.cfg.Drift)
+		if m.lm != nil {
+			m.lm.Swaps.Inc()
+			m.lm.ModelVersion.Set(float64(meta.Version))
+			m.lm.DriftScore.Set(0)
+		}
+		again := m.pendingPromote && m.candModel != nil
+		m.pendingPromote = false
+		if !again {
+			m.swapping = false
+			m.mu.Unlock()
+			return
+		}
+		m.mu.Unlock()
 	}
-	m.swapping = false
-	m.mu.Unlock()
 }
 
 // Status reports the manager's current state, including the store lineage.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 	"time"
 
@@ -215,6 +216,85 @@ func TestManagerDisableShadowPromotesImmediately(t *testing.T) {
 	}
 	if len(metas) != 2 {
 		t.Fatalf("store holds %d versions, want GC to keep 2", len(metas))
+	}
+}
+
+// TestManagerConcurrentRetrainSerialized: the retrain ticker and the HTTP
+// handler can call Retrain at the same moment; the retrain mutex must
+// serialize them so both land as distinct store versions (Store.Put is
+// single-writer — unserialized, both would compute the same next version
+// and one candidate would silently vanish under the other's rename).
+func TestManagerConcurrentRetrainSerialized(t *testing.T) {
+	cfg := managerTestConfig()
+	cfg.DisableAutoPromote = true
+	eng, mgr, store, _ := newServingStack(t, cfg)
+	feed(eng, mgr, traffic(2000, 41, epoch.Add(time.Hour), nil))
+
+	metas := make([]Meta, 2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for i := range metas {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			metas[i], errs[i] = mgr.Retrain()
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("retrain %d: %v", i, err)
+		}
+	}
+	if metas[0].Version == metas[1].Version {
+		t.Fatalf("concurrent retrains were assigned the same version %d", metas[0].Version)
+	}
+	list, err := store.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 3 {
+		t.Fatalf("store holds %d versions, want 3 (base + both retrains)", len(list))
+	}
+}
+
+// TestManagerDeferredPromotionAfterInFlightSwap: with shadow disabled,
+// Retrain's contract is immediate promotion — even when it lands while
+// another swap is in flight. The retrain defers, and the goroutine
+// finishing the swap must pick the candidate up instead of leaving it
+// waiting for a manual POST promote.
+func TestManagerDeferredPromotionAfterInFlightSwap(t *testing.T) {
+	cfg := managerTestConfig()
+	cfg.DisableShadow = true
+	eng, mgr, _, _ := newServingStack(t, cfg)
+	feed(eng, mgr, traffic(2000, 42, epoch.Add(time.Hour), nil))
+
+	// Simulate a swap in flight at the moment the retrain lands.
+	mgr.mu.Lock()
+	mgr.swapping = true
+	mgr.mu.Unlock()
+	meta, err := mgr.Retrain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mgr.ServingVersion(); got != 1 {
+		t.Fatalf("retrain promoted during an in-flight swap (serving %d)", got)
+	}
+	mgr.mu.Lock()
+	pending := mgr.pendingPromote
+	mgr.mu.Unlock()
+	if !pending {
+		t.Fatal("retrain during an in-flight swap did not defer the promotion")
+	}
+	// The in-flight swap completes: its promote() tail must apply the
+	// deferred candidate.
+	mgr.promote()
+	if got := mgr.ServingVersion(); got != meta.Version {
+		t.Fatalf("deferred candidate never promoted: serving %d, want %d", got, meta.Version)
+	}
+	if got := eng.Model().TrainedOn; got != 2000 {
+		t.Fatalf("engine model TrainedOn = %d, want the deferred candidate's 2000", got)
 	}
 }
 
