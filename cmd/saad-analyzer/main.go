@@ -19,9 +19,14 @@
 //
 // Self-observability (all opt-in):
 //
-//	-http :9090            Prometheus /metrics, /debug/vars and pprof
+//	-http :9090            Prometheus /metrics, /debug/vars, pprof, /healthz,
+//	                       /readyz, /statusz, /trace and /flight
 //	-events anomalies.jsonl one self-describing JSON object per anomaly
 //	-stats-interval 30s    periodic heartbeat line on stderr
+//	-trace-sample 1000     trace 1 in N synopses end to end (emit → send →
+//	                       recv → enqueue → detect) and run the anomaly
+//	                       flight recorder; sampled anomaly events carry the
+//	                       span and a flight snapshot
 //
 // Fault tolerance (detect mode): with -checkpoint the analyzer persists its
 // model and live window state atomically every -checkpoint-interval and at
@@ -49,8 +54,8 @@
 // -model-keep versions (default 16; 0 keeps every version forever).
 //
 // Flag reference (detect mode): -listen, -model, -dict, -shards, -http,
-// -events, -stats-interval, -checkpoint, -checkpoint-interval,
-// -model-store, -retrain-every, -shadow, -model-keep.
+// -events, -stats-interval, -trace-sample, -checkpoint,
+// -checkpoint-interval, -model-store, -retrain-every, -shadow, -model-keep.
 //
 // On SIGINT/SIGTERM the analyzer shuts down gracefully: it stops accepting,
 // drains already-received synopses, flushes open windows (reporting their
@@ -58,14 +63,17 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -76,6 +84,7 @@ import (
 	"saad/internal/report"
 	"saad/internal/stream"
 	"saad/internal/synopsis"
+	"saad/internal/trace"
 	"saad/internal/tracker"
 )
 
@@ -118,6 +127,7 @@ func run(args []string) error {
 		ckptPath  = fs.String("checkpoint", "", "restore detector state from this file at startup and persist it periodically (detect mode; empty = off)")
 		ckptIntv  = fs.Duration("checkpoint-interval", 30*time.Second, "how often to persist the checkpoint (detect mode; 0 = only at shutdown)")
 		shards    = fs.Int("shards", 0, "analyzer shard workers (detect mode; 0 = GOMAXPROCS)")
+		traceSmp  = fs.Int("trace-sample", 0, "trace one in N synopses end to end through the pipeline and run the anomaly flight recorder (detect mode; 0 = off)")
 		storeDir  = fs.String("model-store", "", "versioned model store directory: serve its latest version, record retrains as new versions (empty = off)")
 		retrainEv = fs.Duration("retrain-every", 0, "retrain a candidate from the live stream this often (detect mode; needs -model-store; 0 = only via POST /model)")
 		shadowOn  = fs.Bool("shadow", true, "shadow-evaluate retrained candidates against the serving model before promoting (detect mode; false = promote immediately)")
@@ -154,6 +164,7 @@ func run(args []string) error {
 		checkpointPath:     *ckptPath,
 		checkpointInterval: *ckptIntv,
 		shards:             *shards,
+		traceSample:        *traceSmp,
 		storeDir:           *storeDir,
 		retrainEvery:       *retrainEv,
 		shadow:             *shadowOn,
@@ -244,11 +255,68 @@ type detectOptions struct {
 	checkpointPath     string          // persist/restore detector state ("" = off)
 	checkpointInterval time.Duration   // 0 = only at shutdown
 	shards             int             // engine shard workers (0 = GOMAXPROCS)
+	traceSample        int             // trace 1 in N synopses end to end (0 = off)
 	storeDir           string          // versioned model store ("" = off)
 	retrainEvery       time.Duration   // periodic live retraining (0 = off)
 	shadow             bool            // shadow-evaluate candidates before promotion
 	keepVersions       int             // store versions retained by GC (0 = unbounded)
 	stop               <-chan struct{} // optional programmatic shutdown (tests)
+	httpBound          func(addr string) // called with the observability server's bound address (tests)
+}
+
+// statuszInfo feeds the /statusz handler: static identity plus live
+// counters read per request.
+type statuszInfo struct {
+	engine      *analyzer.Engine
+	tracer      *trace.Tracer
+	listen      string
+	sampleEvery int
+	trainedOn   int
+	start       time.Time
+	anomalies   func() int
+}
+
+// statuszHandler serves a one-page JSON operational summary: what this
+// analyzer is, how long it has been up, and how much it has processed —
+// the first thing to curl when an alert fires.
+func statuszHandler(info statuszInfo) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		type shardStatus struct {
+			Shard    int    `json:"shard"`
+			Fed      uint64 `json:"fed"`
+			Pending  int    `json:"pending"`
+			QueueLen int    `json:"queue_len"`
+		}
+		doc := struct {
+			Mode          string        `json:"mode"`
+			Listen        string        `json:"listen"`
+			UptimeSeconds float64       `json:"uptime_seconds"`
+			TrainedOn     int           `json:"model_trained_on"`
+			Shards        []shardStatus `json:"shards"`
+			Processed     uint64        `json:"processed"`
+			Late          uint64        `json:"late"`
+			Anomalies     int           `json:"anomalies"`
+			TraceSample   int           `json:"trace_sample_every"`
+			TracedSpans   int           `json:"traced_spans_retained"`
+		}{
+			Mode:          "detecting",
+			Listen:        info.listen,
+			UptimeSeconds: time.Since(info.start).Seconds(),
+			TrainedOn:     info.trainedOn,
+			Processed:     info.engine.Fed(),
+			Late:          info.engine.LateSynopses(),
+			Anomalies:     info.anomalies(),
+			TraceSample:   info.sampleEvery,
+			TracedSpans:   len(info.tracer.Spans()),
+		}
+		for _, st := range info.engine.ShardStats() {
+			doc.Shards = append(doc.Shards, shardStatus{Shard: st.Shard, Fed: st.Fed, Pending: st.Pending, QueueLen: st.QueueLen})
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(doc)
+	})
 }
 
 // detectMode loads the model — or restores a full checkpoint when one
@@ -262,6 +330,15 @@ func detectMode(listen, modelPath string, dict *logpoint.Dictionary, opts detect
 	// scrape schema is identical to an embedded Monitor's.
 	pipe := metrics.NewPipeline(metrics.NewRegistry())
 	pipe.Monitor.Mode.Set(2) // detecting
+
+	// With -trace-sample, one in N synopses carries a pipeline span from
+	// emit (or arrival, for untraced peers) through the detection verdict,
+	// and the engine's flight recorder runs. The nil tracer keeps every
+	// touch point a no-op.
+	var tracer *trace.Tracer
+	if opts.traceSample > 0 {
+		tracer = trace.New(trace.Config{SampleEvery: opts.traceSample})
+	}
 
 	// The anomaly sink runs on shard worker goroutines; the mutex serializes
 	// report output and latches the first event-log write error (a dead
@@ -291,6 +368,9 @@ func detectMode(listen, modelPath string, dict *logpoint.Dictionary, opts detect
 		analyzer.WithShards(opts.shards),
 		analyzer.WithEngineMetrics(pipe.Analyzer),
 		analyzer.WithAnomalySink(emit),
+	}
+	if tracer != nil {
+		engineOpts = append(engineOpts, analyzer.WithEngineTracer(tracer))
 	}
 	var store *lifecycle.Store
 	if opts.storeDir != "" {
@@ -365,6 +445,11 @@ func detectMode(listen, modelPath string, dict *logpoint.Dictionary, opts detect
 		}
 		closers = append(closers, sync.OnceValue(ef.Close))
 		events = report.NewEventWriter(ef, dict, model.Config.Window)
+		if tracer != nil {
+			// Each anomaly event carries what the pipeline was doing around
+			// emit time: the flight recorder's most recent events.
+			events.SetFlightSnapshot(func() []trace.Event { return tracer.FlightSnapshot(64) })
+		}
 	}
 	closeEvents := func() error { return nil }
 	if len(closers) > 0 {
@@ -381,6 +466,9 @@ func detectMode(listen, modelPath string, dict *logpoint.Dictionary, opts detect
 			KeepVersions:  opts.keepVersions,
 		}
 		mopts := []lifecycle.ManagerOption{lifecycle.WithLifecycleMetrics(pipe.Lifecycle)}
+		if tracer != nil {
+			mopts = append(mopts, lifecycle.WithLifecycleTracer(tracer))
+		}
 		if hasServing {
 			mopts = append(mopts, lifecycle.WithServingVersion(servingMeta))
 		}
@@ -401,18 +489,44 @@ func detectMode(listen, modelPath string, dict *logpoint.Dictionary, opts detect
 		})
 	}
 	srvMetrics := metrics.NewTCPServerMetrics(pipe.Registry)
-	srv, err := stream.Listen(listen, sink, stream.WithServerMetrics(srvMetrics))
+	srvOpts := []stream.ServerOption{stream.WithServerMetrics(srvMetrics)}
+	if tracer != nil {
+		// Frames from old (trace-unaware) trackers get a partial span
+		// originated at arrival, so wire-side latency still shows up.
+		srvOpts = append(srvOpts, stream.WithServerSampler(tracer.Sampler()))
+	}
+	srv, err := stream.Listen(listen, sink, srvOpts...)
 	if err != nil {
 		return fail(err)
 	}
 	fmt.Printf("detecting: listening on %s (model trained on %d synopses, %d shards)\n",
 		srv.Addr(), model.TrainedOn, eng.Shards())
+	var ready atomic.Bool
+	ready.Store(true)
 
 	if opts.httpAddr != "" {
 		mux := metrics.NewMux(pipe.Registry)
 		if mgr != nil {
 			mux.Handle("/model", mgr)
 		}
+		mux.Handle("/readyz", metrics.ReadyHandler(ready.Load))
+		// Trace surfaces are always mounted; with tracing off they serve
+		// empty documents rather than a confusing 404.
+		mux.Handle("/trace", tracer.SpansHandler())
+		mux.Handle("/flight", tracer.FlightHandler(256))
+		mux.Handle("/statusz", statuszHandler(statuszInfo{
+			engine:      eng,
+			tracer:      tracer,
+			listen:      srv.Addr(),
+			sampleEvery: opts.traceSample,
+			trainedOn:   model.TrainedOn,
+			start:       time.Now(),
+			anomalies: func() int {
+				sinkMu.Lock()
+				defer sinkMu.Unlock()
+				return anomalies
+			},
+		}))
 		msrv, err := metrics.ServeMux(opts.httpAddr, mux)
 		if err != nil {
 			_ = srv.Close()
@@ -420,6 +534,9 @@ func detectMode(listen, modelPath string, dict *logpoint.Dictionary, opts detect
 		}
 		defer func() { _ = msrv.Close() }()
 		fmt.Printf("metrics: http://%s/metrics (also /debug/vars, /debug/pprof)\n", msrv.Addr())
+		if opts.httpBound != nil {
+			opts.httpBound(msrv.Addr())
+		}
 		if mgr != nil {
 			fmt.Printf("model admin: http://%s/model (GET status, POST action=retrain|promote)\n", msrv.Addr())
 		}
@@ -453,6 +570,7 @@ func detectMode(listen, modelPath string, dict *logpoint.Dictionary, opts detect
 	// checkpoint, stop the shard workers, and close the event log — in that
 	// order, collecting the first error without skipping later steps.
 	shutdown := func() error {
+		ready.Store(false)
 		err := srv.Close()
 		eng.Flush()
 		if opts.checkpointPath != "" {

@@ -10,6 +10,7 @@ import (
 	"saad/internal/metrics"
 	"saad/internal/stats"
 	"saad/internal/synopsis"
+	"saad/internal/trace"
 )
 
 // AnomalyKind distinguishes the two anomaly classes of Section 3.3.3.
@@ -103,6 +104,7 @@ type Detector struct {
 	scratch []byte
 
 	metrics *metrics.AnalyzerMetrics
+	flight  *trace.FlightRing
 }
 
 type groupKey struct {
@@ -151,6 +153,11 @@ func NewDetector(model *Model) *Detector {
 // windows closed, window-close latency and per-stage anomaly counts.
 func (d *Detector) SetMetrics(m *metrics.AnalyzerMetrics) { d.metrics = m }
 
+// SetFlight attaches a flight-recorder ring (nil disables): window opens
+// and closes and late drops are recorded as pipeline events. Recording is a
+// few atomic stores, so the detector's per-task cost is unchanged.
+func (d *Detector) SetFlight(r *trace.FlightRing) { d.flight = r }
+
 // Model returns a deep copy of the trained model the detector judges
 // against. A detector restored from a checkpoint carries its model with
 // it, so callers need no separate model file. The copy is defensive:
@@ -191,6 +198,7 @@ func (d *Detector) Feed(s *synopsis.Synopsis) []Anomaly {
 		if m := d.metrics; m != nil {
 			m.LateSynopses.Inc()
 		}
+		d.flight.Record(trace.EventLateDrop, uint16(s.Stage), s.Host, s.TaskID, 0)
 		return nil
 	}
 	if w != nil && !s.Start.Before(w.start.Add(d.cfg.Window)) {
@@ -204,6 +212,7 @@ func (d *Detector) Feed(s *synopsis.Synopsis) []Anomaly {
 			newSigs: make(map[synopsis.Signature]*sigEvidence),
 		}
 		d.open[key] = w
+		d.flight.Record(trace.EventWindowOpen, uint16(key.stage), key.host, uint64(w.start.UnixNano()), 0)
 	}
 	d.observe(w, s)
 	return out
@@ -432,6 +441,7 @@ func (d *Detector) closeWindow(key groupKey, w *windowState) []Anomaly {
 		FlowOutliers: w.flowOutliers,
 		PerfOutliers: perf,
 	})
+	d.flight.Record(trace.EventWindowClose, uint16(key.stage), key.host, uint64(w.tasks), uint64(len(anomalies)))
 	if m := d.metrics; m != nil {
 		for _, a := range anomalies {
 			m.Anomalies.With(a.Kind.String(), strconv.Itoa(int(a.Stage))).Inc()

@@ -12,6 +12,7 @@ import (
 	"saad/internal/logpoint"
 	"saad/internal/metrics"
 	"saad/internal/synopsis"
+	"saad/internal/trace"
 )
 
 // Engine is the sharded concurrent analyzer: it routes synopses across N
@@ -49,8 +50,9 @@ type Engine struct {
 	// collected under quiesce so no lock is needed.
 	anomalies []Anomaly
 
-	sink func([]Anomaly)
-	m    *metrics.AnalyzerMetrics
+	sink   func([]Anomaly)
+	m      *metrics.AnalyzerMetrics
+	tracer *trace.Tracer
 
 	queueCap int
 }
@@ -72,6 +74,11 @@ type shard struct {
 	busy      *metrics.Counter
 	overflows *metrics.Counter
 	depth     *metrics.Gauge
+
+	// flight is the shard's flight-recorder ring (nil when tracing is off);
+	// the worker goroutine records sampled arrivals, the core records window
+	// opens/closes and late drops.
+	flight *trace.FlightRing
 }
 
 // shardMsg carries either synopses or a control function through the same
@@ -92,6 +99,7 @@ type engineOptions struct {
 	queueCap int
 	metrics  *metrics.AnalyzerMetrics
 	sink     func([]Anomaly)
+	tracer   *trace.Tracer
 }
 
 // WithShards sets the shard count; n < 1 selects GOMAXPROCS.
@@ -122,6 +130,15 @@ func WithAnomalySink(fn func([]Anomaly)) EngineOption {
 	return func(o *engineOptions) { o.sink = fn }
 }
 
+// WithEngineTracer attaches pipeline tracing: sampled synopsis spans get
+// their Enqueue/Detect/Done stamps and are published to the tracer on
+// completion, and each shard records flight-recorder events (arrivals,
+// window opens/closes, late drops, model swaps) to its ring. A nil tracer
+// (the default) reduces every touch point to one nil check.
+func WithEngineTracer(t *trace.Tracer) EngineOption {
+	return func(o *engineOptions) { o.tracer = t }
+}
+
 // NewEngine returns a running engine for the trained model. The model must
 // not be mutated afterwards (its interning index is shared read-only by
 // every shard).
@@ -146,6 +163,7 @@ func newEngine(model *Model, opts ...EngineOption) (*Engine, *engineOptions) {
 		shards:   make([]*shard, o.shards),
 		sink:     o.sink,
 		m:        o.metrics,
+		tracer:   o.tracer,
 		queueCap: o.queueCap,
 	}
 	if o.shards&(o.shards-1) == 0 {
@@ -164,6 +182,10 @@ func newEngine(model *Model, opts ...EngineOption) (*Engine, *engineOptions) {
 			sh.overflows = m.ShardOverflows.With(label)
 			sh.depth = m.ShardQueueDepth.With(label)
 			sh.core.SetMetrics(m)
+		}
+		if t := o.tracer; t != nil {
+			sh.flight = t.ShardRing(i)
+			sh.core.SetFlight(sh.flight)
 		}
 		e.shards[i] = sh
 		go e.run(sh)
@@ -208,11 +230,35 @@ func (e *Engine) run(sh *shard) {
 func (sh *shard) observe(e *Engine, s *synopsis.Synopsis) {
 	sh.nfed++
 	sh.fed.Inc()
+	if sp := s.Trace; sp != nil {
+		sp.Detect = time.Now().UnixNano()
+	}
 	if out := sh.core.Feed(s); len(out) > 0 {
 		if e.sink != nil {
 			e.sink(out)
 		} else {
 			sh.out = append(sh.out, out...)
+		}
+	}
+	if sp := s.Trace; sp != nil {
+		e.traceDone(sh, sp)
+	}
+}
+
+// traceDone finishes a sampled span after the detector's verdict: it stamps
+// Done, records the arrival in the shard's flight ring, publishes the span
+// (now immutable) to the tracer, and observes the end-to-end detection
+// latency histogram for the span's stage. It runs on the shard worker
+// goroutine and is deliberately not a hot-path function: it executes once
+// per SAMPLED synopsis, so wall-clock reads and the label lookup are off
+// the unsampled fast path entirely.
+func (e *Engine) traceDone(sh *shard, sp *trace.Span) {
+	sp.Done = time.Now().UnixNano()
+	sh.flight.Record(trace.EventSynopsis, sp.Stage, sp.Host, sp.TaskID, uint64(sp.QueueWait()))
+	e.tracer.SpanDone(sp)
+	if m := e.m; m != nil && m.DetectionLatency != nil {
+		if total := sp.Total(); total > 0 {
+			m.DetectionLatency.With(strconv.Itoa(int(sp.Stage))).Observe(float64(total) / 1e9)
 		}
 	}
 }
@@ -258,6 +304,9 @@ func (e *Engine) send(sh *shard, msg shardMsg) {
 //saad:hotpath
 func (e *Engine) Feed(s *synopsis.Synopsis) {
 	e.fed.Add(1)
+	if sp := s.Trace; sp != nil {
+		sp.Enqueue = time.Now().UnixNano()
+	}
 	e.send(e.shardFor(s), shardMsg{syn: s})
 }
 
@@ -268,6 +317,15 @@ func (e *Engine) FeedBatch(batch []*synopsis.Synopsis) {
 		return
 	}
 	e.fed.Add(uint64(len(batch)))
+	var now int64
+	for _, s := range batch {
+		if sp := s.Trace; sp != nil {
+			if now == 0 {
+				now = time.Now().UnixNano()
+			}
+			sp.Enqueue = now
+		}
+	}
 	if len(e.shards) == 1 {
 		e.send(e.shards[0], shardMsg{batch: batch})
 		return

@@ -1,5 +1,7 @@
 package analyzer
 
+import "saad/internal/trace"
+
 // Hot model swap: SwapModel rides the same quiesce control plane as the
 // engine's snapshot operations, so the cutover needs no new locks and
 // cannot drop or reorder synopses. The swap command travels each shard's
@@ -45,7 +47,13 @@ func (e *Engine) SwapModel(model *Model) []Anomaly {
 		fresh.stats = sh.core.stats
 		fresh.late = sh.core.late
 		fresh.metrics = sh.core.metrics
+		fresh.flight = sh.core.flight
 		sh.core = fresh
+		// Recorded inside the quiesce fn, i.e. on the shard worker
+		// goroutine, right at the cutover point: the flight ring shows the
+		// swap exactly between the last old-model and first new-model
+		// verdicts.
+		sh.flight.Record(trace.EventModelSwap, 0, 0, 0, 0)
 		parts[i] = part
 	})
 	// Safe to write outside the quiesce: e.model is only touched by

@@ -11,6 +11,7 @@ import (
 	"saad/internal/analyzer"
 	"saad/internal/metrics"
 	"saad/internal/synopsis"
+	"saad/internal/trace"
 )
 
 // ErrRetrainTooFew is returned when the retrain buffer holds fewer
@@ -83,10 +84,11 @@ type Status struct {
 // engine. All methods are safe for concurrent use; the engine swap itself
 // happens outside the manager's lock (it has its own quiesce protocol).
 type Manager struct {
-	eng   *analyzer.Engine
-	store *Store
-	cfg   ManagerConfig
-	lm    *metrics.LifecycleMetrics
+	eng    *analyzer.Engine
+	store  *Store
+	cfg    ManagerConfig
+	lm     *metrics.LifecycleMetrics
+	tracer *trace.Tracer
 
 	// retrainMu serializes Retrain end-to-end (the retrain ticker and the
 	// POST /model?action=retrain handler can fire together), which is what
@@ -120,6 +122,13 @@ type ManagerOption func(*Manager)
 // WithLifecycleMetrics attaches the lifecycle metric bundle.
 func WithLifecycleMetrics(lm *metrics.LifecycleMetrics) ManagerOption {
 	return func(m *Manager) { m.lm = lm }
+}
+
+// WithLifecycleTracer attaches the pipeline tracer: drift epochs land on
+// its control flight ring, so the anomaly flight recorder shows model
+// health context around an alarm.
+func WithLifecycleTracer(t *trace.Tracer) ManagerOption {
+	return func(m *Manager) { m.tracer = t }
 }
 
 // WithServingVersion records which store version the engine is serving.
@@ -192,6 +201,13 @@ func (m *Manager) Observe(s *synopsis.Synopsis) {
 		if m.lm != nil {
 			m.lm.DriftScore.Set(rep.Score)
 		}
+		var drifted uint64
+		if rep.Drifted {
+			drifted = 1
+		}
+		// Score in millionths: the flight ring carries integer payloads.
+		m.tracer.ControlRing().Record(trace.EventDriftEpoch,
+			uint16(s.Stage), s.Host, uint64(rep.Score*1e6), drifted)
 	}
 	if m.shadow != nil {
 		m.shadow.Observe(s)
@@ -204,9 +220,14 @@ func (m *Manager) Observe(s *synopsis.Synopsis) {
 				}
 				if !v.Promote {
 					// Rejected: drop the candidate, keep its store version
-					// for forensics.
+					// for forensics. The divergence gauge resets with the
+					// shadow — a dead evaluation must not keep exporting
+					// its last reading as if it were current.
 					m.shadow = nil
 					m.candModel = nil
+					if m.lm != nil {
+						m.lm.ShadowDivergence.Set(0)
+					}
 				} else if !m.cfg.DisableAutoPromote && !m.swapping {
 					m.swapping = true
 					promote = true
@@ -363,6 +384,11 @@ func (m *Manager) promote() {
 			m.lm.Swaps.Inc()
 			m.lm.ModelVersion.Set(float64(meta.Version))
 			m.lm.DriftScore.Set(0)
+			if m.shadow == nil {
+				// The promoted candidate's shadow is over; its divergence
+				// reading is history, not state.
+				m.lm.ShadowDivergence.Set(0)
+			}
 		}
 		again := m.pendingPromote && m.candModel != nil
 		m.pendingPromote = false

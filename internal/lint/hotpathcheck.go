@@ -24,6 +24,14 @@ import (
 // A fmt call whose result is immediately returned (return fmt.Errorf(...))
 // is treated as a cold exit path and exempt: error construction happens
 // after the hot path has already failed.
+//
+// time.Now additionally gets a sampling-guard exemption for pipeline
+// tracing (DESIGN §13): a wall-clock read inside an if statement whose
+// condition or init checks a trace-sampling decision — a Sample()/Sampled()
+// call, or a nil test on a .Trace span pointer — runs only for the 1-in-N
+// sampled synopses, so it is off the common path by construction. An
+// unconditional time.Now, or one behind an unrelated condition, is still
+// flagged.
 var HotpathCheck = &Analyzer{
 	Name: "hotpathcheck",
 	Doc: "//saad:hotpath functions must not call time.Now or fmt.Sprintf-family " +
@@ -73,7 +81,7 @@ func checkHotpathBody(pass *Pass, fn *ast.FuncDecl) {
 
 func checkHotpathCall(pass *Pass, fn *ast.FuncDecl, call *ast.CallExpr, parents []ast.Node) {
 	info := pass.Pkg.Info
-	if pkgFuncCall(info, call, "time", "Now") {
+	if pkgFuncCall(info, call, "time", "Now") && !samplingGuarded(parents) {
 		pass.Reportf(call.Pos(), "hot path %s calls time.Now (virtual time must arrive as a parameter)", fn.Name.Name)
 	}
 	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sprintFamily[sel.Sel.Name] &&
@@ -83,6 +91,56 @@ func checkHotpathCall(pass *Pass, fn *ast.FuncDecl, call *ast.CallExpr, parents 
 		}
 	}
 	checkBoxedLiterals(pass, fn, call)
+}
+
+// samplingGuarded reports whether the node whose parent stack is given
+// sits inside an if statement gated on a trace-sampling decision — the
+// tracing exemption for time.Now on hot paths. The guard must be visible
+// in the if's own condition or init: a Sample()/Sampled() call, or any
+// reference to a selector named Trace (the conventional nil-span test
+// `if sp := s.Trace; sp != nil`).
+func samplingGuarded(parents []ast.Node) bool {
+	for i := len(parents) - 1; i >= 0; i-- {
+		switch p := parents[i].(type) {
+		case *ast.IfStmt:
+			if isSamplingExpr(p.Cond) || isSamplingExpr(p.Init) {
+				return true
+			}
+		case *ast.FuncLit, *ast.FuncDecl:
+			return false
+		}
+	}
+	return false
+}
+
+// isSamplingExpr reports whether n mentions a sampling check: a call to a
+// function or method named Sample/Sampled, or a selector named Trace.
+func isSamplingExpr(n ast.Node) bool {
+	if n == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.SelectorExpr:
+				if fun.Sel.Name == "Sample" || fun.Sel.Name == "Sampled" {
+					found = true
+				}
+			case *ast.Ident:
+				if fun.Name == "Sample" || fun.Name == "Sampled" {
+					found = true
+				}
+			}
+		case *ast.SelectorExpr:
+			if n.Sel.Name == "Trace" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
 }
 
 // inReturn reports whether the node whose parent stack is given sits

@@ -22,3 +22,13 @@ func process(events map[int]string, out []string) {
 	_ = msg
 	_ = out
 }
+
+// guarded hides the clock read behind a condition that is NOT a sampling
+// decision: the tracing exemption must not extend to arbitrary guards.
+//
+//saad:hotpath
+func guarded(enabled bool, out []int64) {
+	if enabled {
+		out[0] = time.Now().UnixNano() // want "calls time.Now"
+	}
+}

@@ -39,3 +39,28 @@ func cold(events map[int]string) string {
 	}
 	return fmt.Sprintf("at %v", time.Now())
 }
+
+// sampler mimics a trace sampler: its decision gates wall-clock reads.
+type sampler struct{}
+
+func (sampler) Sample() bool { return false }
+
+// span mimics a sampled trace context carried on an event.
+type span struct{ Emit int64 }
+
+// event mimics a synopsis carrying an optional sampled span.
+type event struct{ Trace *span }
+
+// stamp reads the wall clock only behind sampling guards — the tracing
+// exemption: a Sample() call in the condition, or a nil test on a .Trace
+// span pointer in the init. Neither read runs on the unsampled common path.
+//
+//saad:hotpath
+func stamp(smp sampler, ev *event) {
+	if smp.Sample() {
+		ev.Trace = &span{Emit: time.Now().UnixNano()}
+	}
+	if sp := ev.Trace; sp != nil {
+		sp.Emit = time.Now().UnixNano()
+	}
+}

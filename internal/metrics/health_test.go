@@ -1,0 +1,65 @@
+package metrics
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(raw)
+}
+
+func TestHealthHandlerAlwaysOK(t *testing.T) {
+	srv := httptest.NewServer(HealthHandler())
+	defer srv.Close()
+	code, body := getBody(t, srv.URL)
+	if code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz = %d %q, want 200 ok", code, body)
+	}
+}
+
+func TestReadyHandlerFollowsProbe(t *testing.T) {
+	var ready atomic.Bool
+	srv := httptest.NewServer(ReadyHandler(ready.Load))
+	defer srv.Close()
+
+	code, body := getBody(t, srv.URL)
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "not ready") {
+		t.Fatalf("before: readyz = %d %q, want 503 not ready", code, body)
+	}
+	ready.Store(true)
+	code, body = getBody(t, srv.URL)
+	if code != http.StatusOK || !strings.Contains(body, "ready") {
+		t.Fatalf("after: readyz = %d %q, want 200 ready", code, body)
+	}
+}
+
+func TestReadyHandlerNilProbeIsReady(t *testing.T) {
+	srv := httptest.NewServer(ReadyHandler(nil))
+	defer srv.Close()
+	if code, _ := getBody(t, srv.URL); code != http.StatusOK {
+		t.Fatalf("nil probe readyz = %d, want 200", code)
+	}
+}
+
+func TestMuxServesHealthz(t *testing.T) {
+	srv := httptest.NewServer(NewMux(NewRegistry()))
+	defer srv.Close()
+	if code, _ := getBody(t, srv.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("mux /healthz = %d, want 200", code)
+	}
+}

@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewHistogramVec("test_hvec_seconds", "t", []float64{0.01, 0.1, 1}, "stage")
+	v.With("1").Observe(0.005)
+	v.With("1").Observe(0.05)
+	v.With("2").Observe(5) // beyond the last bound: only +Inf catches it
+
+	snap := r.Snapshot()
+	h1, ok := snap.Histograms[`test_hvec_seconds{stage="1"}`]
+	if !ok {
+		t.Fatal("stage 1 child missing from snapshot")
+	}
+	if h1.Count != 2 || h1.Sum != 0.055 {
+		t.Fatalf("stage 1 child count=%d sum=%v, want 2/0.055", h1.Count, h1.Sum)
+	}
+	// Children share the vector's bounds; bucket counts are cumulative.
+	if len(h1.Buckets) != 4 {
+		t.Fatalf("stage 1 child has %d buckets, want 4 (3 bounds + +Inf)", len(h1.Buckets))
+	}
+	if h1.Buckets[0].Count != 1 || h1.Buckets[1].Count != 2 {
+		t.Fatalf("cumulative buckets wrong: %+v", h1.Buckets)
+	}
+	h2 := snap.Histograms[`test_hvec_seconds{stage="2"}`]
+	if h2.Count != 1 || h2.Buckets[2].Count != 0 || h2.Buckets[3].Count != 1 {
+		t.Fatalf("stage 2 child wrong: %+v", h2)
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "# TYPE test_hvec_seconds histogram") {
+		t.Fatalf("missing TYPE line:\n%s", out)
+	}
+	// Every child renders bucket/sum/count series with le spliced into the
+	// child's label set.
+	for _, want := range []string{
+		`test_hvec_seconds_bucket{stage="1",le="0.01"} 1`,
+		`test_hvec_seconds_bucket{stage="1",le="0.1"} 2`,
+		`test_hvec_seconds_bucket{stage="1",le="+Inf"} 2`,
+		`test_hvec_seconds_sum{stage="1"} 0.055`,
+		`test_hvec_seconds_count{stage="1"} 2`,
+		`test_hvec_seconds_bucket{stage="2",le="1"} 0`,
+		`test_hvec_seconds_bucket{stage="2",le="+Inf"} 1`,
+		`test_hvec_seconds_count{stage="2"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramVecArityPanics(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewHistogramVec("test_hvec2_seconds", "t", LatencyBuckets, "stage")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong label arity")
+		}
+	}()
+	v.With("a", "b")
+}
+
+func TestHistogramVecNilSafe(t *testing.T) {
+	var v *HistogramVec
+	h := v.With("anything")
+	h.Observe(1)
+	if h != nil && h.Count() != 0 {
+		t.Fatal("nil vec child recorded an observation")
+	}
+}
+
+func TestHistogramVecSameChild(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewHistogramVec("test_hvec3_seconds", "t", LatencyBuckets, "stage")
+	if v.With("9") != v.With("9") {
+		t.Fatal("With returned distinct children for the same label values")
+	}
+}

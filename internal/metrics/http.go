@@ -55,13 +55,42 @@ func VarsHandler(r *Registry) http.Handler {
 	})
 }
 
+// HealthHandler returns a liveness handler: 200 "ok" as long as the
+// process can serve HTTP at all (mount at /healthz). Liveness is
+// intentionally unconditional — a wedged pipeline should surface through
+// /readyz and metrics, not by failing liveness and getting the process
+// restarted mid-diagnosis.
+func HealthHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+}
+
+// ReadyHandler returns a readiness handler (mount at /readyz): 200 "ready"
+// when ready() reports true, 503 "not ready" otherwise. ready is called per
+// request and must be safe for concurrent use; nil means always ready.
+func ReadyHandler(ready func() bool) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if ready != nil && !ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_, _ = w.Write([]byte("not ready\n"))
+			return
+		}
+		_, _ = w.Write([]byte("ready\n"))
+	})
+}
+
 // NewMux returns a mux with the full observability surface: /metrics
-// (Prometheus), /debug/vars (JSON) and /debug/pprof (CPU, heap, goroutine
-// and friends, wired explicitly rather than through the pprof package's
-// DefaultServeMux side effects).
+// (Prometheus), /debug/vars (JSON), /healthz (liveness) and /debug/pprof
+// (CPU, heap, goroutine and friends, wired explicitly rather than through
+// the pprof package's DefaultServeMux side effects). /readyz is left for
+// the caller to mount with ReadyHandler and a real readiness probe.
 func NewMux(r *Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", Handler(r))
+	mux.Handle("/healthz", HealthHandler())
 	mux.Handle("/debug/vars", VarsHandler(r))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -29,6 +29,7 @@ func registerPipelineFixture(t *testing.T) *Registry {
 	p.Analyzer.ShardBusyNanos.With("0").Add(1200)
 	p.Analyzer.ShardSynopses.With("0").Inc()
 	p.Analyzer.ShardOverflows.With("0").Inc()
+	p.Analyzer.DetectionLatency.With("3").Observe(0.002)
 	p.Monitor.Mode.Set(2)
 	return r
 }

@@ -239,6 +239,51 @@ func (v *GaugeVec) With(values ...string) *Gauge {
 	return g
 }
 
+// HistogramVec is a family of fixed-bucket histograms partitioned by label
+// values, mirroring CounterVec. Every child shares the vector's bucket
+// bounds. Looking up a child takes a mutex; callers on hot paths should
+// hold on to the returned *Histogram.
+type HistogramVec struct {
+	labelNames []string
+	bounds     []float64
+
+	mu       sync.Mutex
+	children map[string]*Histogram
+	values   map[string][]string
+}
+
+// With returns the histogram for the given label values (created on first
+// use). The number of values must match the label names the vector was
+// registered with; a mismatch panics (programmer error).
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	if len(values) != len(v.labelNames) {
+		panic(fmt.Sprintf("metrics: HistogramVec got %d label values for %d labels", len(values), len(v.labelNames)))
+	}
+	key := labelKey(values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h := v.children[key]
+	if h == nil {
+		h = newHistogram(v.bounds)
+		v.children[key] = h
+		v.values[key] = append([]string(nil), values...)
+	}
+	return h
+}
+
+// sortedKeys returns child keys in deterministic (label-value) order.
+func (v *HistogramVec) sortedKeys() []string {
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // sortedKeys returns child keys in deterministic (label-value) order.
 func (v *GaugeVec) sortedKeys() []string {
 	keys := make([]string, 0, len(v.children))

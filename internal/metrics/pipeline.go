@@ -156,6 +156,11 @@ type AnalyzerMetrics struct {
 	// ShardOverflows counts feeds that found a shard queue full and had to
 	// block (backpressure events), labeled by shard index.
 	ShardOverflows *CounterVec
+	// DetectionLatency observes the end-to-end seconds from a sampled
+	// synopsis's earliest pipeline stamp (tracker emit when the span
+	// originated there, receive otherwise) to its detection verdict,
+	// labeled by stage id. Only span-sampled synopses are observed.
+	DetectionLatency *HistogramVec
 }
 
 // NewAnalyzerMetrics registers the analyzer metric family on r.
@@ -172,6 +177,7 @@ func NewAnalyzerMetrics(r *Registry) *AnalyzerMetrics {
 		ShardBusyNanos:     r.NewCounterVec("saad_analyzer_shard_busy_nanos_total", "Nanoseconds each engine shard spent processing synopses.", "shard"),
 		ShardSynopses:      r.NewCounterVec("saad_analyzer_shard_synopses_total", "Synopses processed per engine shard.", "shard"),
 		ShardOverflows:     r.NewCounterVec("saad_analyzer_shard_overflows_total", "Feeds that found a full shard queue and blocked (backpressure).", "shard"),
+		DetectionLatency:   r.NewHistogramVec("saad_detection_latency_seconds", "End-to-end seconds from sampled synopsis emission (or receive) to detection verdict, per stage.", LatencyBuckets, "stage"),
 	}
 }
 

@@ -44,6 +44,7 @@ type entry struct {
 	hist      *Histogram
 	vec       *CounterVec
 	gvec      *GaugeVec
+	hvec      *HistogramVec
 }
 
 // Registry holds named metrics and renders them. Registration is expected
@@ -123,6 +124,23 @@ func (r *Registry) NewCounterVec(name, help string, labelNames ...string) *Count
 	return v
 }
 
+// NewHistogramVec registers and returns a labeled histogram family; every
+// child shares the same bucket upper bounds (an implicit +Inf bucket is
+// added).
+func (r *Registry) NewHistogramVec(name, help string, bounds []float64, labelNames ...string) *HistogramVec {
+	for _, l := range labelNames {
+		validName(l)
+	}
+	v := &HistogramVec{
+		labelNames: labelNames,
+		bounds:     append([]float64(nil), bounds...),
+		children:   make(map[string]*Histogram),
+		values:     make(map[string][]string),
+	}
+	r.register(&entry{name: name, help: help, kind: kindHistogram, hvec: v})
+	return v
+}
+
 // NewGaugeVec registers and returns a labeled gauge family.
 func (r *Registry) NewGaugeVec(name, help string, labelNames ...string) *GaugeVec {
 	for _, l := range labelNames {
@@ -187,6 +205,12 @@ func (r *Registry) Snapshot() Snapshot {
 			s.Gauges[e.name] = e.gaugeFn()
 		case e.hist != nil:
 			s.Histograms[e.name] = e.hist.snapshot()
+		case e.hvec != nil:
+			e.hvec.mu.Lock()
+			for key, h := range e.hvec.children {
+				s.Histograms[e.name+renderLabels(e.hvec.labelNames, e.hvec.values[key])] = h.snapshot()
+			}
+			e.hvec.mu.Unlock()
 		}
 	}
 	return s
@@ -231,6 +255,19 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			}
 			fmt.Fprintf(&b, "%s_sum %s\n", e.name, formatFloat(snap.Sum))
 			fmt.Fprintf(&b, "%s_count %d\n", e.name, snap.Count)
+		case e.hvec != nil:
+			e.hvec.mu.Lock()
+			for _, key := range e.hvec.sortedKeys() {
+				lbl := renderLabels(e.hvec.labelNames, e.hvec.values[key])
+				snap := e.hvec.children[key].snapshot()
+				for _, bucket := range snap.Buckets {
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", e.name,
+						mergeLE(lbl, formatBound(bucket.UpperBound)), bucket.Count)
+				}
+				fmt.Fprintf(&b, "%s_sum%s %s\n", e.name, lbl, formatFloat(snap.Sum))
+				fmt.Fprintf(&b, "%s_count%s %d\n", e.name, lbl, snap.Count)
+			}
+			e.hvec.mu.Unlock()
 		}
 	}
 	_, err := io.WriteString(w, b.String())
@@ -260,6 +297,17 @@ func escapeLabelValue(s string) string {
 	s = strings.ReplaceAll(s, `\`, `\\`)
 	s = strings.ReplaceAll(s, `"`, `\"`)
 	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// mergeLE splices the "le" bucket label into an already-rendered label set:
+// `{stage="3"}` + `0.001` → `{stage="3",le="0.001"}` (or a bare le set when
+// the family has no labels).
+func mergeLE(lbl, bound string) string {
+	le := `le="` + escapeLabelValue(bound) + `"`
+	if lbl == "" {
+		return "{" + le + "}"
+	}
+	return lbl[:len(lbl)-1] + "," + le + "}"
 }
 
 // renderLabels renders `{k1="v1",k2="v2"}` with names in sorted order.

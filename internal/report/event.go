@@ -10,6 +10,7 @@ import (
 
 	"saad/internal/analyzer"
 	"saad/internal/logpoint"
+	"saad/internal/trace"
 )
 
 // AnomalyEvent is the machine-readable form of one anomaly: a single
@@ -48,6 +49,91 @@ type AnomalyEvent struct {
 	ObservedProportion float64 `json:"observed_proportion,omitempty"`
 	ExpectedProportion float64 `json:"expected_proportion,omitempty"`
 	PValue             float64 `json:"p_value,omitempty"`
+	// Span is the sampled end-to-end pipeline span of one of the anomaly's
+	// example outliers (absent when no example was span-sampled): how long
+	// the evidence behind this alarm took from log point to verdict.
+	Span *SpanRecord `json:"span,omitempty"`
+	// Flight is the anomaly flight recorder's snapshot at emit time, newest
+	// first: what was flowing through the pipeline when the alarm fired.
+	Flight []FlightEvent `json:"flight,omitempty"`
+}
+
+// SpanRecord is the JSON form of a sampled pipeline span: the raw unix-nano
+// stamps plus the derived per-hop breakdown. Zero stamps (omitted) mean the
+// span did not traverse that hop.
+type SpanRecord struct {
+	Stage  uint16 `json:"stage"`
+	Host   uint16 `json:"host"`
+	TaskID uint64 `json:"task_id"`
+
+	EmitNs    int64 `json:"emit_ns,omitempty"`
+	SendNs    int64 `json:"send_ns,omitempty"`
+	RecvNs    int64 `json:"recv_ns,omitempty"`
+	EnqueueNs int64 `json:"enqueue_ns,omitempty"`
+	DetectNs  int64 `json:"detect_ns,omitempty"`
+	DoneNs    int64 `json:"done_ns,omitempty"`
+
+	EmitToSendNs int64 `json:"emit_to_send_ns,omitempty"`
+	WireNs       int64 `json:"wire_ns,omitempty"`
+	QueueWaitNs  int64 `json:"queue_wait_ns,omitempty"`
+	DetectTimeNs int64 `json:"detect_time_ns,omitempty"`
+	TotalNs      int64 `json:"total_ns,omitempty"`
+	Complete     bool  `json:"complete"`
+}
+
+// NewSpanRecord converts a completed span to its event form (nil for nil).
+func NewSpanRecord(sp *trace.Span) *SpanRecord {
+	if sp == nil {
+		return nil
+	}
+	return &SpanRecord{
+		Stage:        sp.Stage,
+		Host:         sp.Host,
+		TaskID:       sp.TaskID,
+		EmitNs:       sp.Emit,
+		SendNs:       sp.Send,
+		RecvNs:       sp.Recv,
+		EnqueueNs:    sp.Enqueue,
+		DetectNs:     sp.Detect,
+		DoneNs:       sp.Done,
+		EmitToSendNs: sp.EmitToSend(),
+		WireNs:       sp.Wire(),
+		QueueWaitNs:  sp.QueueWait(),
+		DetectTimeNs: sp.DetectTime(),
+		TotalNs:      sp.Total(),
+		Complete:     sp.Complete(),
+	}
+}
+
+// FlightEvent is the JSON form of one flight-recorder event.
+type FlightEvent struct {
+	Seq   uint64 `json:"seq"`
+	Nanos int64  `json:"nanos"`
+	Kind  string `json:"kind"`
+	Stage uint16 `json:"stage"`
+	Host  uint16 `json:"host"`
+	A     uint64 `json:"a,omitempty"`
+	B     uint64 `json:"b,omitempty"`
+}
+
+// NewFlightEvents converts flight-recorder events to their event form.
+func NewFlightEvents(evs []trace.Event) []FlightEvent {
+	if len(evs) == 0 {
+		return nil
+	}
+	out := make([]FlightEvent, len(evs))
+	for i, ev := range evs {
+		out[i] = FlightEvent{
+			Seq:   ev.Seq,
+			Nanos: ev.Nanos,
+			Kind:  ev.Kind.String(),
+			Stage: ev.Stage,
+			Host:  ev.Host,
+			A:     ev.A,
+			B:     ev.B,
+		}
+	}
+	return out
 }
 
 // EventWriter streams anomalies as JSONL to an io.Writer. It is safe for
@@ -59,6 +145,7 @@ type EventWriter struct {
 	dict   *logpoint.Dictionary
 	window time.Duration
 	now    func() time.Time
+	flight func() []trace.Event
 }
 
 // NewEventWriter returns a writer emitting one JSON object per anomaly to w.
@@ -73,6 +160,14 @@ func NewEventWriter(w io.Writer, dict *logpoint.Dictionary, window time.Duration
 		now:    time.Now,
 	}
 }
+
+// SetFlightSnapshot attaches a flight-recorder snapshot source (nil
+// disables): every subsequent event carries the pipeline events recorded
+// around emit time. fn is typically Tracer.FlightSnapshot bounded to a few
+// dozen events; it is called once per anomaly, never per synopsis. Call
+// before the writer is shared — the field is read without synchronization
+// by Event.
+func (ew *EventWriter) SetFlightSnapshot(fn func() []trace.Event) { ew.flight = fn }
 
 // Event converts one anomaly to its event form without writing it.
 func (ew *EventWriter) Event(a analyzer.Anomaly) AnomalyEvent {
@@ -100,6 +195,19 @@ func (ew *EventWriter) Event(a analyzer.Anomaly) AnomalyEvent {
 		e.ObservedProportion = a.Test.PHat
 		e.ExpectedProportion = a.Test.P0
 		e.PValue = a.Test.PValue
+	}
+	// Attach the span of the first span-sampled example. Examples come from
+	// the window the verdict closed, so their spans were completed — on this
+	// goroutine — before the anomaly was emitted; reading them here is
+	// race-free.
+	for _, ex := range a.Examples {
+		if sp := ex.Trace; sp != nil && sp.Done > 0 {
+			e.Span = NewSpanRecord(sp)
+			break
+		}
+	}
+	if ew.flight != nil {
+		e.Flight = NewFlightEvents(ew.flight())
 	}
 	return e
 }

@@ -1,0 +1,112 @@
+package report
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"saad/internal/analyzer"
+	"saad/internal/synopsis"
+	"saad/internal/trace"
+)
+
+func TestEventCarriesSpanAndFlight(t *testing.T) {
+	window := time.Date(2026, 1, 1, 9, 0, 0, 0, time.UTC)
+	complete := &trace.Span{
+		Stage: 4, Host: 3, TaskID: 900,
+		Emit: 100, Send: 200, Recv: 300, Enqueue: 400, Detect: 500, Done: 600,
+	}
+	partial := &trace.Span{Stage: 4, Host: 3, TaskID: 899, Emit: 50}
+	a := analyzer.Anomaly{
+		Kind:     analyzer.PerformanceAnomaly,
+		Stage:    4,
+		Host:     3,
+		Window:   window,
+		Outliers: 5,
+		Tasks:    80,
+		Examples: []*synopsis.Synopsis{
+			// First example was never completed (Done == 0): must be skipped
+			// in favor of the finished span.
+			{Stage: 4, Host: 3, TaskID: 899, Trace: partial},
+			{Stage: 4, Host: 3, TaskID: 900, Trace: complete},
+		},
+	}
+
+	ring := trace.NewFlightRing(16)
+	ring.Record(trace.EventSynopsis, 4, 3, 900, 123)
+	ring.Record(trace.EventWindowClose, 4, 3, 80, 1)
+
+	var buf bytes.Buffer
+	ew := NewEventWriter(&buf, nil, time.Minute)
+	ew.SetFlightSnapshot(func() []trace.Event { return ring.Snapshot() })
+	if err := ew.Write(a); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("got %d events, want 1", len(events))
+	}
+	e := events[0]
+
+	sp := e.Span
+	if sp == nil {
+		t.Fatal("event lost the example's span")
+	}
+	if sp.TaskID != 900 {
+		t.Fatalf("event attached task %d's span, want the completed one (900)", sp.TaskID)
+	}
+	if !sp.Complete {
+		t.Fatalf("span not marked complete: %+v", sp)
+	}
+	if sp.TotalNs != 500 {
+		t.Fatalf("total = %dns, want 500", sp.TotalNs)
+	}
+	for name, got := range map[string]int64{
+		"emit_to_send": sp.EmitToSendNs,
+		"wire":         sp.WireNs,
+		"queue_wait":   sp.QueueWaitNs,
+		"detect_time":  sp.DetectTimeNs,
+	} {
+		if got != 100 {
+			t.Fatalf("%s hop = %dns, want 100", name, got)
+		}
+	}
+
+	if len(e.Flight) != 2 {
+		t.Fatalf("flight snapshot has %d events, want 2", len(e.Flight))
+	}
+	// Snapshot order is newest-first.
+	if e.Flight[0].Kind != "window_close" || e.Flight[1].Kind != "synopsis" {
+		t.Fatalf("flight kinds = %q,%q", e.Flight[0].Kind, e.Flight[1].Kind)
+	}
+	if e.Flight[1].A != 900 || e.Flight[1].B != 123 {
+		t.Fatalf("flight payload mangled: %+v", e.Flight[1])
+	}
+}
+
+func TestEventOmitsSpanAndFlightWhenAbsent(t *testing.T) {
+	a := analyzer.Anomaly{
+		Kind:     analyzer.FlowAnomaly,
+		Stage:    1,
+		Host:     1,
+		Window:   time.Date(2026, 1, 1, 9, 0, 0, 0, time.UTC),
+		Outliers: 1,
+		Tasks:    10,
+		Examples: []*synopsis.Synopsis{{Stage: 1, Host: 1, TaskID: 7}},
+	}
+	var buf bytes.Buffer
+	ew := NewEventWriter(&buf, nil, time.Minute)
+	if err := ew.Write(a); err != nil {
+		t.Fatal(err)
+	}
+	line := buf.String()
+	for _, field := range []string{`"span"`, `"flight"`} {
+		if bytes.Contains([]byte(line), []byte(field)) {
+			t.Fatalf("untraced event leaked %s field: %s", field, line)
+		}
+	}
+}

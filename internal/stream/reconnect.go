@@ -242,6 +242,12 @@ func (c *Client) runReconnect() {
 		}
 		var err error
 		for _, s := range batch {
+			if sp := s.Trace; sp != nil {
+				// Stamp (and on replay re-stamp) Send at the encode that
+				// actually reaches the wire, so Send-Emit includes the
+				// spill-ring dwell across an outage.
+				sp.Send = time.Now().UnixNano()
+			}
 			if err = enc.Encode(s); err != nil {
 				break
 			}

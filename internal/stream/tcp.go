@@ -10,6 +10,7 @@ import (
 
 	"saad/internal/metrics"
 	"saad/internal/synopsis"
+	"saad/internal/trace"
 	"saad/internal/tracker"
 )
 
@@ -227,6 +228,9 @@ func (c *Client) Emit(s *synopsis.Synopsis) {
 		return
 	}
 	c.armWriteDeadline()
+	if sp := s.Trace; sp != nil {
+		sp.Send = time.Now().UnixNano()
+	}
 	c.err = c.enc.Encode(s)
 	if m := c.metrics; m != nil {
 		if c.err != nil {
@@ -326,6 +330,7 @@ type Server struct {
 	ln      net.Listener
 	sink    tracker.Sink
 	metrics *metrics.TCPServerMetrics
+	sampler *trace.Sampler
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -343,6 +348,16 @@ type ServerOption func(*Server)
 // resyncs and retried accept errors.
 func WithServerMetrics(m *metrics.TCPServerMetrics) ServerOption {
 	return func(s *Server) { s.metrics = m }
+}
+
+// WithServerSampler originates pipeline spans at the receive boundary for
+// arrivals that do not already carry one: 1 in N untraced frames gets a
+// span stamped at Recv, so an analyzer can measure its own share
+// (queue wait + detect) even when trackers are old peers that never heard
+// of tracing. Frames that arrive with a span keep it regardless of the
+// sampler.
+func WithServerSampler(sp *trace.Sampler) ServerOption {
+	return func(s *Server) { s.sampler = sp }
 }
 
 // Listen starts a server on addr (e.g. "127.0.0.1:0") delivering synopses
@@ -458,6 +473,16 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		if m != nil {
 			m.FramesReceived.Inc()
+		}
+		if sp := syn.Trace; sp != nil {
+			sp.Recv = time.Now().UnixNano()
+		} else if s.sampler.Sample() {
+			syn.Trace = &trace.Span{
+				Stage:  uint16(syn.Stage),
+				Host:   syn.Host,
+				TaskID: syn.TaskID,
+				Recv:   time.Now().UnixNano(),
+			}
 		}
 		if s.sink != nil {
 			s.sink.Emit(syn.Clone())

@@ -1,0 +1,147 @@
+package stream
+
+import (
+	"testing"
+	"time"
+
+	"saad/internal/synopsis"
+	"saad/internal/trace"
+	"saad/internal/tracker"
+)
+
+func tracedSyn(task uint64, withSpan bool) *synopsis.Synopsis {
+	s := &synopsis.Synopsis{
+		Stage:    1,
+		Host:     2,
+		TaskID:   task,
+		Start:    time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC),
+		Duration: 5 * time.Millisecond,
+		Points:   []synopsis.PointCount{{Point: 4, Count: 1}},
+	}
+	if withSpan {
+		s.Trace = &trace.Span{Stage: 1, Host: 2, TaskID: task, Emit: time.Now().UnixNano()}
+	}
+	return s
+}
+
+func recvOne(t *testing.T, ch <-chan *synopsis.Synopsis) *synopsis.Synopsis {
+	t.Helper()
+	select {
+	case s := <-ch:
+		return s
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for synopsis")
+		return nil
+	}
+}
+
+func TestTCPTraceStampsTravelTheWire(t *testing.T) {
+	ch := make(chan *synopsis.Synopsis, 16)
+	srv, err := Listen("127.0.0.1:0", tracker.SinkFunc(func(s *synopsis.Synopsis) { ch <- s }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(srv.Addr(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sent := tracedSyn(31, true)
+	emitStamp := sent.Trace.Emit
+	cli.Emit(sent)
+	if err := cli.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := recvOne(t, ch)
+	sp := got.Trace
+	if sp == nil {
+		t.Fatal("span did not survive the wire")
+	}
+	if sp.Emit != emitStamp {
+		t.Fatalf("Emit stamp changed in flight: sent %d got %d", emitStamp, sp.Emit)
+	}
+	if sp.Send < sp.Emit {
+		t.Fatalf("Send (%d) predates Emit (%d)", sp.Send, sp.Emit)
+	}
+	if sp.Recv < sp.Send {
+		t.Fatalf("Recv (%d) predates Send (%d)", sp.Recv, sp.Send)
+	}
+	if sp.Stage != 1 || sp.Host != 2 || sp.TaskID != 31 {
+		t.Fatalf("span identity mismatch: %+v", sp)
+	}
+}
+
+func TestTCPReconnectClientStampsSend(t *testing.T) {
+	ch := make(chan *synopsis.Synopsis, 16)
+	srv, err := Listen("127.0.0.1:0", tracker.SinkFunc(func(s *synopsis.Synopsis) { ch <- s }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(srv.Addr(), 0, WithReconnect(ReconnectConfig{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cli.Emit(tracedSyn(32, true))
+	got := recvOne(t, ch)
+	if err := cli.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sp := got.Trace
+	if sp == nil {
+		t.Fatal("span did not survive the reconnecting transport")
+	}
+	if sp.Send < sp.Emit || sp.Recv < sp.Send {
+		t.Fatalf("stamps not monotonic: %+v", sp)
+	}
+}
+
+func TestServerSamplerOriginatesPartialSpans(t *testing.T) {
+	ch := make(chan *synopsis.Synopsis, 16)
+	srv, err := Listen("127.0.0.1:0",
+		tracker.SinkFunc(func(s *synopsis.Synopsis) { ch <- s }),
+		WithServerSampler(trace.NewSampler(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(srv.Addr(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// An untraced frame from an old peer: the server originates a partial
+	// span at Recv.
+	cli.Emit(tracedSyn(40, false))
+	// A traced frame: the server must keep the tracker's span, not replace
+	// it.
+	sent := tracedSyn(41, true)
+	emitStamp := sent.Trace.Emit
+	cli.Emit(sent)
+	if err := cli.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	byTask := map[uint64]*synopsis.Synopsis{}
+	for i := 0; i < 2; i++ {
+		s := recvOne(t, ch)
+		byTask[s.TaskID] = s
+	}
+	plain := byTask[40]
+	if plain == nil || plain.Trace == nil {
+		t.Fatal("server sampler did not originate a span for the untraced frame")
+	}
+	if plain.Trace.Emit != 0 || plain.Trace.Send != 0 {
+		t.Fatalf("server-originated span must not claim upstream stamps: %+v", plain.Trace)
+	}
+	if plain.Trace.Recv == 0 {
+		t.Fatal("server-originated span missing Recv stamp")
+	}
+	traced := byTask[41]
+	if traced == nil || traced.Trace == nil || traced.Trace.Emit != emitStamp {
+		t.Fatalf("server replaced the tracker's span: %+v", traced.Trace)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"saad/internal/logpoint"
+	"saad/internal/trace"
 )
 
 // Codec framing: each record is a uvarint length prefix followed by the
@@ -16,6 +17,19 @@ import (
 // log point ids, which keeps a typical synopsis under 30 bytes — the paper
 // reports ~48 bytes average for its Java encoding; the volume comparison in
 // Figure 8 hinges on this compactness.
+//
+// Frame extensions: after the fixed fields and the point list, a record may
+// carry zero or more trailing extensions, each a uvarint extension id, a
+// uvarint payload length, and the payload. Decoders skip extensions they do
+// not understand, and pre-extension decoders (which stop reading after the
+// point list) ignore the trailing bytes entirely — this is how the trace
+// extension stays backward compatible per connection without any handshake:
+// only sampled synopses pay the extra bytes, and old peers still decode
+// every frame.
+
+// extTrace carries the sampled pipeline span's origin timestamps: uvarint
+// Emit then uvarint Send, both unix nanoseconds (0 = not stamped).
+const extTrace = 1
 
 // maxRecordSize bounds a single encoded record to keep a corrupt or
 // malicious length prefix from allocating unbounded memory.
@@ -29,7 +43,11 @@ var ErrRecordTooLarge = errors.New("synopsis: record exceeds size limit")
 //
 //saad:hotpath
 func AppendRecord(dst []byte, s *Synopsis) []byte {
-	bodyBuf := make([]byte, 0, 16+6*len(s.Points))
+	size := 16 + 6*len(s.Points)
+	if s.Trace != nil {
+		size += 2 + 2*binary.MaxVarintLen64
+	}
+	bodyBuf := make([]byte, 0, size)
 	bodyBuf = binary.AppendUvarint(bodyBuf, uint64(s.Stage))
 	bodyBuf = binary.AppendUvarint(bodyBuf, uint64(s.Host))
 	bodyBuf = binary.AppendUvarint(bodyBuf, s.TaskID)
@@ -41,6 +59,14 @@ func AppendRecord(dst []byte, s *Synopsis) []byte {
 		bodyBuf = binary.AppendUvarint(bodyBuf, uint64(pc.Point-prev))
 		bodyBuf = binary.AppendUvarint(bodyBuf, uint64(pc.Count))
 		prev = pc.Point
+	}
+	if sp := s.Trace; sp != nil {
+		var payload [2 * binary.MaxVarintLen64]byte
+		p := binary.PutUvarint(payload[:], uint64(sp.Emit))
+		p += binary.PutUvarint(payload[p:], uint64(sp.Send))
+		bodyBuf = binary.AppendUvarint(bodyBuf, extTrace)
+		bodyBuf = binary.AppendUvarint(bodyBuf, uint64(p))
+		bodyBuf = append(bodyBuf, payload[:p]...)
 	}
 	dst = binary.AppendUvarint(dst, uint64(len(bodyBuf)))
 	return append(dst, bodyBuf...)
@@ -172,6 +198,7 @@ func decodeBody(buf []byte, s *Synopsis) error {
 	s.TaskID = task
 	s.Start = time.UnixMicro(int64(startUs)).UTC()
 	s.Duration = time.Duration(durUs) * time.Microsecond
+	s.Trace = nil // decoders reuse s; a prior record's span must not leak
 	if cap(s.Points) < int(npts) {
 		s.Points = make([]PointCount, npts)
 	}
@@ -188,6 +215,41 @@ func decodeBody(buf []byte, s *Synopsis) error {
 		}
 		prev += logpoint.ID(delta)
 		s.Points[i] = PointCount{Point: prev, Count: uint32(count)}
+	}
+	// Trailing frame extensions: skip unknown ids so newer peers can extend
+	// the frame without breaking this decoder, mirroring how pre-extension
+	// decoders ignore these bytes altogether.
+	for len(buf) > 0 {
+		extID, err := get()
+		if err != nil {
+			return fmt.Errorf("synopsis: decode extension id: %w", err)
+		}
+		extLen, err := get()
+		if err != nil {
+			return fmt.Errorf("synopsis: decode extension length: %w", err)
+		}
+		if extLen > uint64(len(buf)) {
+			return fmt.Errorf("synopsis: extension %d length %d exceeds remaining %d bytes", extID, extLen, len(buf))
+		}
+		payload := buf[:extLen]
+		buf = buf[extLen:]
+		if extID == extTrace {
+			emit, n := binary.Uvarint(payload)
+			if n <= 0 {
+				return fmt.Errorf("synopsis: decode trace emit: %w", io.ErrUnexpectedEOF)
+			}
+			send, n2 := binary.Uvarint(payload[n:])
+			if n2 <= 0 {
+				return fmt.Errorf("synopsis: decode trace send: %w", io.ErrUnexpectedEOF)
+			}
+			s.Trace = &trace.Span{
+				Stage:  uint16(s.Stage),
+				Host:   s.Host,
+				TaskID: s.TaskID,
+				Emit:   int64(emit),
+				Send:   int64(send),
+			}
+		}
 	}
 	return nil
 }

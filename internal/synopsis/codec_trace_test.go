@@ -1,0 +1,149 @@
+package synopsis
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"saad/internal/trace"
+)
+
+func traceTestSyn() *Synopsis {
+	s := &Synopsis{
+		Stage:    3,
+		Host:     9,
+		TaskID:   77,
+		Start:    time.UnixMicro(1_700_000_000_000_000).UTC(),
+		Duration: 12 * time.Millisecond,
+		Points:   []PointCount{{Point: 1, Count: 2}, {Point: 5, Count: 1}},
+	}
+	s.Normalize()
+	return s
+}
+
+func TestCodecTraceExtensionRoundTrip(t *testing.T) {
+	s := traceTestSyn()
+	s.Trace = &trace.Span{Stage: 3, Host: 9, TaskID: 77, Emit: 1_000_000, Send: 2_000_000}
+
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	if err := enc.Encode(s); err != nil {
+		t.Fatal(err)
+	}
+	// A second, untraced record: decoding it into the same struct must
+	// clear the first record's span.
+	plain := traceTestSyn()
+	plain.TaskID = 78
+	if err := enc.Encode(plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	dec := NewDecoder(&buf)
+	var got Synopsis
+	if err := dec.Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	sp := got.Trace
+	if sp == nil {
+		t.Fatal("decoded synopsis lost its trace extension")
+	}
+	if sp.Emit != 1_000_000 || sp.Send != 2_000_000 {
+		t.Fatalf("span stamps = emit %d send %d, want 1000000/2000000", sp.Emit, sp.Send)
+	}
+	if sp.Stage != 3 || sp.Host != 9 || sp.TaskID != 77 {
+		t.Fatalf("span identity not filled from frame: %+v", sp)
+	}
+	if sp.Recv != 0 || sp.Done != 0 {
+		t.Fatalf("decoder must not invent downstream stamps: %+v", sp)
+	}
+	if err := dec.Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace != nil {
+		t.Fatal("span from a previous record leaked into an untraced decode")
+	}
+	if got.TaskID != 78 {
+		t.Fatalf("second record task id = %d, want 78", got.TaskID)
+	}
+}
+
+// TestCodecTraceCostsNothingWhenUnsampled pins the backward-compat /
+// volume property: an unsampled synopsis encodes to exactly the same bytes
+// as before tracing existed (no flags, no placeholder fields), so old and
+// new peers interoperate frame by frame and Figure 8's volume story is
+// untouched for the 1-in-N-complement majority.
+func TestCodecTraceCostsNothingWhenUnsampled(t *testing.T) {
+	s := traceTestSyn()
+	plain := len(AppendRecord(nil, s))
+	s.Trace = &trace.Span{Emit: 1}
+	traced := len(AppendRecord(nil, s))
+	if traced <= plain {
+		t.Fatalf("traced record (%dB) should exceed plain (%dB)", traced, plain)
+	}
+	s.Trace = nil
+	if again := len(AppendRecord(nil, s)); again != plain {
+		t.Fatalf("unsampled record grew from %dB to %dB", plain, again)
+	}
+}
+
+// TestCodecUnknownExtensionSkipped drives the forward-compat path: a frame
+// carrying an extension this decoder has never heard of (and then a trace
+// extension after it) decodes fully, proving the extension loop skips
+// unknown ids instead of failing or stopping early.
+func TestCodecUnknownExtensionSkipped(t *testing.T) {
+	var body []byte
+	body = binary.AppendUvarint(body, 3)         // stage
+	body = binary.AppendUvarint(body, 9)         // host
+	body = binary.AppendUvarint(body, 77)        // task id
+	body = binary.AppendUvarint(body, 1_000_000) // start µs
+	body = binary.AppendUvarint(body, 500)       // duration µs
+	body = binary.AppendUvarint(body, 0)         // no points
+	// Unknown extension id 99 with an opaque 3-byte payload.
+	body = binary.AppendUvarint(body, 99)
+	body = binary.AppendUvarint(body, 3)
+	body = append(body, 0xDE, 0xAD, 0xBF)
+	// Followed by a trace extension the decoder does understand.
+	var payload []byte
+	payload = binary.AppendUvarint(payload, 42)
+	payload = binary.AppendUvarint(payload, 43)
+	body = binary.AppendUvarint(body, extTrace)
+	body = binary.AppendUvarint(body, uint64(len(payload)))
+	body = append(body, payload...)
+
+	var rec []byte
+	rec = binary.AppendUvarint(rec, uint64(len(body)))
+	rec = append(rec, body...)
+
+	dec := NewDecoder(bytes.NewReader(rec))
+	var got Synopsis
+	if err := dec.Decode(&got); err != nil {
+		t.Fatalf("decode with unknown extension failed: %v", err)
+	}
+	if got.TaskID != 77 || got.Host != 9 {
+		t.Fatalf("fields wrong after extension skip: %+v", got)
+	}
+	if got.Trace == nil || got.Trace.Emit != 42 || got.Trace.Send != 43 {
+		t.Fatalf("trace extension after unknown one not decoded: %+v", got.Trace)
+	}
+
+	// A truncated extension must error, not read past the body.
+	bad := []byte{}
+	bad = binary.AppendUvarint(bad, 3)
+	bad = binary.AppendUvarint(bad, 9)
+	bad = binary.AppendUvarint(bad, 77)
+	bad = binary.AppendUvarint(bad, 1)
+	bad = binary.AppendUvarint(bad, 1)
+	bad = binary.AppendUvarint(bad, 0)
+	bad = binary.AppendUvarint(bad, extTrace)
+	bad = binary.AppendUvarint(bad, 10) // claims 10 payload bytes, has none
+	var badRec []byte
+	badRec = binary.AppendUvarint(badRec, uint64(len(bad)))
+	badRec = append(badRec, bad...)
+	if err := NewDecoder(bytes.NewReader(badRec)).Decode(&got); err == nil {
+		t.Fatal("truncated extension decoded without error")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"saad/internal/logpoint"
+	"saad/internal/trace"
 )
 
 // PointCount records how many times a task encountered one log point.
@@ -43,9 +44,16 @@ type Synopsis struct {
 	// Points lists the distinct log points encountered with their visit
 	// frequencies, sorted by point id.
 	Points []PointCount
+	// Trace is the sampled pipeline span riding with this synopsis, nil for
+	// the (overwhelmingly common) unsampled case. The codec carries it as a
+	// trailing frame extension old decoders skip, so tracing peers
+	// interoperate with untraced ones.
+	Trace *trace.Span
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy of the synopsis data. The Trace span pointer is
+// shared, not copied: a span follows one task's journey and successive
+// pipeline hops stamp the same span.
 func (s *Synopsis) Clone() *Synopsis {
 	c := *s
 	c.Points = make([]PointCount, len(s.Points))

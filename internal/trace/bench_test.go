@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkSamplerOff measures the per-synopsis cost of the sampling
+// decision when tracing is disabled — the only thing every unsampled
+// emit pays.
+func BenchmarkSamplerOff(b *testing.B) {
+	var smp *Sampler // nil: tracing off
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if smp.Sample() {
+			b.Fatal("nil sampler sampled")
+		}
+	}
+}
+
+// BenchmarkSamplerOn measures the counter-increment cost of an armed
+// sampler at 1-in-1000.
+func BenchmarkSamplerOn(b *testing.B) {
+	smp := NewSampler(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = smp.Sample()
+	}
+}
+
+// BenchmarkFlightRingRecord measures one flight-recorder write: a
+// sequence claim, a wall-clock read and four atomic stores. Zero
+// allocations by construction.
+func BenchmarkFlightRingRecord(b *testing.B) {
+	r := NewFlightRing(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Record(EventSynopsis, 1, 2, uint64(i), 0)
+	}
+}
+
+// BenchmarkSpanDone measures retaining one completed span in the tracer's
+// span ring.
+func BenchmarkSpanDone(b *testing.B) {
+	tr := New(Config{SampleEvery: 1})
+	sp := &Span{Stage: 1, Host: 1, TaskID: 7, Emit: 1, Send: 2, Recv: 3, Enqueue: 4, Detect: 5, Done: time.Now().UnixNano()}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.SpanDone(sp)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"saad/internal/logpoint"
 	"saad/internal/metrics"
 	"saad/internal/synopsis"
+	"saad/internal/trace"
 )
 
 // Sink consumes task synopses as tasks terminate. Implementations must be
@@ -45,6 +46,7 @@ type Tracker struct {
 	nextID  atomic.Uint64
 	emitted atomic.Uint64
 	metrics *metrics.TrackerMetrics
+	sampler *trace.Sampler
 }
 
 // New returns an enabled tracker for the given host id emitting to sink.
@@ -61,6 +63,12 @@ func New(host uint16, sink Sink) *Tracker {
 // per task and charged once at End, so enabling metrics adds no per-Hit
 // atomic operations.
 func (t *Tracker) SetMetrics(m *metrics.TrackerMetrics) { t.metrics = m }
+
+// SetSampler attaches a pipeline-trace sampler (nil disables tracing, the
+// default). Sampled tasks emit synopses carrying a trace.Span stamped with
+// the emission time; downstream hops stamp the rest. Like SetMetrics, call
+// before the tracker is shared: the field is read without synchronization.
+func (t *Tracker) SetSampler(s *trace.Sampler) { t.sampler = s }
 
 // SetEnabled turns tracking on or off at runtime. While disabled, Begin
 // returns nil and instrumentation devolves to nil-checks — this is the
@@ -196,6 +204,14 @@ func (t *Task) End(now time.Time) {
 		Points:   append([]synopsis.PointCount(nil), t.points...),
 	}
 	syn.Normalize()
+	if smp := tr.sampler; smp.Sample() {
+		syn.Trace = &trace.Span{
+			Stage:  uint16(t.stage),
+			Host:   tr.host,
+			TaskID: t.id,
+			Emit:   time.Now().UnixNano(),
+		}
+	}
 	if m := tr.metrics; m != nil {
 		var hits uint64
 		for i := range t.points {

@@ -1,0 +1,61 @@
+package tracker
+
+import (
+	"testing"
+	"time"
+
+	"saad/internal/synopsis"
+	"saad/internal/trace"
+)
+
+func TestTrackerSamplerAttachesSpans(t *testing.T) {
+	var got []*synopsis.Synopsis
+	tr := New(7, SinkFunc(func(s *synopsis.Synopsis) { got = append(got, s) }))
+	tr.SetSampler(trace.NewSampler(2))
+
+	now := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	before := time.Now().UnixNano()
+	for i := 0; i < 4; i++ {
+		task := tr.Begin(3, now)
+		task.Hit(1, now.Add(time.Millisecond))
+		task.End(now.Add(2 * time.Millisecond))
+	}
+	if len(got) != 4 {
+		t.Fatalf("emitted %d synopses, want 4", len(got))
+	}
+	sampled := 0
+	for _, s := range got {
+		sp := s.Trace
+		if sp == nil {
+			continue
+		}
+		sampled++
+		if sp.Stage != 3 || sp.Host != 7 || sp.TaskID != s.TaskID {
+			t.Fatalf("span identity mismatch: span %+v vs synopsis stage=%d host=%d task=%d",
+				sp, s.Stage, s.Host, s.TaskID)
+		}
+		if sp.Emit < before {
+			t.Fatalf("Emit stamp %d predates the test start %d", sp.Emit, before)
+		}
+		if sp.Send != 0 || sp.Done != 0 {
+			t.Fatalf("tracker must stamp only Emit: %+v", sp)
+		}
+	}
+	if sampled != 2 {
+		t.Fatalf("sampler every=2 marked %d of 4, want 2", sampled)
+	}
+}
+
+func TestTrackerNoSamplerNoSpans(t *testing.T) {
+	var got []*synopsis.Synopsis
+	tr := New(1, SinkFunc(func(s *synopsis.Synopsis) { got = append(got, s) }))
+	now := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 3; i++ {
+		tr.Begin(1, now).End(now.Add(time.Millisecond))
+	}
+	for i, s := range got {
+		if s.Trace != nil {
+			t.Fatalf("synopsis %d carries a span with tracing disabled", i)
+		}
+	}
+}

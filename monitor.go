@@ -163,13 +163,25 @@ func NewMonitor(opts ...MonitorOption) (*Monitor, error) {
 		m.store = store
 	}
 	if o.metricsAddr != "" {
-		srv, err := metrics.Serve(o.metricsAddr, pipeline.Registry)
+		// The standard mux plus probes: /healthz is unconditional liveness;
+		// /readyz turns 200 once a model is trained and detection is live.
+		mux := metrics.NewMux(pipeline.Registry)
+		mux.Handle("/readyz", metrics.ReadyHandler(m.detecting))
+		srv, err := metrics.ServeMux(o.metricsAddr, mux)
 		if err != nil {
 			return nil, fmt.Errorf("saad: metrics server: %w", err)
 		}
 		m.msrv = srv
 	}
 	return m, nil
+}
+
+// detecting reports whether the monitor has a trained model installed and
+// is in detection mode — the monitor's readiness condition.
+func (m *Monitor) detecting() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.mode == modeDetecting
 }
 
 // Metrics returns the monitor's metrics registry, always live regardless of

@@ -1,0 +1,65 @@
+package saad_test
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"saad"
+)
+
+// TestMonitorHealthAndReadiness: /healthz is live from the start; /readyz
+// turns 200 only once a model is trained and the monitor is detecting.
+func TestMonitorHealthAndReadiness(t *testing.T) {
+	cfg := saad.DefaultAnalyzerConfig()
+	cfg.Window = time.Second
+	cfg.MinTasksPerSignature = 10
+	mon, err := saad.NewMonitor(saad.WithAnalyzerConfig(cfg), saad.WithMetricsAddr("127.0.0.1:0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+
+	probe := func(path string) int {
+		t.Helper()
+		resp, err := http.Get("http://" + mon.MetricsAddr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if got := probe("/healthz"); got != http.StatusOK {
+		t.Fatalf("/healthz while training = %d, want 200", got)
+	}
+	if got := probe("/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while training = %d, want 503", got)
+	}
+
+	clock := newFakeClock()
+	_, pts := buildStage(t, mon.Dictionary(), "Handler")
+	ex, err := mon.NewExecutor("Handler", 2, 16, clock.Now, func(ctx *saad.StageCtx, _ any) {
+		ctx.Log(pts[0])
+		ctx.Log(pts[2])
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := ex.Submit(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ex.Close()
+	if _, err := mon.Train(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := probe("/healthz"); got != http.StatusOK {
+		t.Fatalf("/healthz while detecting = %d, want 200", got)
+	}
+	if got := probe("/readyz"); got != http.StatusOK {
+		t.Fatalf("/readyz after Train = %d, want 200", got)
+	}
+}
