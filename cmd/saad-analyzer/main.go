@@ -53,13 +53,28 @@
 // The store is garbage-collected after each retrain to the newest
 // -model-keep versions (default 16; 0 keeps every version forever).
 //
+// Graceful degradation (detect mode): with -admission-keep N, a shard
+// whose queue stays saturated (a metastable retry storm, a healed
+// partition replaying its spill) sheds load to a deterministic 1-in-N
+// sample instead of blocking the connection handlers, and recovers via
+// hysteresis once the queue stays calm. Shedding is accounted exactly
+// (saad_analyzer_shed_synopses_total; degraded flags in /statusz and the
+// /readyz detail) and enter/exit transitions land in the flight recorder.
+// -shard-queue sizes the per-shard queues; -read-idle-timeout reaps
+// connections whose peer went silent (a half-open link behind an
+// asymmetric partition).
+//
 // Flag reference (detect mode): -listen, -model, -dict, -shards, -http,
 // -events, -stats-interval, -trace-sample, -checkpoint,
-// -checkpoint-interval, -model-store, -retrain-every, -shadow, -model-keep.
+// -checkpoint-interval, -model-store, -retrain-every, -shadow, -model-keep,
+// -read-idle-timeout, -drain-grace, -admission-keep, -shard-queue.
 //
-// On SIGINT/SIGTERM the analyzer shuts down gracefully: it stops accepting,
-// drains already-received synopses, flushes open windows (reporting their
-// anomalies), writes a final checkpoint, and closes the event log.
+// On SIGINT/SIGTERM the analyzer shuts down gracefully: it flips /readyz
+// to not-ready first (with -drain-grace it keeps serving that long so load
+// balancers stop routing before the listener goes away), then stops
+// accepting, drains already-received synopses, flushes open windows
+// (reporting their anomalies), writes a final checkpoint, and closes the
+// event log.
 package main
 
 import (
@@ -132,6 +147,10 @@ func run(args []string) error {
 		retrainEv = fs.Duration("retrain-every", 0, "retrain a candidate from the live stream this often (detect mode; needs -model-store; 0 = only via POST /model)")
 		shadowOn  = fs.Bool("shadow", true, "shadow-evaluate retrained candidates against the serving model before promoting (detect mode; false = promote immediately)")
 		keepVers  = fs.Int("model-keep", 16, "model store versions to retain, older ones are garbage-collected after each retrain (0 = keep all, unbounded)")
+		readIdle  = fs.Duration("read-idle-timeout", 0, "reap synopsis connections that deliver nothing for this long (0 = off)")
+		drainGrc  = fs.Duration("drain-grace", 0, "on SIGTERM, keep serving with /readyz not-ready for this long before draining, so load balancers stop routing first (detect mode; 0 = drain immediately)")
+		admKeep   = fs.Int("admission-keep", 0, "enable graceful degradation: past sustained shard-queue saturation, shed to 1-in-N sampling instead of blocking readers (detect mode; 0 = off, pure backpressure)")
+		shardQ    = fs.Int("shard-queue", 0, "per-shard synopsis queue capacity (detect mode; 0 = default 1024)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -157,6 +176,10 @@ func run(args []string) error {
 	if *trainN > 0 {
 		return trainMode(*listen, *modelPath, *storeDir, *trainN, *window, *alpha)
 	}
+	var admission *analyzer.AdmissionConfig
+	if *admKeep > 0 {
+		admission = &analyzer.AdmissionConfig{KeepEvery: *admKeep}
+	}
 	return detectMode(*listen, *modelPath, dict, detectOptions{
 		httpAddr:           *httpAddr,
 		eventsPath:         *events,
@@ -169,6 +192,10 @@ func run(args []string) error {
 		retrainEvery:       *retrainEv,
 		shadow:             *shadowOn,
 		keepVersions:       *keepVers,
+		readIdleTimeout:    *readIdle,
+		drainGrace:         *drainGrc,
+		admission:          admission,
+		shardQueue:         *shardQ,
 	})
 }
 
@@ -260,6 +287,10 @@ type detectOptions struct {
 	retrainEvery       time.Duration   // periodic live retraining (0 = off)
 	shadow             bool            // shadow-evaluate candidates before promotion
 	keepVersions       int             // store versions retained by GC (0 = unbounded)
+	readIdleTimeout    time.Duration   // reap silent synopsis connections (0 = off)
+	drainGrace         time.Duration   // serve not-ready before draining on shutdown (0 = immediate)
+	admission          *analyzer.AdmissionConfig // graceful degradation (nil = pure backpressure)
+	shardQueue         int             // per-shard queue capacity (0 = engine default)
 	stop               <-chan struct{} // optional programmatic shutdown (tests)
 	httpBound          func(addr string) // called with the observability server's bound address (tests)
 }
@@ -286,31 +317,38 @@ func statuszHandler(info statuszInfo) http.Handler {
 			Fed      uint64 `json:"fed"`
 			Pending  int    `json:"pending"`
 			QueueLen int    `json:"queue_len"`
+			Degraded bool   `json:"degraded"`
 		}
 		doc := struct {
-			Mode          string        `json:"mode"`
-			Listen        string        `json:"listen"`
-			UptimeSeconds float64       `json:"uptime_seconds"`
-			TrainedOn     int           `json:"model_trained_on"`
-			Shards        []shardStatus `json:"shards"`
-			Processed     uint64        `json:"processed"`
-			Late          uint64        `json:"late"`
-			Anomalies     int           `json:"anomalies"`
-			TraceSample   int           `json:"trace_sample_every"`
-			TracedSpans   int           `json:"traced_spans_retained"`
+			Mode           string        `json:"mode"`
+			Listen         string        `json:"listen"`
+			UptimeSeconds  float64       `json:"uptime_seconds"`
+			TrainedOn      int           `json:"model_trained_on"`
+			Shards         []shardStatus `json:"shards"`
+			Processed      uint64        `json:"processed"`
+			Late           uint64        `json:"late"`
+			Anomalies      int           `json:"anomalies"`
+			Degraded       bool          `json:"degraded"`
+			DegradedShards int           `json:"degraded_shards"`
+			ShedSynopses   uint64        `json:"shed_synopses"`
+			TraceSample    int           `json:"trace_sample_every"`
+			TracedSpans    int           `json:"traced_spans_retained"`
 		}{
-			Mode:          "detecting",
-			Listen:        info.listen,
-			UptimeSeconds: time.Since(info.start).Seconds(),
-			TrainedOn:     info.trainedOn,
-			Processed:     info.engine.Fed(),
-			Late:          info.engine.LateSynopses(),
-			Anomalies:     info.anomalies(),
-			TraceSample:   info.sampleEvery,
-			TracedSpans:   len(info.tracer.Spans()),
+			Mode:           "detecting",
+			Listen:         info.listen,
+			UptimeSeconds:  time.Since(info.start).Seconds(),
+			TrainedOn:      info.trainedOn,
+			Processed:      info.engine.Fed(),
+			Late:           info.engine.LateSynopses(),
+			Anomalies:      info.anomalies(),
+			Degraded:       info.engine.Degraded(),
+			DegradedShards: info.engine.DegradedShards(),
+			ShedSynopses:   info.engine.Shed(),
+			TraceSample:    info.sampleEvery,
+			TracedSpans:    len(info.tracer.Spans()),
 		}
 		for _, st := range info.engine.ShardStats() {
-			doc.Shards = append(doc.Shards, shardStatus{Shard: st.Shard, Fed: st.Fed, Pending: st.Pending, QueueLen: st.QueueLen})
+			doc.Shards = append(doc.Shards, shardStatus{Shard: st.Shard, Fed: st.Fed, Pending: st.Pending, QueueLen: st.QueueLen, Degraded: st.Degraded})
 		}
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		enc := json.NewEncoder(w)
@@ -371,6 +409,12 @@ func detectMode(listen, modelPath string, dict *logpoint.Dictionary, opts detect
 	}
 	if tracer != nil {
 		engineOpts = append(engineOpts, analyzer.WithEngineTracer(tracer))
+	}
+	if opts.shardQueue > 0 {
+		engineOpts = append(engineOpts, analyzer.WithShardQueue(opts.shardQueue))
+	}
+	if opts.admission != nil {
+		engineOpts = append(engineOpts, analyzer.WithAdmission(*opts.admission))
 	}
 	var store *lifecycle.Store
 	if opts.storeDir != "" {
@@ -490,6 +534,9 @@ func detectMode(listen, modelPath string, dict *logpoint.Dictionary, opts detect
 	}
 	srvMetrics := metrics.NewTCPServerMetrics(pipe.Registry)
 	srvOpts := []stream.ServerOption{stream.WithServerMetrics(srvMetrics)}
+	if opts.readIdleTimeout > 0 {
+		srvOpts = append(srvOpts, stream.WithReadIdleTimeout(opts.readIdleTimeout))
+	}
 	if tracer != nil {
 		// Frames from old (trace-unaware) trackers get a partial span
 		// originated at arrival, so wire-side latency still shows up.
@@ -509,7 +556,16 @@ func detectMode(listen, modelPath string, dict *logpoint.Dictionary, opts detect
 		if mgr != nil {
 			mux.Handle("/model", mgr)
 		}
-		mux.Handle("/readyz", metrics.ReadyHandler(ready.Load))
+		// Readiness carries the degraded-mode detail: a shedding analyzer is
+		// still ready (it keeps a deterministic sample flowing), but the
+		// orchestrator can see it is running hot and by how much.
+		mux.Handle("/readyz", metrics.ReadyDetailHandler(ready.Load, func() map[string]any {
+			return map[string]any{
+				"degraded":        eng.Degraded(),
+				"degraded_shards": eng.DegradedShards(),
+				"shed_synopses":   eng.Shed(),
+			}
+		}))
 		// Trace surfaces are always mounted; with tracing off they serve
 		// empty documents rather than a confusing 404.
 		mux.Handle("/trace", tracer.SpansHandler())
@@ -564,13 +620,19 @@ func detectMode(listen, modelPath string, dict *logpoint.Dictionary, opts detect
 		retrain = ticker.C
 	}
 
-	// shutdown is the graceful exit: stop accepting (which waits for the
-	// connection handlers, so everything received is enqueued on a shard),
-	// flush open windows (their anomalies reach the sink), persist the final
-	// checkpoint, stop the shard workers, and close the event log — in that
-	// order, collecting the first error without skipping later steps.
+	// shutdown is the graceful exit: flip /readyz to not-ready FIRST (so
+	// load balancers stop routing new streams while existing ones still
+	// work), optionally keep serving through the drain grace, then stop
+	// accepting (which waits for the connection handlers, so everything
+	// received is enqueued on a shard), flush open windows (their anomalies
+	// reach the sink), persist the final checkpoint, stop the shard
+	// workers, and close the event log — in that order, collecting the
+	// first error without skipping later steps.
 	shutdown := func() error {
 		ready.Store(false)
+		if opts.drainGrace > 0 {
+			time.Sleep(opts.drainGrace)
+		}
 		err := srv.Close()
 		eng.Flush()
 		if opts.checkpointPath != "" {

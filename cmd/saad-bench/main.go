@@ -5,7 +5,12 @@
 //	saad-bench [flags] <experiment>
 //
 // Experiments: fig6 fig7 fig8 sec533 table1 table2 table3 fig9a fig9b
-// fig9c fig9d fig10 fig11 all
+// fig9c fig9d fig10 fig11 scenarios all
+//
+// "scenarios" runs the gray-failure taxonomy matrix (not a paper artifact):
+// each cell pairs one gray fault with a taxonomy class and is scored for
+// detection and localization. With -json it appends one record per cell
+// (experiment "scenario:<name>") so regressions track cells individually.
 //
 // Each experiment prints the rows/series the paper reports; timelines
 // render as per-stage ASCII grids with one column per paper minute. With
@@ -50,7 +55,7 @@ func run(args []string) error {
 	}
 	if fs.NArg() != 1 {
 		fs.Usage()
-		return fmt.Errorf("need exactly one experiment, got %d args (fig6 fig7 fig8 sec533 table1 table2 table3 fig9a fig9b fig9c fig9d fig10 fig11 model all)", fs.NArg())
+		return fmt.Errorf("need exactly one experiment, got %d args (fig6 fig7 fig8 sec533 table1 table2 table3 fig9a fig9b fig9c fig9d fig10 fig11 scenarios model all)", fs.NArg())
 	}
 	cfg := experiments.Config{
 		MinuteScale: *scale,
@@ -107,6 +112,9 @@ func writeJSONRecord(path string, rec benchRecord) error {
 }
 
 func runOne(cfg experiments.Config, name, csvDir, jsonOut string) error {
+	if name == "scenarios" {
+		return runScenarios(cfg, jsonOut)
+	}
 	started := time.Now()
 	var out fmt.Stringer
 	var text string
@@ -175,6 +183,34 @@ func runOne(cfg experiments.Config, name, csvDir, jsonOut string) error {
 			Seed:       cfg.Seed,
 			ElapsedMS:  time.Since(started).Milliseconds(),
 			Result:     result,
+		}
+		if err := writeJSONRecord(jsonOut, rec); err != nil {
+			return fmt.Errorf("write -json record: %w", err)
+		}
+	}
+	return nil
+}
+
+// runScenarios runs the gray-failure taxonomy matrix and appends one JSON
+// record per cell, so each cell is tracked as its own experiment.
+func runScenarios(cfg experiments.Config, jsonOut string) error {
+	started := time.Now()
+	res, err := experiments.ScenarioMatrix(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.String())
+	fmt.Printf("[scenarios completed in %v]\n", time.Since(started).Round(time.Millisecond))
+	if jsonOut == "" {
+		return nil
+	}
+	elapsed := time.Since(started).Milliseconds()
+	for _, cell := range res.Cells {
+		rec := benchRecord{
+			Experiment: "scenario:" + cell.Name,
+			Seed:       cfg.Seed,
+			ElapsedMS:  elapsed / int64(len(res.Cells)),
+			Result:     cell,
 		}
 		if err := writeJSONRecord(jsonOut, rec); err != nil {
 			return fmt.Errorf("write -json record: %w", err)

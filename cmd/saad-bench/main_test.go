@@ -96,3 +96,41 @@ func TestRunOneJSONRecords(t *testing.T) {
 		}
 	}
 }
+
+func TestRunOneScenariosJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scenarios.jsonl")
+	if err := runOne(fastConfig(), "scenarios", "", path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("json records = %d, want one per cell (>= 5)", len(lines))
+	}
+	classes := map[string]bool{}
+	for i, line := range lines {
+		var rec struct {
+			Experiment string `json:"experiment"`
+			Result     struct {
+				Name  string `json:"name"`
+				Class string `json:"class"`
+			} `json:"result"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if !strings.HasPrefix(rec.Experiment, "scenario:") ||
+			rec.Experiment != "scenario:"+rec.Result.Name {
+			t.Fatalf("line %d experiment = %q (cell %q)", i, rec.Experiment, rec.Result.Name)
+		}
+		classes[rec.Result.Class] = true
+	}
+	for _, want := range []string{"point", "contextual", "collective"} {
+		if !classes[want] {
+			t.Fatalf("no cell with taxonomy class %q (have %v)", want, classes)
+		}
+	}
+}

@@ -43,8 +43,19 @@ type Engine struct {
 	mask   uint32 // len(shards)-1 when power of two, else 0 and mod is used
 	closed atomic.Bool
 
-	// fed counts synopses accepted by Feed/FeedBatch/Emit across shards.
+	// fed counts synopses accepted by Feed/FeedBatch/Emit across shards;
+	// with admission control on, shed synopses are excluded (they count in
+	// shed instead, so fed + shed = offered).
 	fed atomic.Uint64
+
+	// Admission control (see admission.go). admOn gates the whole feature
+	// with one branch on the hot path; admHigh/admLow are the config's
+	// water marks precomputed as absolute queue depths.
+	admOn           bool
+	admCfg          AdmissionConfig
+	admHigh, admLow int
+	degraded        atomic.Int64  // shards currently degraded
+	shed            atomic.Uint64 // synopses shed engine-wide
 
 	// anomalies buffers what closed windows emitted between Drain calls,
 	// collected under quiesce so no lock is needed.
@@ -79,6 +90,10 @@ type shard struct {
 	// the worker goroutine records sampled arrivals, the core records window
 	// opens/closes and late drops.
 	flight *trace.FlightRing
+
+	// adm is the shard's admission-control state (inert unless the engine
+	// was built WithAdmission).
+	adm admissionState
 }
 
 // shardMsg carries either synopses or a control function through the same
@@ -95,11 +110,12 @@ type shardMsg struct {
 type EngineOption func(*engineOptions)
 
 type engineOptions struct {
-	shards   int
-	queueCap int
-	metrics  *metrics.AnalyzerMetrics
-	sink     func([]Anomaly)
-	tracer   *trace.Tracer
+	shards    int
+	queueCap  int
+	metrics   *metrics.AnalyzerMetrics
+	sink      func([]Anomaly)
+	tracer    *trace.Tracer
+	admission *AdmissionConfig
 }
 
 // WithShards sets the shard count; n < 1 selects GOMAXPROCS.
@@ -168,6 +184,15 @@ func newEngine(model *Model, opts ...EngineOption) (*Engine, *engineOptions) {
 	}
 	if o.shards&(o.shards-1) == 0 {
 		e.mask = uint32(o.shards - 1)
+	}
+	if o.admission != nil {
+		e.admOn = true
+		e.admCfg = *o.admission
+		e.admHigh = int(e.admCfg.HighWater * float64(o.queueCap))
+		if e.admHigh < 1 {
+			e.admHigh = 1
+		}
+		e.admLow = int(e.admCfg.LowWater * float64(o.queueCap))
 	}
 	for i := range e.shards {
 		sh := &shard{
@@ -299,21 +324,31 @@ func (e *Engine) send(sh *shard, msg shardMsg) {
 
 // Feed routes one synopsis to its shard. Safe for concurrent use. Unlike
 // Detector.Feed it returns nothing: anomalies surface via Drain, Flush, or
-// the WithAnomalySink callback.
+// the WithAnomalySink callback. With admission control on, a synopsis
+// arriving at a degraded shard may be shed instead of queued (see
+// admission.go).
 //
 //saad:hotpath
 func (e *Engine) Feed(s *synopsis.Synopsis) {
+	sh := e.shardFor(s)
+	if e.admOn && !e.admit(sh) {
+		return
+	}
 	e.fed.Add(1)
 	if sp := s.Trace; sp != nil {
 		sp.Enqueue = time.Now().UnixNano()
 	}
-	e.send(e.shardFor(s), shardMsg{syn: s})
+	e.send(sh, shardMsg{syn: s})
 }
 
 // FeedBatch routes a batch, partitioning it per shard with stable order so
 // per-group FIFO is preserved while channel operations amortize.
 func (e *Engine) FeedBatch(batch []*synopsis.Synopsis) {
 	if len(batch) == 0 {
+		return
+	}
+	if e.admOn {
+		e.feedBatchAdmit(batch)
 		return
 	}
 	e.fed.Add(uint64(len(batch)))
@@ -333,6 +368,52 @@ func (e *Engine) FeedBatch(batch []*synopsis.Synopsis) {
 	parts := make(map[*shard][]*synopsis.Synopsis, len(e.shards))
 	for _, s := range batch {
 		sh := e.shardFor(s)
+		parts[sh] = append(parts[sh], s)
+	}
+	for _, sh := range e.shards { // deterministic shard order
+		if part := parts[sh]; part != nil {
+			e.send(sh, shardMsg{batch: part})
+		}
+	}
+}
+
+// feedBatchAdmit is FeedBatch with per-synopsis admission: each element is
+// admitted or shed against its shard's state in batch order (never the
+// caller's slice mutated), so the kept subsequence preserves per-group
+// FIFO.
+func (e *Engine) feedBatchAdmit(batch []*synopsis.Synopsis) {
+	var now int64
+	stamp := func(s *synopsis.Synopsis) {
+		e.fed.Add(1)
+		if sp := s.Trace; sp != nil {
+			if now == 0 {
+				now = time.Now().UnixNano()
+			}
+			sp.Enqueue = now
+		}
+	}
+	if len(e.shards) == 1 {
+		sh := e.shards[0]
+		kept := make([]*synopsis.Synopsis, 0, len(batch))
+		for _, s := range batch {
+			if !e.admit(sh) {
+				continue
+			}
+			stamp(s)
+			kept = append(kept, s)
+		}
+		if len(kept) > 0 {
+			e.send(sh, shardMsg{batch: kept})
+		}
+		return
+	}
+	parts := make(map[*shard][]*synopsis.Synopsis, len(e.shards))
+	for _, s := range batch {
+		sh := e.shardFor(s)
+		if !e.admit(sh) {
+			continue
+		}
+		stamp(s)
 		parts[sh] = append(parts[sh], s)
 	}
 	for _, sh := range e.shards { // deterministic shard order
@@ -509,6 +590,9 @@ type ShardStat struct {
 	Fed uint64
 	// Pending is the shard's open-window task count.
 	Pending int
+	// Degraded reports whether admission control is currently shedding on
+	// this shard.
+	Degraded bool
 }
 
 // ShardStats snapshots per-shard load under quiesce.
@@ -523,6 +607,7 @@ func (e *Engine) ShardStats() []ShardStat {
 			QueueCap: e.queueCap,
 			Fed:      sh.nfed,
 			Pending:  sh.core.PendingTasks(),
+			Degraded: sh.adm.degraded.Load(),
 		}
 	})
 	return out

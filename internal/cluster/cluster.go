@@ -187,6 +187,9 @@ func (h *Host) diskIO(cur *vtime.Cursor, point faults.Point, model vtime.Latency
 	base := model.Sample(h.RNG)
 	base = time.Duration(float64(base) * h.hogs.DiskFactor(int(h.ID), now))
 	out := h.injector.Apply(int(h.ID), point, now, h.RNG)
+	// Slow faults degrade the device's rate (partial slowness); delay faults
+	// add a fixed pause on top.
+	base = time.Duration(float64(base) * out.SlowFactor())
 	cur.Add(base + out.ExtraDelay)
 	if out.Err != nil {
 		return out.Err
@@ -201,6 +204,7 @@ func (h *Host) NetSend(cur *vtime.Cursor) error {
 	// Hogs raise interrupt pressure, slowing network processing too.
 	base = time.Duration(float64(base) * h.hogs.CPUFactor(int(h.ID), now))
 	out := h.injector.Apply(int(h.ID), faults.PointNetSend, now, h.RNG)
+	base = time.Duration(float64(base) * out.SlowFactor())
 	cur.Add(base + out.ExtraDelay)
 	return out.Err
 }

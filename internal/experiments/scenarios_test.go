@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScenarioMatrix(t *testing.T) {
+	res, err := ScenarioMatrix(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res.String())
+	if len(res.Cells) != 6 {
+		t.Fatalf("cells = %d, want 6", len(res.Cells))
+	}
+	classes := map[TaxonomyClass]int{}
+	for _, c := range res.Cells {
+		classes[c.Class]++
+	}
+	for _, want := range []TaxonomyClass{ClassPoint, ClassContextual, ClassCollective} {
+		if classes[want] < 2 {
+			t.Errorf("class %s has %d cells, want 2", want, classes[want])
+		}
+	}
+	byName := map[string]ScenarioCell{}
+	for _, c := range res.Cells {
+		byName[c.Name] = c
+		if !c.Detected {
+			t.Errorf("%s: fault not detected", c.Name)
+			continue
+		}
+		if c.FirstDetectMin < c.FromMin || c.FirstDetectMin > c.ToMin+detectGraceMin {
+			t.Errorf("%s: first detection at m%d outside window %d-%d",
+				c.Name, c.FirstDetectMin, c.FromMin, c.ToMin+detectGraceMin)
+		}
+		if !c.HostLocalized {
+			t.Errorf("%s: not host-localized (top host %d, fault host %d)",
+				c.Name, c.TopHost, c.FaultHost)
+		}
+		if !c.StageLocalized {
+			t.Errorf("%s: not stage-localized (top stage %q)", c.Name, c.TopStage)
+		}
+	}
+	if byName["clock-skew"].LateSynopses == 0 {
+		t.Error("clock-skew: no late synopses despite a backwards clock offset")
+	}
+	if got := byName["retry-storm"]; got.FaultHost != 0 {
+		t.Errorf("retry-storm fault host = %d, want cluster-wide 0", got.FaultHost)
+	}
+}
+
+func TestScenarioMatrixSubset(t *testing.T) {
+	res, err := ScenarioMatrix(testConfig(), "partial-slowness")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 1 || res.Cells[0].Name != "partial-slowness" {
+		t.Fatalf("cells = %+v", res.Cells)
+	}
+	if _, err := ScenarioMatrix(testConfig(), "no-such-cell"); err == nil {
+		t.Fatal("unknown scenario name accepted")
+	}
+	if !strings.Contains(res.String(), "partial-slowness") {
+		t.Fatal("table misses the cell")
+	}
+}

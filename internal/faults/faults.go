@@ -27,13 +27,16 @@ const (
 )
 
 // Mode distinguishes error faults (the I/O request fails) from delay faults
-// (the I/O request is paused; the paper uses 100 ms).
+// (the I/O request is paused; the paper uses 100 ms) and slow faults (the
+// I/O request completes at a degraded rate — the gray-failure "partial
+// slowness" where a disk or link still works, just N times slower).
 type Mode int
 
 // Fault modes.
 const (
 	ModeError Mode = iota + 1
 	ModeDelay
+	ModeSlow
 )
 
 // String implements fmt.Stringer.
@@ -43,6 +46,8 @@ func (m Mode) String() string {
 		return "error"
 	case ModeDelay:
 		return "delay"
+	case ModeSlow:
+		return "slow"
 	default:
 		return fmt.Sprintf("Mode(%d)", int(m))
 	}
@@ -64,6 +69,9 @@ type Fault struct {
 	Probability float64
 	// Delay is the added latency for ModeDelay faults (paper: 100 ms).
 	Delay time.Duration
+	// Factor is the latency multiplier for ModeSlow faults (e.g. 3.0 means
+	// the affected I/O runs three times slower). Values <= 1 are inert.
+	Factor float64
 	// Host restricts the fault to one host id, or AllHosts.
 	Host int
 	// From and To bound the active window in virtual time ([From, To)).
@@ -106,6 +114,18 @@ type Outcome struct {
 	Err error
 	// ExtraDelay is the added latency from delay faults.
 	ExtraDelay time.Duration
+	// Slow is the product of the latency multipliers from slow faults, or 0
+	// when none fired. Use SlowFactor to read it.
+	Slow float64
+}
+
+// SlowFactor returns the multiplicative slowdown to apply to the request's
+// base latency: 1.0 when no slow fault fired.
+func (o Outcome) SlowFactor() float64 {
+	if o.Slow <= 1 {
+		return 1
+	}
+	return o.Slow
 }
 
 // Injector evaluates a fixed set of faults against I/O requests. Build the
@@ -148,7 +168,42 @@ func (i *Injector) Apply(host int, p Point, now time.Time, rng *vtime.RNG) Outco
 			}
 		case ModeDelay:
 			out.ExtraDelay += f.Delay
+		case ModeSlow:
+			if f.Factor > 1 {
+				if out.Slow == 0 {
+					out.Slow = 1
+				}
+				out.Slow *= f.Factor
+			}
 		}
+	}
+	return out
+}
+
+// Flapping expands one fault into a train of on-windows covering [from, to)
+// with the given period and on-duration per period: the flapping-link /
+// intermittent-fault pattern where a component fails, recovers, and fails
+// again. The template's From/To are overwritten per window; all other
+// fields are kept.
+func Flapping(template Fault, from, to time.Time, period, on time.Duration) []Fault {
+	if period <= 0 || on <= 0 || !from.Before(to) {
+		return nil
+	}
+	if on > period {
+		on = period
+	}
+	var out []Fault
+	for i, start := 0, from; start.Before(to); i, start = i+1, start.Add(period) {
+		f := template
+		f.From = start
+		f.To = start.Add(on)
+		if f.To.After(to) {
+			f.To = to
+		}
+		if f.Name != "" {
+			f.Name = fmt.Sprintf("%s#%d", template.Name, i)
+		}
+		out = append(out, f)
 	}
 	return out
 }
@@ -160,6 +215,29 @@ type HogWindow struct {
 	Procs    int
 	// Host restricts the hog to one host, or AllHosts.
 	Host int
+	// Ramp turns the window into a slow-leak pressure ramp: the effective
+	// load grows linearly from 0 at From to Procs at To, modelling a memory
+	// or CPU leak that builds gradually instead of arriving all at once.
+	Ramp bool
+}
+
+// loadAt returns the window's effective load (fractional process count) at
+// now, or 0 when the window is inactive.
+func (w HogWindow) loadAt(host int, now time.Time) float64 {
+	if w.Host != AllHosts && w.Host != host {
+		return 0
+	}
+	if now.Before(w.From) || !now.Before(w.To) {
+		return 0
+	}
+	if !w.Ramp {
+		return float64(w.Procs)
+	}
+	span := w.To.Sub(w.From)
+	if span <= 0 {
+		return float64(w.Procs)
+	}
+	return float64(w.Procs) * float64(now.Sub(w.From)) / float64(span)
 }
 
 // HogSchedule models the Section 5.5 disk hog: each hog process multiplies
@@ -184,19 +262,21 @@ func NewHogSchedule(windows ...HogWindow) *HogSchedule {
 	}
 }
 
-// Procs returns the number of hog processes active on host at now.
+// Procs returns the number of whole hog processes active on host at now
+// (ramp windows contribute their truncated effective load).
 func (h *HogSchedule) Procs(host int, now time.Time) int {
+	return int(h.Load(host, now))
+}
+
+// Load returns the effective hog load on host at now: the sum of active
+// window loads, fractional while a ramp window is still climbing.
+func (h *HogSchedule) Load(host int, now time.Time) float64 {
 	if h == nil {
 		return 0
 	}
-	total := 0
+	total := 0.0
 	for _, w := range h.windows {
-		if w.Host != AllHosts && w.Host != host {
-			continue
-		}
-		if !now.Before(w.From) && now.Before(w.To) {
-			total += w.Procs
-		}
+		total += w.loadAt(host, now)
 	}
 	return total
 }
@@ -207,7 +287,7 @@ func (h *HogSchedule) DiskFactor(host int, now time.Time) float64 {
 	if h == nil {
 		return 1
 	}
-	return 1 + float64(h.Procs(host, now))*h.DiskFactorPerProc
+	return 1 + h.Load(host, now)*h.DiskFactorPerProc
 }
 
 // CPUFactor returns the CPU-cost multiplier on host at now.
@@ -215,5 +295,5 @@ func (h *HogSchedule) CPUFactor(host int, now time.Time) float64 {
 	if h == nil {
 		return 1
 	}
-	return 1 + float64(h.Procs(host, now))*h.CPUFactorPerProc
+	return 1 + h.Load(host, now)*h.CPUFactorPerProc
 }

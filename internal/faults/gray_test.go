@@ -1,0 +1,152 @@
+package faults
+
+import (
+	"testing"
+	"time"
+
+	"saad/internal/vtime"
+)
+
+func TestInjectorSlowFault(t *testing.T) {
+	inj := NewInjector(Fault{
+		Name: "slow-disk", Point: PointDiskWrite, Mode: ModeSlow,
+		Probability: 1, Factor: 3, Host: 2, From: epoch, To: epoch.Add(time.Hour),
+	})
+	rng := vtime.NewRNG(1)
+	out := inj.Apply(2, PointDiskWrite, epoch.Add(time.Minute), rng)
+	if out.Err != nil {
+		t.Fatalf("slow fault produced error: %v", out.Err)
+	}
+	if out.ExtraDelay != 0 {
+		t.Fatalf("slow fault produced delay: %v", out.ExtraDelay)
+	}
+	if got := out.SlowFactor(); got != 3 {
+		t.Fatalf("SlowFactor = %v, want 3", got)
+	}
+	// Other host / point: inert.
+	if got := inj.Apply(1, PointDiskWrite, epoch.Add(time.Minute), rng).SlowFactor(); got != 1 {
+		t.Fatalf("wrong-host SlowFactor = %v, want 1", got)
+	}
+	if got := (Outcome{}).SlowFactor(); got != 1 {
+		t.Fatalf("zero Outcome SlowFactor = %v, want 1", got)
+	}
+}
+
+func TestSlowFaultsCompose(t *testing.T) {
+	mk := func(factor float64) Fault {
+		return Fault{
+			Point: PointDiskRead, Mode: ModeSlow, Probability: 1,
+			Factor: factor, Host: AllHosts, From: epoch, To: epoch.Add(time.Hour),
+		}
+	}
+	inj := NewInjector(mk(2), mk(3), mk(0.5)) // <=1 factor must be inert
+	out := inj.Apply(1, PointDiskRead, epoch, vtime.NewRNG(7))
+	if got := out.SlowFactor(); got != 6 {
+		t.Fatalf("composed SlowFactor = %v, want 6", got)
+	}
+}
+
+func TestFlapping(t *testing.T) {
+	tpl := Fault{
+		Name: "flap", Point: PointNetSend, Mode: ModeError,
+		Probability: 1, Host: 3,
+	}
+	from := epoch.Add(10 * time.Minute)
+	to := epoch.Add(22 * time.Minute)
+	windows := Flapping(tpl, from, to, 4*time.Minute, 2*time.Minute)
+	if len(windows) != 3 {
+		t.Fatalf("windows = %d, want 3", len(windows))
+	}
+	inj := NewInjector(windows...)
+	rng := vtime.NewRNG(1)
+	// On-phase minutes 10-11, 14-15, 18-19; off otherwise.
+	cases := []struct {
+		min  int
+		fire bool
+	}{
+		{9, false}, {10, true}, {11, true}, {12, false}, {13, false},
+		{14, true}, {15, true}, {16, false}, {18, true}, {20, false}, {22, false},
+	}
+	for _, tt := range cases {
+		out := inj.Apply(3, PointNetSend, epoch.Add(time.Duration(tt.min)*time.Minute+time.Second), rng)
+		if got := out.Err != nil; got != tt.fire {
+			t.Errorf("minute %d: fired = %v, want %v", tt.min, got, tt.fire)
+		}
+	}
+	// Window names are disambiguated, other fields preserved.
+	if windows[0].Name == windows[1].Name {
+		t.Errorf("flap windows share name %q", windows[0].Name)
+	}
+	if want := epoch.Add(20 * time.Minute); windows[2].To != want {
+		t.Errorf("last window To = %v, want %v", windows[2].To, want)
+	}
+	// An on-phase that would overrun the range is clamped.
+	clipped := Flapping(tpl, from, epoch.Add(19*time.Minute), 4*time.Minute, 2*time.Minute)
+	if last := clipped[len(clipped)-1]; last.To != epoch.Add(19*time.Minute) {
+		t.Errorf("clipped last window To = %v, want %v", last.To, epoch.Add(19*time.Minute))
+	}
+	if Flapping(tpl, to, from, time.Minute, time.Second) != nil {
+		t.Error("inverted range should produce no windows")
+	}
+}
+
+func TestHogScheduleRamp(t *testing.T) {
+	from := epoch
+	to := epoch.Add(100 * time.Minute)
+	h := NewHogSchedule(HogWindow{From: from, To: to, Procs: 10, Host: 1, Ramp: true})
+	if got := h.Load(1, from); got != 0 {
+		t.Fatalf("ramp load at start = %v, want 0", got)
+	}
+	if got := h.Load(1, epoch.Add(50*time.Minute)); got != 5 {
+		t.Fatalf("ramp load at midpoint = %v, want 5", got)
+	}
+	if got := h.Load(1, epoch.Add(90*time.Minute)); got != 9 {
+		t.Fatalf("ramp load at 90%% = %v, want 9", got)
+	}
+	if got := h.Load(1, to); got != 0 {
+		t.Fatalf("ramp load at end = %v, want 0 (half-open)", got)
+	}
+	if got := h.Load(2, epoch.Add(50*time.Minute)); got != 0 {
+		t.Fatalf("ramp load on other host = %v, want 0", got)
+	}
+	// DiskFactor follows the fractional load.
+	want := 1 + 5*h.DiskFactorPerProc
+	if got := h.DiskFactor(1, epoch.Add(50*time.Minute)); got != want {
+		t.Fatalf("DiskFactor at midpoint = %v, want %v", got, want)
+	}
+	// Procs truncates but keeps compatibility.
+	if got := h.Procs(1, epoch.Add(55*time.Minute)); got != 5 {
+		t.Fatalf("Procs at 55%% = %d, want 5", got)
+	}
+	// Non-ramp windows are unchanged.
+	flat := NewHogSchedule(HogWindow{From: from, To: to, Procs: 4, Host: AllHosts})
+	if got := flat.Load(3, epoch.Add(time.Minute)); got != 4 {
+		t.Fatalf("flat load = %v, want 4", got)
+	}
+}
+
+func TestSkewSchedule(t *testing.T) {
+	s := NewSkewSchedule(SkewWindow{
+		From: epoch.Add(10 * time.Minute), To: epoch.Add(20 * time.Minute),
+		Host: 3, Offset: -90 * time.Second, DurationFactor: 2.5,
+	})
+	if got := s.Offset(3, epoch.Add(15*time.Minute)); got != -90*time.Second {
+		t.Fatalf("Offset in window = %v, want -90s", got)
+	}
+	if got := s.Offset(3, epoch.Add(5*time.Minute)); got != 0 {
+		t.Fatalf("Offset before window = %v, want 0", got)
+	}
+	if got := s.Offset(2, epoch.Add(15*time.Minute)); got != 0 {
+		t.Fatalf("Offset other host = %v, want 0", got)
+	}
+	if got := s.DurationFactor(3, epoch.Add(15*time.Minute)); got != 2.5 {
+		t.Fatalf("DurationFactor in window = %v, want 2.5", got)
+	}
+	if got := s.DurationFactor(3, epoch.Add(25*time.Minute)); got != 1 {
+		t.Fatalf("DurationFactor after window = %v, want 1", got)
+	}
+	var nilSched *SkewSchedule
+	if nilSched.Offset(1, epoch) != 0 || nilSched.DurationFactor(1, epoch) != 1 {
+		t.Fatal("nil schedule must be inert")
+	}
+}

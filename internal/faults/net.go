@@ -9,10 +9,33 @@ package faults
 import (
 	"fmt"
 	"net"
+	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"saad/internal/vtime"
+)
+
+// PartitionDir selects which direction of a connection an asymmetric
+// network partition blackholes. Directions are named from the wrapped
+// endpoint's point of view and compose as a bitmask.
+type PartitionDir int32
+
+// Partition directions.
+const (
+	// PartitionNone clears the partition.
+	PartitionNone PartitionDir = 0
+	// PartitionInbound blackholes traffic toward this endpoint: reads
+	// stall (honouring any read deadline) while the peer believes its
+	// writes succeeded.
+	PartitionInbound PartitionDir = 1
+	// PartitionOutbound blackholes traffic from this endpoint: writes
+	// report success but the bytes never arrive — the half-dead sender
+	// that keeps a connection pinned without the peer hearing from it.
+	PartitionOutbound PartitionDir = 2
+	// PartitionBoth blackholes both directions.
+	PartitionBoth PartitionDir = PartitionInbound | PartitionOutbound
 )
 
 // NetFaultConfig selects the fault mix a FlakyConn injects. Probabilities
@@ -67,6 +90,10 @@ type FlakyConn struct {
 	mu  sync.Mutex
 	rng *vtime.RNG
 
+	part   atomic.Int32 // PartitionDir bitmask
+	closed atomic.Bool
+	readDL atomic.Int64 // read deadline as unix nanos; 0 = none
+
 	closeOnce sync.Once
 	onClose   func(*FlakyConn)
 }
@@ -87,8 +114,53 @@ func (c *FlakyConn) roll(p float64) bool {
 	return c.rng.Bool(p)
 }
 
-// Read implements net.Conn with injected stalls and resets.
+// SetPartition replaces the connection's partition state. Takes effect on
+// the next Read/Write; a Read already blocked inside the kernel is not
+// interrupted (a real partition does not interrupt it either — no FIN or
+// RST ever arrives).
+func (c *FlakyConn) SetPartition(d PartitionDir) { c.part.Store(int32(d)) }
+
+// Partitioned reports whether any of the directions in d are currently
+// blackholed.
+func (c *FlakyConn) Partitioned(d PartitionDir) bool {
+	return PartitionDir(c.part.Load())&d != 0
+}
+
+// SetReadDeadline implements net.Conn, mirroring the deadline into the
+// partition stall loop so a blackholed Read still times out.
+func (c *FlakyConn) SetReadDeadline(t time.Time) error {
+	c.storeReadDeadline(t)
+	return c.Conn.SetReadDeadline(t)
+}
+
+// SetDeadline implements net.Conn.
+func (c *FlakyConn) SetDeadline(t time.Time) error {
+	c.storeReadDeadline(t)
+	return c.Conn.SetDeadline(t)
+}
+
+func (c *FlakyConn) storeReadDeadline(t time.Time) {
+	if t.IsZero() {
+		c.readDL.Store(0)
+		return
+	}
+	c.readDL.Store(t.UnixNano())
+}
+
+// Read implements net.Conn with injected stalls, resets and inbound
+// partitions. While inbound-partitioned it polls rather than delivering
+// data, returning os.ErrDeadlineExceeded once the read deadline passes and
+// net.ErrClosed once the connection is killed.
 func (c *FlakyConn) Read(p []byte) (int, error) {
+	for c.Partitioned(PartitionInbound) {
+		if c.closed.Load() {
+			return 0, net.ErrClosed
+		}
+		if dl := c.readDL.Load(); dl != 0 && time.Now().UnixNano() >= dl {
+			return 0, os.ErrDeadlineExceeded
+		}
+		time.Sleep(time.Millisecond)
+	}
 	if c.roll(c.cfg.ReadStallProb) {
 		time.Sleep(c.cfg.Stall)
 	}
@@ -99,9 +171,17 @@ func (c *FlakyConn) Read(p []byte) (int, error) {
 	return c.Conn.Read(p)
 }
 
-// Write implements net.Conn with injected latency, partial writes and
-// resets.
+// Write implements net.Conn with injected latency, partial writes, resets
+// and outbound partitions (writes report success but the bytes are
+// dropped, as a blackholed path looks to the sender until its buffers
+// fill).
 func (c *FlakyConn) Write(p []byte) (int, error) {
+	if c.Partitioned(PartitionOutbound) {
+		if c.closed.Load() {
+			return 0, net.ErrClosed
+		}
+		return len(p), nil
+	}
 	if c.cfg.WriteLatency > 0 {
 		time.Sleep(c.cfg.WriteLatency)
 	}
@@ -125,6 +205,7 @@ func (c *FlakyConn) Write(p []byte) (int, error) {
 // concurrently with Read/Write.
 func (c *FlakyConn) Kill() {
 	c.closeOnce.Do(func() {
+		c.closed.Store(true)
 		_ = c.Conn.Close()
 		if c.onClose != nil {
 			c.onClose(c)
@@ -148,6 +229,7 @@ type FlakyListener struct {
 
 	mu    sync.Mutex
 	seq   uint64
+	part  PartitionDir
 	conns map[*FlakyConn]struct{}
 }
 
@@ -168,10 +250,33 @@ func (l *FlakyListener) Accept() (net.Conn, error) {
 	cfg.Seed = vtime.NewRNG(l.cfg.Seed).Split(l.seq).Uint64()
 	fc := NewFlakyConn(conn, cfg)
 	fc.onClose = l.forget
+	fc.SetPartition(l.part)
 	l.conns[fc] = struct{}{}
 	l.mu.Unlock()
 	return fc, nil
 }
+
+// Partition blackholes the given direction(s) on every live accepted
+// connection and on all future accepts, modelling an asymmetric network
+// partition between this endpoint and all its peers. Directions are from
+// the accepted connections' point of view (PartitionInbound = peers' bytes
+// stop arriving here). Returns the number of live connections affected.
+func (l *FlakyListener) Partition(d PartitionDir) int {
+	l.mu.Lock()
+	l.part = d
+	live := make([]*FlakyConn, 0, len(l.conns))
+	for c := range l.conns {
+		live = append(live, c)
+	}
+	l.mu.Unlock()
+	for _, c := range live {
+		c.SetPartition(d)
+	}
+	return len(live)
+}
+
+// Heal clears the partition on live connections and future accepts.
+func (l *FlakyListener) Heal() { l.Partition(PartitionNone) }
 
 func (l *FlakyListener) forget(c *FlakyConn) {
 	l.mu.Lock()

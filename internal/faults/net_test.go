@@ -168,3 +168,138 @@ func TestFlakyListenerKillAll(t *testing.T) {
 		}
 	}
 }
+
+func TestFlakyConnInboundPartitionStallsAndHonorsDeadline(t *testing.T) {
+	client, server := tcpPair(t)
+	fs := NewFlakyConn(server, NetFaultConfig{})
+	fs.SetPartition(PartitionInbound)
+	if _, err := client.Write([]byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	// A partitioned read never delivers the buffered bytes; with a deadline
+	// it fails as a timeout so idle reapers can see it.
+	if err := fs.SetReadDeadline(time.Now().Add(50 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	start := time.Now()
+	_, err := fs.Read(buf)
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("partitioned read err = %v, want net timeout", err)
+	}
+	if time.Since(start) < 40*time.Millisecond {
+		t.Fatalf("read returned after %v, before the deadline", time.Since(start))
+	}
+	// Heal: the buffered bytes arrive.
+	fs.SetPartition(PartitionNone)
+	if err := fs.SetReadDeadline(time.Now().Add(2 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	n, err := fs.Read(buf)
+	if err != nil || string(buf[:n]) != "hi" {
+		t.Fatalf("post-heal read = %q, %v", buf[:n], err)
+	}
+}
+
+func TestFlakyConnOutboundPartitionBlackholesWrites(t *testing.T) {
+	client, server := tcpPair(t)
+	fc := NewFlakyConn(client, NetFaultConfig{})
+	fc.SetPartition(PartitionOutbound)
+	n, err := fc.Write([]byte("lost"))
+	if n != 4 || err != nil {
+		t.Fatalf("blackholed write = %d, %v; want 4, nil", n, err)
+	}
+	// The peer sees nothing.
+	_ = server.SetReadDeadline(time.Now().Add(80 * time.Millisecond))
+	buf := make([]byte, 8)
+	if n, err := server.Read(buf); err == nil {
+		t.Fatalf("peer received %q through an outbound partition", buf[:n])
+	}
+	// Heal: writes flow again.
+	fc.SetPartition(PartitionNone)
+	if _, err := fc.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	_ = server.SetReadDeadline(time.Now().Add(2 * time.Second))
+	n, err = server.Read(buf)
+	if err != nil || string(buf[:n]) != "ok" {
+		t.Fatalf("post-heal read = %q, %v", buf[:n], err)
+	}
+}
+
+func TestFlakyConnPartitionedReadUnblocksOnKill(t *testing.T) {
+	_, server := tcpPair(t)
+	fs := NewFlakyConn(server, NetFaultConfig{})
+	fs.SetPartition(PartitionInbound)
+	got := make(chan error, 1)
+	go func() {
+		_, err := fs.Read(make([]byte, 1))
+		got <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	fs.Kill()
+	select {
+	case err := <-got:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("killed partitioned read err = %v, want net.ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("partitioned read did not unblock on Kill")
+	}
+}
+
+func TestFlakyListenerPartitionAppliesToLiveAndFuture(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := NewFlakyListener(ln, NetFaultConfig{})
+	defer fl.Close()
+
+	accepted := make(chan net.Conn, 2)
+	go func() {
+		for {
+			c, err := fl.Accept()
+			if err != nil {
+				return
+			}
+			accepted <- c
+		}
+	}()
+
+	dial := func() net.Conn {
+		t.Helper()
+		c, err := net.Dial("tcp", fl.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = c.Close() })
+		return c
+	}
+
+	c1 := dial()
+	s1 := (<-accepted).(*FlakyConn)
+	if n := fl.Partition(PartitionInbound); n != 1 {
+		t.Fatalf("Partition affected %d conns, want 1", n)
+	}
+	c2 := dial()
+	s2 := (<-accepted).(*FlakyConn)
+	if !s1.Partitioned(PartitionInbound) || !s2.Partitioned(PartitionInbound) {
+		t.Fatal("live or future conn not partitioned")
+	}
+	fl.Heal()
+	if s1.Partitioned(PartitionBoth) || s2.Partitioned(PartitionBoth) {
+		t.Fatal("Heal did not clear partitions")
+	}
+	// Healed conns still pass data.
+	if _, err := c1.Write([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	_ = s1.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := s1.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	_ = c2
+}

@@ -1,0 +1,71 @@
+package faults
+
+import "time"
+
+// SkewWindow is one entry of a clock-skew schedule: during [From, To) the
+// selected host's clock is wrong by Offset (negative = behind), and its
+// interval measurements are stretched by DurationFactor (a clock running
+// fast measures every interval longer than it was). Both model the gray
+// failure where one node's NTP discipline is lost while everything else
+// keeps working.
+type SkewWindow struct {
+	From, To time.Time
+	// Host restricts the skew to one host, or AllHosts.
+	Host int
+	// Offset shifts timestamps the host reports (applied to synopsis start
+	// times by the pipeline layer that owns them).
+	Offset time.Duration
+	// DurationFactor multiplies measured durations; values <= 0 mean 1.
+	DurationFactor float64
+}
+
+// SkewSchedule evaluates clock-skew windows. Nil-safe like HogSchedule;
+// evaluation is read-only and usable from any goroutine.
+type SkewSchedule struct {
+	windows []SkewWindow
+}
+
+// NewSkewSchedule returns a schedule over the given windows. The slice is
+// copied.
+func NewSkewSchedule(windows ...SkewWindow) *SkewSchedule {
+	return &SkewSchedule{windows: append([]SkewWindow(nil), windows...)}
+}
+
+// Offset returns the total clock offset for host at now (0 when no window
+// is active).
+func (s *SkewSchedule) Offset(host int, now time.Time) time.Duration {
+	if s == nil {
+		return 0
+	}
+	var total time.Duration
+	for _, w := range s.windows {
+		if w.Host != AllHosts && w.Host != host {
+			continue
+		}
+		if !now.Before(w.From) && now.Before(w.To) {
+			total += w.Offset
+		}
+	}
+	return total
+}
+
+// DurationFactor returns the interval-measurement multiplier for host at
+// now (1.0 when no window is active).
+func (s *SkewSchedule) DurationFactor(host int, now time.Time) float64 {
+	if s == nil {
+		return 1
+	}
+	total := 1.0
+	for _, w := range s.windows {
+		if w.Host != AllHosts && w.Host != host {
+			continue
+		}
+		if now.Before(w.From) || !now.Before(w.To) {
+			continue
+		}
+		if w.DurationFactor > 0 {
+			total *= w.DurationFactor
+		}
+	}
+	return total
+}

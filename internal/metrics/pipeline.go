@@ -107,6 +107,10 @@ type TCPServerMetrics struct {
 	// AcceptErrors counts transient listener Accept failures the server
 	// retried past without dying.
 	AcceptErrors *Counter
+	// IdleReaps counts connections closed by the server's idle read
+	// deadline — half-dead clients (e.g. behind an asymmetric partition)
+	// that stopped sending frames but never closed.
+	IdleReaps *Counter
 }
 
 // NewTCPServerMetrics registers the TCP server metric family on r.
@@ -119,6 +123,7 @@ func NewTCPServerMetrics(r *Registry) *TCPServerMetrics {
 		ConnErrors:      r.NewCounter("saad_stream_tcp_server_conn_errors_total", "TCP connections dropped on a decode/protocol error."),
 		Resyncs:         r.NewCounter("saad_stream_tcp_server_resyncs_total", "Connections accepted after a previous stream ended (client reconnects)."),
 		AcceptErrors:    r.NewCounter("saad_stream_tcp_server_accept_errors_total", "Transient listener accept errors retried by the server."),
+		IdleReaps:       r.NewCounter("saad_stream_tcp_server_idle_reaps_total", "Connections closed after exceeding the idle read deadline."),
 	}
 }
 
@@ -161,6 +166,15 @@ type AnalyzerMetrics struct {
 	// originated there, receive otherwise) to its detection verdict,
 	// labeled by stage id. Only span-sampled synopses are observed.
 	DetectionLatency *HistogramVec
+	// ShedSynopses counts synopses shed by admission control while a shard
+	// was degraded. Offered load = synopses_fed + shed_synopses, exactly.
+	ShedSynopses *Counter
+	// DegradedShards tracks how many engine shards are currently in
+	// degraded (load-shedding) mode.
+	DegradedShards *Gauge
+	// DegradedTransitions counts enter/exit transitions of shard degraded
+	// mode (an enter and the matching exit count as two).
+	DegradedTransitions *Counter
 }
 
 // NewAnalyzerMetrics registers the analyzer metric family on r.
@@ -178,6 +192,9 @@ func NewAnalyzerMetrics(r *Registry) *AnalyzerMetrics {
 		ShardSynopses:      r.NewCounterVec("saad_analyzer_shard_synopses_total", "Synopses processed per engine shard.", "shard"),
 		ShardOverflows:     r.NewCounterVec("saad_analyzer_shard_overflows_total", "Feeds that found a full shard queue and blocked (backpressure).", "shard"),
 		DetectionLatency:   r.NewHistogramVec("saad_detection_latency_seconds", "End-to-end seconds from sampled synopsis emission (or receive) to detection verdict, per stage.", LatencyBuckets, "stage"),
+		ShedSynopses:        r.NewCounter("saad_analyzer_shed_synopses_total", "Synopses shed by admission control while degraded (fed + shed = offered)."),
+		DegradedShards:      r.NewGauge("saad_analyzer_degraded_shards", "Engine shards currently in degraded (load-shedding) mode."),
+		DegradedTransitions: r.NewCounter("saad_analyzer_degraded_transitions_total", "Shard degraded-mode enter/exit transitions."),
 	}
 }
 

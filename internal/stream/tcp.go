@@ -327,10 +327,11 @@ func (c *Client) Close() error {
 // accept errors are retried with backoff instead of killing the accept
 // loop.
 type Server struct {
-	ln      net.Listener
-	sink    tracker.Sink
-	metrics *metrics.TCPServerMetrics
-	sampler *trace.Sampler
+	ln       net.Listener
+	sink     tracker.Sink
+	metrics  *metrics.TCPServerMetrics
+	sampler  *trace.Sampler
+	readIdle time.Duration
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -358,6 +359,22 @@ func WithServerMetrics(m *metrics.TCPServerMetrics) ServerOption {
 // sampler.
 func WithServerSampler(sp *trace.Sampler) ServerOption {
 	return func(s *Server) { s.sampler = sp }
+}
+
+// WithReadIdleTimeout reaps connections that go silent: each frame read
+// arms a deadline of d, and a connection that delivers nothing for that
+// long is closed and counted in IdleReaps. Half-open peers (a tracker
+// behind an asymmetric partition, a crashed host whose FIN never arrived)
+// otherwise pin a handler goroutine and a socket forever. d <= 0 disables
+// reaping (the default): trackers with sparse workloads may legitimately
+// idle, so reaping is opt-in and d should comfortably exceed the client's
+// flush interval.
+func WithReadIdleTimeout(d time.Duration) ServerOption {
+	return func(s *Server) {
+		if d > 0 {
+			s.readIdle = d
+		}
+	}
 }
 
 // Listen starts a server on addr (e.g. "127.0.0.1:0") delivering synopses
@@ -458,8 +475,20 @@ func (s *Server) handle(conn net.Conn) {
 	}
 	dec := synopsis.NewDecoder(r)
 	for {
+		if s.readIdle > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.readIdle))
+		}
 		var syn synopsis.Synopsis
 		if err := dec.Decode(&syn); err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				// The peer went silent past the idle budget: reap the
+				// connection so half-open peers can't pin handlers forever.
+				if m != nil {
+					m.IdleReaps.Inc()
+				}
+				return
+			}
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				// Truncated stream on teardown is routine; anything else is
 				// a protocol error from this connection — drop the

@@ -27,6 +27,12 @@ const (
 	EventDriftEpoch
 	// EventLateDrop is a synopsis dropped as a late arrival (A = task id).
 	EventLateDrop
+	// EventDegradeEnter is a shard entering degraded (load-shedding) mode
+	// (A = observed queue depth, B = keep-1-in-N sampling divisor).
+	EventDegradeEnter
+	// EventDegradeExit is a shard recovering from degraded mode (A =
+	// observed queue depth, B = synopses shed engine-wide so far).
+	EventDegradeExit
 )
 
 // String implements fmt.Stringer with the JSON-facing names.
@@ -44,6 +50,10 @@ func (k EventKind) String() string {
 		return "drift_epoch"
 	case EventLateDrop:
 		return "late_drop"
+	case EventDegradeEnter:
+		return "degrade_enter"
+	case EventDegradeExit:
+		return "degrade_exit"
 	default:
 		return "unknown"
 	}

@@ -1,0 +1,34 @@
+package workload
+
+import "time"
+
+// RetryPolicy models client-side retries: the ingredient that turns an
+// injected slowdown into a metastable storm. When an operation fails — or
+// merely exceeds the client's latency SLO — the client re-issues it, which
+// consumes cluster resources again, which slows the next operation, which
+// triggers more retries. The policy itself is just the decision function;
+// the workload driver owns the loop.
+type RetryPolicy struct {
+	// Max is the retry budget per operation (0 disables retries).
+	Max int
+	// LatencyThreshold triggers a retry when a *successful* operation took
+	// longer than this (the impatient-client pattern); 0 retries only on
+	// error.
+	LatencyThreshold time.Duration
+	// Backoff is the client-side pause before each retry (applied flat:
+	// aggressive clients are what make storms metastable).
+	Backoff time.Duration
+}
+
+// ShouldRetry reports whether an operation that finished with err after
+// latency should be re-issued, given it has been attempted attempt times
+// already (first try = 1).
+func (p RetryPolicy) ShouldRetry(attempt int, err error, latency time.Duration) bool {
+	if p.Max <= 0 || attempt > p.Max {
+		return false
+	}
+	if err != nil {
+		return true
+	}
+	return p.LatencyThreshold > 0 && latency > p.LatencyThreshold
+}

@@ -1,12 +1,15 @@
 package workload
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"time"
 
 	"saad/internal/vtime"
 )
+
+var errSentinel = errors.New("op failed")
 
 var epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
 
@@ -258,5 +261,32 @@ func TestClientPoolThroughputRespondsToLatency(t *testing.T) {
 	ratio := float64(fast) / float64(slow)
 	if ratio < 1.8 || ratio > 2.2 {
 		t.Fatalf("throughput ratio = %v, want ~2", ratio)
+	}
+}
+
+func TestRetryPolicy(t *testing.T) {
+	var none RetryPolicy
+	if none.ShouldRetry(1, errSentinel, time.Second) {
+		t.Fatal("zero policy retried")
+	}
+	p := RetryPolicy{Max: 2, LatencyThreshold: 100 * time.Millisecond}
+	if !p.ShouldRetry(1, errSentinel, 0) {
+		t.Fatal("no retry on error")
+	}
+	if !p.ShouldRetry(2, errSentinel, 0) {
+		t.Fatal("no retry on last budgeted attempt")
+	}
+	if p.ShouldRetry(3, errSentinel, 0) {
+		t.Fatal("retried past Max")
+	}
+	if !p.ShouldRetry(1, nil, 150*time.Millisecond) {
+		t.Fatal("no retry on slow success")
+	}
+	if p.ShouldRetry(1, nil, 50*time.Millisecond) {
+		t.Fatal("retried a fast success")
+	}
+	errOnly := RetryPolicy{Max: 1}
+	if errOnly.ShouldRetry(1, nil, time.Hour) {
+		t.Fatal("latency retry without threshold")
 	}
 }
