@@ -305,6 +305,9 @@ type statuszInfo struct {
 	trainedOn   int
 	start       time.Time
 	anomalies   func() int
+	// protocols snapshots the live connections' negotiated wire protocol
+	// versions and the cumulative per-version connection counts.
+	protocols func() ([]stream.ConnProtocol, []uint64)
 }
 
 // statuszHandler serves a one-page JSON operational summary: what this
@@ -333,6 +336,11 @@ func statuszHandler(info statuszInfo) http.Handler {
 			ShedSynopses   uint64        `json:"shed_synopses"`
 			TraceSample    int           `json:"trace_sample_every"`
 			TracedSpans    int           `json:"traced_spans_retained"`
+			// Connections lists each live synopsis stream's negotiated wire
+			// protocol; ProtocolConns counts connections ever accepted per
+			// version (index = version, slot 0 unused).
+			Connections   []stream.ConnProtocol `json:"connections"`
+			ProtocolConns []uint64              `json:"protocol_connections_total"`
 		}{
 			Mode:           "detecting",
 			Listen:         info.listen,
@@ -350,11 +358,43 @@ func statuszHandler(info statuszInfo) http.Handler {
 		for _, st := range info.engine.ShardStats() {
 			doc.Shards = append(doc.Shards, shardStatus{Shard: st.Shard, Fed: st.Fed, Pending: st.Pending, QueueLen: st.QueueLen, Degraded: st.Degraded})
 		}
+		if info.protocols != nil {
+			doc.Connections, doc.ProtocolConns = info.protocols()
+		}
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(doc)
 	})
+}
+
+// lifecycleTee routes every received synopsis to the engine first (FIFO
+// into the owning shard) and then to the lifecycle manager's observers.
+// The engine recycles pooled synopses after observation, but the manager's
+// retraining ring retains what it is handed — so the tee gives the manager
+// its own clones, cut before the engine can release the originals.
+type lifecycleTee struct {
+	eng *analyzer.Engine
+	mgr *lifecycle.Manager
+}
+
+func (t *lifecycleTee) Emit(s *synopsis.Synopsis) {
+	c := s.Clone()
+	t.eng.Emit(s)
+	t.mgr.Observe(c)
+}
+
+// EmitBatch implements stream.BatchSink so v2 connections keep their
+// amortized per-frame engine hand-off through the tee.
+func (t *lifecycleTee) EmitBatch(batch []*synopsis.Synopsis) {
+	clones := make([]*synopsis.Synopsis, len(batch))
+	for i, s := range batch {
+		clones[i] = s.Clone()
+	}
+	t.eng.FeedBatch(batch)
+	for _, c := range clones {
+		t.mgr.Observe(c)
+	}
 }
 
 // detectMode loads the model — or restores a full checkpoint when one
@@ -402,10 +442,17 @@ func detectMode(listen, modelPath string, dict *logpoint.Dictionary, opts detect
 		}
 	}
 
+	// The server decodes v2 frames into pooled synopses and the engine
+	// releases each one back after its shard has observed it (shard cores
+	// clone anything they retain), so the steady-state receive path
+	// allocates nothing per record.
+	pool := synopsis.NewPool(32768)
 	engineOpts := []analyzer.EngineOption{
 		analyzer.WithShards(opts.shards),
 		analyzer.WithEngineMetrics(pipe.Analyzer),
 		analyzer.WithAnomalySink(emit),
+		analyzer.WithSynopsisRelease(pool.Put),
+		analyzer.WithSynopsisReleaseBatch(pool.PutN),
 	}
 	if tracer != nil {
 		engineOpts = append(engineOpts, analyzer.WithEngineTracer(tracer))
@@ -527,13 +574,13 @@ func detectMode(listen, modelPath string, dict *logpoint.Dictionary, opts detect
 	// shard), then the manager's observers.
 	var sink tracker.Sink = eng
 	if mgr != nil {
-		sink = tracker.SinkFunc(func(s *synopsis.Synopsis) {
-			eng.Emit(s)
-			mgr.Observe(s)
-		})
+		sink = &lifecycleTee{eng: eng, mgr: mgr}
 	}
 	srvMetrics := metrics.NewTCPServerMetrics(pipe.Registry)
-	srvOpts := []stream.ServerOption{stream.WithServerMetrics(srvMetrics)}
+	srvOpts := []stream.ServerOption{
+		stream.WithServerMetrics(srvMetrics),
+		stream.WithServerPool(pool),
+	}
 	if opts.readIdleTimeout > 0 {
 		srvOpts = append(srvOpts, stream.WithReadIdleTimeout(opts.readIdleTimeout))
 	}
@@ -582,6 +629,7 @@ func detectMode(listen, modelPath string, dict *logpoint.Dictionary, opts detect
 				defer sinkMu.Unlock()
 				return anomalies
 			},
+			protocols: srv.ProtocolStats,
 		}))
 		msrv, err := metrics.ServeMux(opts.httpAddr, mux)
 		if err != nil {

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// maxRegression is the fractional synopses-per-second drop tolerated by
+// `saad-bench compare` before it fails: measurements on shared CI runners
+// jitter, but a >20% drop on the wire-path or analyzer series is a real
+// regression, not noise.
+const maxRegression = 0.20
+
+// runCompare implements `saad-bench compare -baseline <file> -current
+// <file>`: both files are -json record streams; every experiment whose
+// result carries a SynopsesPerSec series present in both files is compared,
+// and the command exits nonzero when the current rate has regressed more
+// than maxRegression below the baseline. Smaller-but-tolerable drops print
+// a ::warning:: line (surfaced by GitHub Actions as an annotation).
+func runCompare(args []string) error {
+	fs := flag.NewFlagSet("saad-bench compare", flag.ContinueOnError)
+	var (
+		baseline = fs.String("baseline", "", "baseline -json record file (e.g. the committed BENCH_bench.json)")
+		current  = fs.String("current", "", "freshly generated -json record file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *baseline == "" || *current == "" {
+		fs.Usage()
+		return fmt.Errorf("compare needs both -baseline and -current")
+	}
+	base, err := loadRates(*baseline)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	cur, err := loadRates(*current)
+	if err != nil {
+		return fmt.Errorf("current: %w", err)
+	}
+
+	shared := make([]string, 0, len(base))
+	for exp := range base {
+		if _, ok := cur[exp]; ok {
+			shared = append(shared, exp)
+		}
+	}
+	if len(shared) == 0 {
+		return fmt.Errorf("no experiment with a synopses-per-second series appears in both files")
+	}
+	sort.Strings(shared)
+
+	failed := false
+	for _, exp := range shared {
+		b, c := base[exp], cur[exp]
+		change := (c - b) / b
+		switch {
+		case change < -maxRegression:
+			failed = true
+			fmt.Printf("FAIL %s: %.0f -> %.0f synopses/s (%.1f%%, limit -%.0f%%)\n",
+				exp, b, c, 100*change, 100*maxRegression)
+		case change < 0:
+			fmt.Printf("::warning::%s: %.0f -> %.0f synopses/s (%.1f%%, within the -%.0f%% budget)\n",
+				exp, b, c, 100*change, 100*maxRegression)
+		default:
+			fmt.Printf("OK   %s: %.0f -> %.0f synopses/s (%+.1f%%)\n", exp, b, c, 100*change)
+		}
+	}
+	if failed {
+		return fmt.Errorf("synopses-per-second regressed more than %.0f%%", 100*maxRegression)
+	}
+	return nil
+}
+
+// loadRates extracts the best SynopsesPerSec per experiment from a -json
+// record file. Best-of-runs, not mean: the fastest repetition is the least
+// noise-contaminated estimate of what the code can do on that machine.
+func loadRates(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rates := make(map[string]float64)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec struct {
+			Experiment string `json:"experiment"`
+			Result     struct {
+				SynopsesPerSec float64 `json:"SynopsesPerSec"`
+			} `json:"result"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			// Records whose result is a plain string (table2, model) fail to
+			// parse into the struct shape; they carry no rate — skip.
+			continue
+		}
+		if rec.Experiment == "" || rec.Result.SynopsesPerSec <= 0 {
+			continue
+		}
+		if rec.Result.SynopsesPerSec > rates[rec.Experiment] {
+			rates[rec.Experiment] = rec.Result.SynopsesPerSec
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("line %d: %w", line, err)
+	}
+	return rates, nil
+}

@@ -3,9 +3,15 @@
 // Usage:
 //
 //	saad-bench [flags] <experiment>
+//	saad-bench compare -baseline <file> -current <file>
 //
 // Experiments: fig6 fig7 fig8 sec533 table1 table2 table3 fig9a fig9b
-// fig9c fig9d fig10 fig11 scenarios all
+// fig9c fig9d fig10 fig11 scenarios wirepath all
+//
+// "wirepath" benchmarks this repo's own synopsis wire path (protocol v1 vs
+// v2 over a TCP loopback into the engine); "compare" diffs the
+// synopses-per-second series of two -json record files and fails on a >20%
+// regression (CI's perf gate).
 //
 // "scenarios" runs the gray-failure taxonomy matrix (not a paper artifact):
 // each cell pairs one gray fault with a taxonomy class and is scored for
@@ -40,6 +46,9 @@ func main() {
 }
 
 func run(args []string) error {
+	if len(args) > 0 && args[0] == "compare" {
+		return runCompare(args[1:])
+	}
 	fs := flag.NewFlagSet("saad-bench", flag.ContinueOnError)
 	var (
 		scale   = fs.Duration("scale", 5*time.Second, "virtual duration of one paper minute")
@@ -55,7 +64,7 @@ func run(args []string) error {
 	}
 	if fs.NArg() != 1 {
 		fs.Usage()
-		return fmt.Errorf("need exactly one experiment, got %d args (fig6 fig7 fig8 sec533 table1 table2 table3 fig9a fig9b fig9c fig9d fig10 fig11 scenarios model all)", fs.NArg())
+		return fmt.Errorf("need exactly one experiment, got %d args (fig6 fig7 fig8 sec533 table1 table2 table3 fig9a fig9b fig9c fig9d fig10 fig11 scenarios wirepath model all)", fs.NArg())
 	}
 	cfg := experiments.Config{
 		MinuteScale: *scale,
@@ -67,7 +76,7 @@ func run(args []string) error {
 
 	name := fs.Arg(0)
 	if name == "all" {
-		for _, exp := range []string{"fig6", "fig7", "fig8", "sec533", "table1", "fig9a", "fig9b", "fig9c", "fig9d", "fig10", "fig11"} {
+		for _, exp := range []string{"fig6", "fig7", "fig8", "sec533", "table1", "fig9a", "fig9b", "fig9c", "fig9d", "fig10", "fig11", "wirepath"} {
 			if err := runOne(cfg, exp, *csvDir, *jsonOut); err != nil {
 				return fmt.Errorf("%s: %w", exp, err)
 			}
@@ -158,6 +167,10 @@ func runOne(cfg experiments.Config, name, csvDir, jsonOut string) error {
 		}
 	case "fig11":
 		out, err = experiments.Fig11(cfg)
+	case "wirepath":
+		// Not a paper artifact: this repo's own wire-protocol throughput
+		// trajectory (v1 vs v2), gated in CI via `saad-bench compare`.
+		out, err = experiments.Wirepath(cfg)
 	case "model":
 		// Not a paper artifact: train on a fault-free Cassandra run and
 		// print the learned per-stage signature tables for inspection.

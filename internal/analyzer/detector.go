@@ -102,6 +102,11 @@ type Detector struct {
 	// observed, reused across Feed calls so the interned-id lookup does not
 	// allocate.
 	scratch []byte
+	// retainCopy makes the detector deep-copy any synopsis it keeps as an
+	// anomaly example. Off by default (callers own their synopses for the
+	// process lifetime); the engine turns it on when a release hook recycles
+	// synopses after observation.
+	retainCopy bool
 
 	metrics *metrics.AnalyzerMetrics
 	flight  *trace.FlightRing
@@ -157,6 +162,12 @@ func (d *Detector) SetMetrics(m *metrics.AnalyzerMetrics) { d.metrics = m }
 // and closes and late drops are recorded as pipeline events. Recording is a
 // few atomic stores, so the detector's per-task cost is unchanged.
 func (d *Detector) SetFlight(r *trace.FlightRing) { d.flight = r }
+
+// SetRetainCopy controls example retention: when on, every synopsis kept in
+// an anomaly report is deep-copied at retention time, so the caller may
+// recycle (or mutate) the fed synopsis as soon as Feed returns. Required
+// whenever the feeder pools synopses (see analyzer.WithSynopsisRelease).
+func (d *Detector) SetRetainCopy(on bool) { d.retainCopy = on }
 
 // Model returns a deep copy of the trained model the detector judges
 // against. A detector restored from a checkpoint carries its model with
@@ -241,6 +252,17 @@ func (d *Detector) sigKey(s *synopsis.Synopsis) []byte {
 	return buf
 }
 
+// retain returns the synopsis to keep as an anomaly example: the synopsis
+// itself normally, a deep copy under SetRetainCopy (the fed synopsis may be
+// recycled the moment Feed returns). At most one retention site fires per
+// observe, so the clone cost is bounded by MaxExamples per window.
+func (d *Detector) retain(s *synopsis.Synopsis) *synopsis.Synopsis {
+	if d.retainCopy {
+		return s.Clone()
+	}
+	return s
+}
+
 // observe classifies one synopsis against the model inside window w.
 func (d *Detector) observe(w *windowState, s *synopsis.Synopsis) {
 	w.tasks++
@@ -266,7 +288,7 @@ func (d *Detector) observe(w *windowState, s *synopsis.Synopsis) {
 		}
 		ev.count++
 		if len(ev.examples) < cap1(d.cfg.MaxExamples) {
-			ev.examples = append(ev.examples, s)
+			ev.examples = append(ev.examples, d.retain(s))
 		}
 		w.flowOutliers++
 		return
@@ -275,7 +297,7 @@ func (d *Detector) observe(w *windowState, s *synopsis.Synopsis) {
 	if sigModel.FlowOutlier {
 		w.flowOutliers++
 		if len(w.flowExamples) < d.cfg.MaxExamples {
-			w.flowExamples = append(w.flowExamples, s)
+			w.flowExamples = append(w.flowExamples, d.retain(s))
 		}
 		return
 	}
@@ -289,7 +311,7 @@ func (d *Detector) observe(w *windowState, s *synopsis.Synopsis) {
 	if sigModel.PerfEligible && s.Duration > sigModel.DurationThreshold {
 		sw.perfOutliers++
 		if len(sw.examples) < d.cfg.MaxExamples {
-			sw.examples = append(sw.examples, s)
+			sw.examples = append(sw.examples, d.retain(s))
 		}
 	}
 }

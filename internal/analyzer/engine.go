@@ -65,6 +65,16 @@ type Engine struct {
 	m      *metrics.AnalyzerMetrics
 	tracer *trace.Tracer
 
+	// release, when set, is called exactly once for every synopsis the
+	// engine is done with — after its shard observed it, or immediately
+	// when admission control sheds it. Cores run in clone-on-retain mode
+	// so no example kept for an anomaly report aliases a released (and
+	// possibly recycled) synopsis.
+	release func(*synopsis.Synopsis)
+	// releaseBatch, when set, replaces per-record release for whole batch
+	// messages: one call recycles the batch under a single free-list lock.
+	releaseBatch func([]*synopsis.Synopsis)
+
 	queueCap int
 }
 
@@ -115,7 +125,9 @@ type engineOptions struct {
 	metrics   *metrics.AnalyzerMetrics
 	sink      func([]Anomaly)
 	tracer    *trace.Tracer
-	admission *AdmissionConfig
+	admission    *AdmissionConfig
+	release      func(*synopsis.Synopsis)
+	releaseBatch func([]*synopsis.Synopsis)
 }
 
 // WithShards sets the shard count; n < 1 selects GOMAXPROCS.
@@ -155,6 +167,27 @@ func WithEngineTracer(t *trace.Tracer) EngineOption {
 	return func(o *engineOptions) { o.tracer = t }
 }
 
+// WithSynopsisRelease registers fn as the engine's synopsis free-list hook
+// (typically synopsis.Pool.Put): it is called exactly once per fed synopsis
+// — on the shard worker after the core observed it, or inline on the feeder
+// when admission control sheds it — so a zero-allocation receive path can
+// recycle record structs. The engine automatically switches its detector
+// cores to clone-on-retain: any synopsis kept as an anomaly example is
+// deep-copied first, so recycling can never corrupt a report.
+func WithSynopsisRelease(fn func(*synopsis.Synopsis)) EngineOption {
+	return func(o *engineOptions) { o.release = fn }
+}
+
+// WithSynopsisReleaseBatch registers fn (typically synopsis.Pool.PutN) as
+// the bulk variant of the release hook: whole batch messages are recycled
+// with one call instead of one per record, so free-list synchronization
+// amortizes across the batch. Use it alongside WithSynopsisRelease, which
+// still covers single-record feeds and admission sheds; the exactly-once
+// contract is unchanged — every fed synopsis reaches exactly one hook.
+func WithSynopsisReleaseBatch(fn func([]*synopsis.Synopsis)) EngineOption {
+	return func(o *engineOptions) { o.releaseBatch = fn }
+}
+
 // NewEngine returns a running engine for the trained model. The model must
 // not be mutated afterwards (its interning index is shared read-only by
 // every shard).
@@ -180,7 +213,22 @@ func newEngine(model *Model, opts ...EngineOption) (*Engine, *engineOptions) {
 		sink:     o.sink,
 		m:        o.metrics,
 		tracer:   o.tracer,
+		release:  o.release,
 		queueCap: o.queueCap,
+	}
+	e.releaseBatch = o.releaseBatch
+	if e.release == nil && e.releaseBatch != nil {
+		// Keep the exactly-once contract for single-record feeds and
+		// admission sheds even when only the bulk hook was given.
+		rb := e.releaseBatch
+		one := make([]*synopsis.Synopsis, 1)
+		var mu sync.Mutex
+		e.release = func(s *synopsis.Synopsis) {
+			mu.Lock()
+			one[0] = s
+			rb(one)
+			mu.Unlock()
+		}
 	}
 	if o.shards&(o.shards-1) == 0 {
 		e.mask = uint32(o.shards - 1)
@@ -212,6 +260,9 @@ func newEngine(model *Model, opts ...EngineOption) (*Engine, *engineOptions) {
 			sh.flight = t.ShardRing(i)
 			sh.core.SetFlight(sh.flight)
 		}
+		if e.release != nil || e.releaseBatch != nil {
+			sh.core.SetRetainCopy(true)
+		}
 		e.shards[i] = sh
 		go e.run(sh)
 	}
@@ -234,9 +285,22 @@ func (e *Engine) run(sh *shard) {
 		switch {
 		case msg.syn != nil:
 			sh.observe(e, msg.syn)
+			if e.release != nil {
+				e.release(msg.syn)
+			}
 		case msg.batch != nil:
-			for _, s := range msg.batch {
-				sh.observe(e, s)
+			if e.releaseBatch != nil {
+				for _, s := range msg.batch {
+					sh.observe(e, s)
+				}
+				e.releaseBatch(msg.batch)
+			} else {
+				for _, s := range msg.batch {
+					sh.observe(e, s)
+					if e.release != nil {
+						e.release(s)
+					}
+				}
 			}
 		case msg.cmd != nil:
 			msg.cmd(sh.core)
@@ -332,6 +396,9 @@ func (e *Engine) send(sh *shard, msg shardMsg) {
 func (e *Engine) Feed(s *synopsis.Synopsis) {
 	sh := e.shardFor(s)
 	if e.admOn && !e.admit(sh) {
+		if e.release != nil {
+			e.release(s)
+		}
 		return
 	}
 	e.fed.Add(1)
@@ -397,6 +464,9 @@ func (e *Engine) feedBatchAdmit(batch []*synopsis.Synopsis) {
 		kept := make([]*synopsis.Synopsis, 0, len(batch))
 		for _, s := range batch {
 			if !e.admit(sh) {
+				if e.release != nil {
+					e.release(s)
+				}
 				continue
 			}
 			stamp(s)
@@ -411,6 +481,9 @@ func (e *Engine) feedBatchAdmit(batch []*synopsis.Synopsis) {
 	for _, s := range batch {
 		sh := e.shardFor(s)
 		if !e.admit(sh) {
+			if e.release != nil {
+				e.release(s)
+			}
 			continue
 		}
 		stamp(s)
@@ -426,6 +499,12 @@ func (e *Engine) feedBatchAdmit(batch []*synopsis.Synopsis) {
 // Emit implements tracker.Sink, so the engine can terminate any synopsis
 // transport directly — each TCP connection handler feeds it concurrently.
 func (e *Engine) Emit(s *synopsis.Synopsis) { e.Feed(s) }
+
+// EmitBatch implements stream.BatchSink: a v2 TCP connection hands each
+// decoded frame over in one call, so the engine's per-shard partitioning
+// and channel sends amortize across the whole frame. Ownership of the
+// slice and its synopses passes to the engine.
+func (e *Engine) EmitBatch(batch []*synopsis.Synopsis) { e.FeedBatch(batch) }
 
 // Fed returns how many synopses the engine accepted.
 func (e *Engine) Fed() uint64 { return e.fed.Load() }

@@ -48,6 +48,7 @@ func (e *Engine) SwapModel(model *Model) []Anomaly {
 		fresh.late = sh.core.late
 		fresh.metrics = sh.core.metrics
 		fresh.flight = sh.core.flight
+		fresh.retainCopy = sh.core.retainCopy
 		sh.core = fresh
 		// Recorded inside the quiesce fn, i.e. on the shard worker
 		// goroutine, right at the cutover point: the flight ring shows the

@@ -1,0 +1,21 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+// TestWirepathProfile is a profiling harness, not a correctness test: run
+// with SAAD_WIREPATH_PROFILE=1 and -cpuprofile to see where a wire leg
+// spends its time. Skipped otherwise so the suite stays fast.
+func TestWirepathProfile(t *testing.T) {
+	if os.Getenv("SAAD_WIREPATH_PROFILE") == "" {
+		t.Skip("set SAAD_WIREPATH_PROFILE=1 to run the wirepath profiling harness")
+	}
+	cfg := Config{}
+	res, err := Wirepath(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res.String())
+}

@@ -20,10 +20,20 @@ import (
 //   - ranging over a map — nondeterministic order and hash-iteration cost
 //   - literals passed to interface-typed parameters — the boxing
 //     allocation go build will not warn about
+//   - make of a slice — a fresh backing array per call; zero-alloc paths
+//     reuse caller- or struct-owned scratch (dst = append(dst, ...))
+//   - append onto a fresh slice — append([]T(nil), ...), append([]T{}, ...)
+//     or append(nil, ...) — which hides the same per-call allocation
+//     behind append's grow path
 //
 // A fmt call whose result is immediately returned (return fmt.Errorf(...))
 // is treated as a cold exit path and exempt: error construction happens
 // after the hot path has already failed.
+//
+// A slice make inside an if statement whose condition (or init) calls the
+// builtin cap is exempt — that is the amortized-growth idiom
+// (`if cap(d.buf) < n { d.buf = make([]byte, n) }`): it allocates only
+// while the reusable buffer warms up, then never again.
 //
 // time.Now additionally gets a sampling-guard exemption for pipeline
 // tracing (DESIGN §13): a wall-clock read inside an if statement whose
@@ -90,7 +100,94 @@ func checkHotpathCall(pass *Pass, fn *ast.FuncDecl, call *ast.CallExpr, parents 
 			pass.Reportf(call.Pos(), "hot path %s calls fmt.%s (allocates; cold error exits may `return fmt.Errorf(...)` directly)", fn.Name.Name, sel.Sel.Name)
 		}
 	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		switch {
+		case builtinCall(info, id, "make"):
+			if t := info.TypeOf(call); t != nil {
+				if _, isSlice := t.Underlying().(*types.Slice); isSlice && !capGuarded(parents) {
+					pass.Reportf(call.Pos(), "hot path %s makes a slice (fresh backing array per call; reuse scratch with dst = append(dst[:0], ...) or cap-guard the growth)", fn.Name.Name)
+				}
+			}
+		case builtinCall(info, id, "append"):
+			if len(call.Args) > 0 && freshSlice(info, call.Args[0]) {
+				pass.Reportf(call.Pos(), "hot path %s appends onto a fresh slice (allocates per call; append into reusable scratch instead)", fn.Name.Name)
+			}
+		}
+	}
 	checkBoxedLiterals(pass, fn, call)
+}
+
+// builtinCall reports whether id resolves to the named Go builtin (not a
+// shadowing local function of the same name).
+func builtinCall(info *types.Info, id *ast.Ident, name string) bool {
+	if id.Name != name {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// capGuarded reports whether the node whose parent stack is given sits
+// inside an if statement whose condition or init calls the builtin cap —
+// the amortized-growth exemption for slice makes: such a make runs only
+// while a reusable buffer is still warming up.
+func capGuarded(parents []ast.Node) bool {
+	for i := len(parents) - 1; i >= 0; i-- {
+		switch p := parents[i].(type) {
+		case *ast.IfStmt:
+			if mentionsCap(p.Cond) || mentionsCap(p.Init) {
+				return true
+			}
+		case *ast.FuncLit, *ast.FuncDecl:
+			return false
+		}
+	}
+	return false
+}
+
+// mentionsCap reports whether n contains a call to the builtin cap.
+func mentionsCap(n ast.Node) bool {
+	if n == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "cap" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// freshSlice reports whether e denotes a slice value that is provably fresh
+// at every evaluation — the append-first-argument shapes that force append
+// to allocate a new backing array per call: a nil identifier, a composite
+// literal ([]T{} or []T{...}), or the []T(nil) conversion.
+func freshSlice(info *types.Info, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name == "nil"
+	case *ast.CompositeLit:
+		if t := info.TypeOf(e); t != nil {
+			_, isSlice := t.Underlying().(*types.Slice)
+			return isSlice
+		}
+	case *ast.CallExpr:
+		// A conversion []T(nil): Fun is a type, the single argument is nil.
+		if tv, ok := info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			if _, isSlice := tv.Type.Underlying().(*types.Slice); isSlice {
+				if id, ok := e.Args[0].(*ast.Ident); ok && id.Name == "nil" {
+					return true
+				}
+			}
+		}
+	case *ast.ParenExpr:
+		return freshSlice(info, e.X)
+	}
+	return false
 }
 
 // samplingGuarded reports whether the node whose parent stack is given

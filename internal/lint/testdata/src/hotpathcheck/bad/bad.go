@@ -32,3 +32,15 @@ func guarded(enabled bool, out []int64) {
 		out[0] = time.Now().UnixNano() // want "calls time.Now"
 	}
 }
+
+// alloc allocates a fresh backing array per call in three disguises.
+//
+//saad:hotpath
+func alloc(points []int64) []int64 {
+	buf := make([]byte, len(points)) // want "makes a slice"
+	_ = buf
+	snapshot := append([]int64(nil), points...) // want "appends onto a fresh slice"
+	extra := append([]int64{}, points...)       // want "appends onto a fresh slice"
+	_ = extra
+	return snapshot
+}

@@ -64,3 +64,29 @@ func stamp(smp sampler, ev *event) {
 		sp.Emit = time.Now().UnixNano()
 	}
 }
+
+// codec reuses struct-owned scratch: the only make is cap-guarded growth
+// (amortized to zero), and appends extend the reused buffer.
+type codec struct{ buf []byte }
+
+//saad:hotpath
+func (c *codec) encode(points []int64) []byte {
+	n := 8 * len(points)
+	if cap(c.buf) < n {
+		c.buf = make([]byte, 0, n)
+	}
+	out := c.buf[:0]
+	for _, p := range points {
+		out = append(out, byte(p))
+	}
+	c.buf = out
+	return out
+}
+
+// snapshot documents a deliberate defensive copy on a hot path — the
+// allow directive records why the allocation is accepted.
+//
+//saad:hotpath
+func snapshot(points []int64) []int64 {
+	return append([]int64(nil), points...) //saad:allow hotpathcheck ownership handoff requires a defensive copy
+}

@@ -70,7 +70,21 @@ type TCPClientMetrics struct {
 	// means the stream is dead; with reconnect enabled each error only
 	// marks one failed delivery attempt before the client redials.
 	Errors *Counter
+	// ProtocolVersion is the wire protocol negotiated on the current
+	// connection (0 while disconnected, 1 legacy per-record, 2 batched
+	// with interning).
+	ProtocolVersion *Gauge
+	// BatchRecords observes the record count of each v2 batch frame
+	// written, so the adaptive flush sizing is visible.
+	BatchRecords *Histogram
+	// InternedHeaders counts record headers that collapsed to an intern
+	// table reference instead of an inline (host, stage) pair.
+	InternedHeaders *Counter
 }
+
+// BatchSizeBuckets buckets v2 batch frame sizes, spanning the adaptive
+// range from single-record flushes to MaxBatchRecords.
+var BatchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
 
 // NewTCPClientMetrics registers the TCP client metric family on r.
 func NewTCPClientMetrics(r *Registry) *TCPClientMetrics {
@@ -81,7 +95,10 @@ func NewTCPClientMetrics(r *Registry) *TCPClientMetrics {
 		FramesDropped: r.NewCounter("saad_stream_tcp_client_frames_dropped_total", "Synopses discarded by the TCP client (post-error emits, spill-ring evictions, undelivered at close)."),
 		BytesSent:     r.NewCounter("saad_stream_tcp_client_bytes_sent_total", "Bytes written to the analyzer TCP connection."),
 		SpillDepth:    r.NewGauge("saad_stream_tcp_client_spill_depth", "Synopses parked in the reconnect spill ring."),
-		Errors:        r.NewCounter("saad_stream_tcp_client_errors_total", "TCP client transport errors (latched without reconnect; per-attempt with it)."),
+		Errors:          r.NewCounter("saad_stream_tcp_client_errors_total", "TCP client transport errors (latched without reconnect; per-attempt with it)."),
+		ProtocolVersion: r.NewGauge("saad_stream_tcp_client_protocol_version", "Wire protocol negotiated on the current connection (0 disconnected, 1 legacy, 2 batched)."),
+		BatchRecords:    r.NewHistogram("saad_stream_tcp_client_batch_records", "Records per v2 batch frame written.", BatchSizeBuckets),
+		InternedHeaders: r.NewCounter("saad_stream_tcp_client_interned_headers_total", "Record headers collapsed to an intern-table reference."),
 	}
 }
 
@@ -111,6 +128,15 @@ type TCPServerMetrics struct {
 	// deadline — half-dead clients (e.g. behind an asymmetric partition)
 	// that stopped sending frames but never closed.
 	IdleReaps *Counter
+	// ProtocolConnections counts accepted connections by negotiated wire
+	// protocol version.
+	ProtocolConnections *CounterVec
+	// BatchRecords observes the record count of each v2 batch frame
+	// received.
+	BatchRecords *Histogram
+	// InternedHeaders counts record headers received as intern-table
+	// references instead of inline (host, stage) pairs.
+	InternedHeaders *Counter
 }
 
 // NewTCPServerMetrics registers the TCP server metric family on r.
@@ -124,6 +150,9 @@ func NewTCPServerMetrics(r *Registry) *TCPServerMetrics {
 		Resyncs:         r.NewCounter("saad_stream_tcp_server_resyncs_total", "Connections accepted after a previous stream ended (client reconnects)."),
 		AcceptErrors:    r.NewCounter("saad_stream_tcp_server_accept_errors_total", "Transient listener accept errors retried by the server."),
 		IdleReaps:       r.NewCounter("saad_stream_tcp_server_idle_reaps_total", "Connections closed after exceeding the idle read deadline."),
+		ProtocolConnections: r.NewCounterVec("saad_stream_tcp_server_protocol_connections_total", "Accepted connections by negotiated wire protocol version.", "version"),
+		BatchRecords:        r.NewHistogram("saad_stream_tcp_server_batch_records", "Records per v2 batch frame received.", BatchSizeBuckets),
+		InternedHeaders:     r.NewCounter("saad_stream_tcp_server_interned_headers_total", "Record headers received as intern-table references."),
 	}
 }
 

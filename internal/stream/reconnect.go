@@ -152,25 +152,71 @@ func (c *Client) runReconnect() {
 	rng := vtime.NewRNG(rc.Seed)
 	backoff := rc.InitialBackoff
 	var conn net.Conn
-	var enc *synopsis.Encoder
+	var enc *synopsis.Encoder // v1 path
+	var w io.Writer           // raw (counted) conn writer, v2 path
+	var benc *synopsis.BatchEncoder
+	var frame []byte     // reusable v2 frame scratch
+	proto := 0           // negotiated version of the live conn, 0 = down
+	v1Latch := false     // peer answered v1 once: stop offering hellos...
+	dials := 0           // ...except every v1ReprobeEvery-th dial (upgrades)
+	var lastInterned uint64
+
+	setProto := func(v int) {
+		proto = v
+		c.mu.Lock()
+		c.proto = v
+		c.mu.Unlock()
+		if m := c.metrics; m != nil {
+			m.ProtocolVersion.Set(float64(v))
+		}
+	}
 
 	dropConn := func() {
 		if conn != nil {
 			_ = conn.Close()
-			conn, enc = nil, nil
+			conn, enc, w = nil, nil, nil
+			setProto(0)
 		}
 	}
 	defer dropConn()
 
-	// connect performs one dial attempt and wires the encoder.
+	// connect performs one dial attempt, negotiates the wire protocol and
+	// wires the encoder. The hello is skipped while the peer is latched as
+	// v1, with a periodic reprobe so a server upgrade is eventually noticed.
 	connect := func() bool {
-		nc, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
-		if err != nil {
+		fail := func(nc net.Conn, err error) bool {
+			if nc != nil {
+				_ = nc.Close()
+			}
 			c.setErr(err)
 			if m := c.metrics; m != nil {
 				m.Errors.Inc()
 			}
 			return false
+		}
+		nc, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
+		if err != nil {
+			return fail(nil, err)
+		}
+		dials++
+		ver := synopsis.ProtocolV1
+		if c.protoMax >= synopsis.ProtocolV2 && (!v1Latch || dials%v1ReprobeEvery == 0) {
+			v, nerr := negotiate(nc, c.protoMax, c.dialTimeout)
+			switch {
+			case nerr == nil:
+				ver = v
+				v1Latch = ver < synopsis.ProtocolV2
+			case peerSpeaksV1(nerr):
+				// Legacy server: it already dropped the connection on the
+				// hello bytes, so redial and speak plain v1 from byte one.
+				v1Latch = true
+				_ = nc.Close()
+				if nc, err = net.DialTimeout("tcp", c.addr, c.dialTimeout); err != nil {
+					return fail(nil, err)
+				}
+			default:
+				return fail(nc, nerr)
+			}
 		}
 		if m := c.metrics; m != nil {
 			m.Dials.Inc()
@@ -181,16 +227,30 @@ func (c *Client) runReconnect() {
 		c.everConnected = true
 		backoff = rc.InitialBackoff
 		conn = nc
-		w := io.Writer(conn)
+		w = io.Writer(conn)
 		if m := c.metrics; m != nil {
 			w = countingWriter{w: conn, c: m.BytesSent}
 		}
-		enc = synopsis.NewEncoder(w)
-		// Death probe: the synopsis protocol is strictly one-way, so a
-		// returning Read means the analyzer hung up (FIN/RST). Closing
-		// the connection here makes the supervisor's next write fail
-		// locally and replay its batch, instead of flushing frames into
-		// a dead socket where they would be lost unaccounted.
+		if ver >= synopsis.ProtocolV2 {
+			// Fresh connection ⇒ the server's intern table is empty too:
+			// reset ours so every group is redefined inline in lockstep.
+			if benc == nil {
+				benc = synopsis.NewBatchEncoder()
+			} else {
+				benc.Reset()
+			}
+			lastInterned = benc.InternedRefs()
+			enc = nil
+		} else {
+			enc = synopsis.NewEncoder(w)
+		}
+		setProto(ver)
+		// Death probe: the synopsis protocol is strictly one-way after the
+		// hello ack (already consumed above), so a returning Read means the
+		// analyzer hung up (FIN/RST). Closing the connection here makes the
+		// supervisor's next write fail locally and replay its batch,
+		// instead of flushing frames into a dead socket where they would
+		// be lost unaccounted.
 		go func(nc net.Conn) {
 			var b [1]byte
 			_, _ = nc.Read(b[:])
@@ -223,7 +283,22 @@ func (c *Client) runReconnect() {
 	popBatch := func() []*synopsis.Synopsis {
 		c.mu.Lock()
 		defer c.mu.Unlock()
-		return c.ring.popBatch(rc.BatchSize)
+		target := rc.BatchSize
+		if proto >= synopsis.ProtocolV2 {
+			// Load-responsive drain: a deep ring (post-outage backlog) is
+			// flushed in larger frames so the catch-up amortizes framing
+			// and write syscalls, bounded by the protocol's frame limit.
+			if depth := c.ring.len(); depth > 4*rc.BatchSize {
+				target = depth
+				if max := 8 * rc.BatchSize; target > max {
+					target = max
+				}
+				if target > synopsis.MaxBatchRecords {
+					target = synopsis.MaxBatchRecords
+				}
+			}
+		}
+		return c.ring.popBatch(target)
 	}
 	replay := func(batch []*synopsis.Synopsis) {
 		c.mu.Lock()
@@ -241,25 +316,47 @@ func (c *Client) runReconnect() {
 			_ = conn.SetWriteDeadline(time.Now().Add(c.writeTimeout))
 		}
 		var err error
-		for _, s := range batch {
-			if sp := s.Trace; sp != nil {
-				// Stamp (and on replay re-stamp) Send at the encode that
-				// actually reaches the wire, so Send-Emit includes the
-				// spill-ring dwell across an outage.
-				sp.Send = time.Now().UnixNano()
+		if proto >= synopsis.ProtocolV2 {
+			now := time.Now().UnixNano()
+			for _, s := range batch {
+				if sp := s.Trace; sp != nil {
+					// Stamp (and on replay re-stamp) Send at the encode
+					// that actually reaches the wire, so Send-Emit includes
+					// the spill-ring dwell across an outage.
+					sp.Send = now
+				}
 			}
-			if err = enc.Encode(s); err != nil {
-				break
+			frame = benc.AppendFrames(frame[:0], batch)
+			_, err = w.Write(frame)
+			if err == nil {
+				if m := c.metrics; m != nil {
+					m.FramesSent.Add(uint64(len(batch)))
+					m.BatchRecords.Observe(float64(len(batch)))
+					if refs := benc.InternedRefs(); refs > lastInterned {
+						m.InternedHeaders.Add(refs - lastInterned)
+						lastInterned = refs
+					}
+				}
+				return
 			}
-		}
-		if err == nil {
-			err = enc.Flush()
-		}
-		if err == nil {
-			if m := c.metrics; m != nil {
-				m.FramesSent.Add(uint64(len(batch)))
+		} else {
+			for _, s := range batch {
+				if sp := s.Trace; sp != nil {
+					sp.Send = time.Now().UnixNano()
+				}
+				if err = enc.Encode(s); err != nil {
+					break
+				}
 			}
-			return
+			if err == nil {
+				err = enc.Flush()
+			}
+			if err == nil {
+				if m := c.metrics; m != nil {
+					m.FramesSent.Add(uint64(len(batch)))
+				}
+				return
+			}
 		}
 		c.setErr(err)
 		if m := c.metrics; m != nil {

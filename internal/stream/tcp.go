@@ -1,11 +1,15 @@
 package stream
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"sort"
+	"strconv"
 	"sync"
+	"syscall"
 	"time"
 
 	"saad/internal/metrics"
@@ -21,6 +25,23 @@ const DefaultDialTimeout = 10 * time.Second
 // DefaultWriteTimeout bounds how long a single encode/flush may block on a
 // wedged connection before it is treated as a transport error.
 const DefaultWriteTimeout = 10 * time.Second
+
+// Direct-mode adaptive batching bounds (protocol v2): the pending batch is
+// flushed when it reaches the current target (size trigger) or on the
+// background flush tick (latency trigger); the target doubles on size
+// triggers and halves when a tick finds the batch underfilled, so batch
+// size tracks offered load.
+const (
+	minDirectBatch     = 8
+	initialDirectBatch = 16
+	maxDirectBatch     = 2048
+)
+
+// v1ReprobeEvery is how often a reconnecting client that latched a v1 peer
+// re-attempts the hello (every Nth dial): a legacy analyzer replaced by an
+// upgraded one is re-detected within a few reconnects, while the steady
+// v1 cost stays one wasted probe connection per N dials.
+const v1ReprobeEvery = 16
 
 // countingWriter charges bytes written to a counter; it wraps the client
 // connection below the encoder's bufio layer, so it observes flushed wire
@@ -66,11 +87,25 @@ type Client struct {
 	writeTimeout time.Duration
 	metrics      *metrics.TCPClientMetrics
 
+	// protoMax caps the negotiated wire protocol (WithProtocol); 1 selects
+	// the legacy framing with no hello.
+	protoMax int
+
 	mu     sync.Mutex
 	conn   net.Conn // direct mode only; the reconnect supervisor owns its own
 	enc    *synopsis.Encoder
 	err    error
 	closed bool
+
+	// Direct-mode v2 state: records pend in a batch and are flushed by
+	// size trigger, the background flush tick, or Close.
+	proto        int // negotiated protocol of the live connection (0 = none)
+	w            io.Writer
+	benc         *synopsis.BatchEncoder
+	pending      []*synopsis.Synopsis
+	frame        []byte
+	batchTarget  int
+	lastInterned uint64
 
 	// Reconnect mode state (nil ring = direct mode).
 	reconnect     ReconnectConfig
@@ -113,6 +148,19 @@ func WithWriteTimeout(d time.Duration) ClientOption {
 	}
 }
 
+// WithProtocol caps the wire protocol version the client negotiates
+// (default synopsis.MaxProtocolVersion). WithProtocol(1) speaks the legacy
+// per-record framing and sends no hello — byte-identical on the wire to a
+// pre-v2 client, which is what the interop tests (and genuinely old
+// analyzers) rely on.
+func WithProtocol(v int) ClientOption {
+	return func(c *Client) {
+		if v >= synopsis.ProtocolV1 && v <= synopsis.MaxProtocolVersion {
+			c.protoMax = v
+		}
+	}
+}
+
 // WithReconnect makes the client self-healing (see Client). The zero
 // ReconnectConfig selects the documented defaults. With reconnect enabled,
 // Dial returns immediately without a synchronous connection attempt: the
@@ -132,6 +180,7 @@ func Dial(addr string, flushEvery time.Duration, opts ...ClientOption) (*Client,
 		flushEvery:   flushEvery,
 		dialTimeout:  DefaultDialTimeout,
 		writeTimeout: DefaultWriteTimeout,
+		protoMax:     synopsis.MaxProtocolVersion,
 		stop:         make(chan struct{}),
 		done:         make(chan struct{}),
 	}
@@ -152,19 +201,97 @@ func Dial(addr string, flushEvery time.Duration, opts ...ClientOption) (*Client,
 	if err != nil {
 		return nil, fmt.Errorf("stream: dial %s: %w", addr, err)
 	}
+	ver := synopsis.ProtocolV1
+	if c.protoMax >= synopsis.ProtocolV2 {
+		v, nerr := negotiate(conn, c.protoMax, c.dialTimeout)
+		switch {
+		case nerr == nil:
+			ver = v
+		case peerSpeaksV1(nerr):
+			// Legacy analyzer: it read the hello magic as an oversized v1
+			// record and hung up. Redial speaking v1.
+			_ = conn.Close()
+			conn, err = net.DialTimeout("tcp", addr, c.dialTimeout)
+			if err != nil {
+				return nil, fmt.Errorf("stream: redial %s as v1: %w", addr, err)
+			}
+		default:
+			_ = conn.Close()
+			return nil, fmt.Errorf("stream: negotiate %s: %w", addr, nerr)
+		}
+	}
 	c.conn = conn
+	c.proto = ver
 	w := io.Writer(conn)
 	if m := c.metrics; m != nil {
 		m.Dials.Inc()
+		m.ProtocolVersion.Set(float64(ver))
 		w = countingWriter{w: conn, c: m.BytesSent}
 	}
-	c.enc = synopsis.NewEncoder(w)
+	c.w = w
+	if ver >= synopsis.ProtocolV2 {
+		c.benc = synopsis.NewBatchEncoder()
+		c.batchTarget = initialDirectBatch
+	} else {
+		c.enc = synopsis.NewEncoder(w)
+	}
 	if flushEvery > 0 {
 		go c.flushLoop(flushEvery)
 	} else {
 		close(c.done)
 	}
 	return c, nil
+}
+
+// Protocol returns the wire protocol version of the live connection (0
+// while a reconnecting client is between connections).
+func (c *Client) Protocol() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.proto
+}
+
+// connByteReader adapts a net.Conn to io.ByteReader for the hello ack —
+// one byte per read, so no read-ahead can swallow post-handshake bytes the
+// death probe must see.
+type connByteReader struct{ c net.Conn }
+
+func (r connByteReader) ReadByte() (byte, error) {
+	var b [1]byte
+	if _, err := io.ReadFull(r.c, b[:]); err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+// negotiate performs the client half of the hello exchange on nc: write
+// the hello, read the ack, return the version the server chose. The whole
+// exchange is bounded by timeout.
+func negotiate(nc net.Conn, maxVer int, timeout time.Duration) (int, error) {
+	if timeout > 0 {
+		_ = nc.SetDeadline(time.Now().Add(timeout))
+		defer func() { _ = nc.SetDeadline(time.Time{}) }()
+	}
+	var hb [16]byte
+	if _, err := nc.Write(synopsis.AppendHello(hb[:0], maxVer)); err != nil {
+		return 0, err
+	}
+	return synopsis.ReadHelloAck(connByteReader{c: nc})
+}
+
+// peerSpeaksV1 classifies a failed hello exchange. A pre-v2 server reads
+// the hello magic as an oversized record length and drops the connection
+// immediately, surfacing here as an EOF or reset — the deterministic
+// downgrade signal. A timeout or any other transport error is NOT a
+// downgrade signal: the peer's version is unknown, so the caller should
+// treat it as an ordinary connection failure and retry.
+func peerSpeaksV1(err error) bool {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return false
+	}
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE)
 }
 
 func (c *Client) flushLoop(every time.Duration) {
@@ -176,10 +303,20 @@ func (c *Client) flushLoop(every time.Duration) {
 		case <-ticker.C:
 			c.mu.Lock()
 			if c.err == nil && !c.closed {
-				c.armWriteDeadline()
-				c.err = c.enc.Flush()
-				if m := c.metrics; m != nil && c.err != nil {
-					m.Errors.Inc()
+				if c.benc != nil {
+					// Latency trigger: ship whatever pended since the last
+					// tick, and shrink the size target when load is light.
+					underfilled := len(c.pending) < c.batchTarget/4
+					c.flushPendingLocked()
+					if underfilled && c.batchTarget > minDirectBatch {
+						c.batchTarget /= 2
+					}
+				} else {
+					c.armWriteDeadline()
+					c.err = c.enc.Flush()
+					if m := c.metrics; m != nil && c.err != nil {
+						m.Errors.Inc()
+					}
 				}
 			}
 			c.mu.Unlock()
@@ -227,6 +364,18 @@ func (c *Client) Emit(s *synopsis.Synopsis) {
 		}
 		return
 	}
+	if c.benc != nil {
+		// v2 direct mode: pend into the adaptive batch; the size trigger
+		// flushes a full batch, the background tick bounds latency.
+		c.pending = append(c.pending, s)
+		if len(c.pending) >= c.batchTarget {
+			c.flushPendingLocked()
+			if c.err == nil && c.batchTarget < maxDirectBatch {
+				c.batchTarget *= 2 // size-triggered: load supports bigger batches
+			}
+		}
+		return
+	}
 	c.armWriteDeadline()
 	if sp := s.Trace; sp != nil {
 		sp.Send = time.Now().UnixNano()
@@ -237,6 +386,51 @@ func (c *Client) Emit(s *synopsis.Synopsis) {
 			m.Errors.Inc()
 		} else {
 			m.FramesSent.Inc()
+		}
+	}
+}
+
+// flushPendingLocked encodes the pending direct-mode batch as v2 frames
+// and writes them to the connection. Callers hold c.mu. On a write error
+// the pending records are dropped and counted — the direct-mode contract
+// (first transport error latches, every Emit lands in FramesSent or
+// FramesDropped) is unchanged from v1.
+func (c *Client) flushPendingLocked() {
+	if len(c.pending) == 0 || c.err != nil {
+		return
+	}
+	n := len(c.pending)
+	var now int64
+	for _, s := range c.pending {
+		if sp := s.Trace; sp != nil {
+			if now == 0 {
+				now = time.Now().UnixNano()
+			}
+			sp.Send = now
+		}
+	}
+	c.frame = c.benc.AppendFrames(c.frame[:0], c.pending)
+	for i := range c.pending {
+		c.pending[i] = nil
+	}
+	c.pending = c.pending[:0]
+	c.armWriteDeadline()
+	_, err := c.w.Write(c.frame)
+	m := c.metrics
+	if err != nil {
+		c.err = err
+		if m != nil {
+			m.Errors.Inc()
+			m.FramesDropped.Add(uint64(n))
+		}
+		return
+	}
+	if m != nil {
+		m.FramesSent.Add(uint64(n))
+		m.BatchRecords.Observe(float64(n))
+		if refs := c.benc.InternedRefs(); refs > c.lastInterned {
+			m.InternedHeaders.Add(refs - c.lastInterned)
+			c.lastInterned = refs
 		}
 	}
 }
@@ -302,9 +496,19 @@ func (c *Client) Close() error {
 		return nil
 	}
 	c.closed = true
-	c.armWriteDeadline()
-	flushErr := c.enc.Flush()
+	var flushErr error
+	if c.benc != nil {
+		c.flushPendingLocked()
+		flushErr = c.err
+	} else {
+		c.armWriteDeadline()
+		flushErr = c.enc.Flush()
+	}
 	closeErr := c.conn.Close()
+	if m := c.metrics; m != nil {
+		m.ProtocolVersion.Set(0)
+	}
+	c.proto = 0
 	c.mu.Unlock()
 
 	close(c.stop)
@@ -333,12 +537,36 @@ type Server struct {
 	sampler  *trace.Sampler
 	readIdle time.Duration
 
-	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
-	closed bool
-	ended  uint64 // connections that have come and gone
+	// protoMax caps the protocol the server negotiates
+	// (WithServerProtocol); 1 reproduces a pre-v2 server exactly — no
+	// hello peek, so a v2 client's hello is rejected as an oversized
+	// record and the client downgrades.
+	protoMax int
+	// pool, when set, recycles decoded synopses: the handler draws each
+	// record's synopsis from the pool and the sink (an engine built
+	// WithSynopsisRelease) returns it after detection — the zero-alloc
+	// receive path.
+	pool *synopsis.Pool
+	// batchSink is sink's batch extension, when it has one: a whole v2
+	// frame is delivered in one call, amortizing sink synchronization.
+	batchSink BatchSink
+
+	mu        sync.Mutex
+	conns     map[net.Conn]struct{}
+	connVers  map[net.Conn]int
+	closed    bool
+	ended     uint64 // connections that have come and gone
+	verCounts [synopsis.MaxProtocolVersion + 1]uint64
 
 	wg sync.WaitGroup
+}
+
+// BatchSink is the batch extension of tracker.Sink: a sink that also
+// implements EmitBatch receives each decoded v2 batch frame as one call —
+// the engine maps it to FeedBatch, amortizing per-record queue operations.
+// Ownership of the slice and the synopses passes to the sink.
+type BatchSink interface {
+	EmitBatch(batch []*synopsis.Synopsis)
 }
 
 // ServerOption customizes a Server.
@@ -377,6 +605,28 @@ func WithReadIdleTimeout(d time.Duration) ServerOption {
 	}
 }
 
+// WithServerProtocol caps the wire protocol version the server negotiates
+// (default synopsis.MaxProtocolVersion). WithServerProtocol(1) reproduces
+// a pre-v2 server byte-for-byte: no hello detection, v2 clients are
+// rejected into their v1 fallback.
+func WithServerProtocol(v int) ServerOption {
+	return func(s *Server) {
+		if v >= synopsis.ProtocolV1 && v <= synopsis.MaxProtocolVersion {
+			s.protoMax = v
+		}
+	}
+}
+
+// WithServerPool recycles decoded synopses through p. Pair it with an
+// engine built analyzer.WithSynopsisRelease(p.Put): the handler draws from
+// the pool, the engine releases after detection, and the steady-state
+// receive path allocates nothing. Without the engine-side release the pool
+// simply stays empty and every Get falls back to allocation — safe, just
+// not free.
+func WithServerPool(p *synopsis.Pool) ServerOption {
+	return func(s *Server) { s.pool = p }
+}
+
 // Listen starts a server on addr (e.g. "127.0.0.1:0") delivering synopses
 // to sink.
 func Listen(addr string, sink tracker.Sink, opts ...ServerOption) (*Server, error) {
@@ -391,9 +641,18 @@ func Listen(addr string, sink tracker.Sink, opts ...ServerOption) (*Server, erro
 // or a fault-injection wrapper in the chaos tests) delivering synopses to
 // sink. The server takes ownership of ln.
 func NewServer(ln net.Listener, sink tracker.Sink, opts ...ServerOption) *Server {
-	s := &Server{ln: ln, sink: sink, conns: make(map[net.Conn]struct{})}
+	s := &Server{
+		ln:       ln,
+		sink:     sink,
+		conns:    make(map[net.Conn]struct{}),
+		connVers: make(map[net.Conn]int),
+		protoMax: synopsis.MaxProtocolVersion,
+	}
 	for _, opt := range opts {
 		opt(s)
+	}
+	if bs, ok := sink.(BatchSink); ok {
+		s.batchSink = bs
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -452,6 +711,45 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// classifyReadErr maps a decode/read error to handler disposition,
+// counting idle reaps and protocol errors. It always means "stop serving
+// this connection".
+func (s *Server) classifyReadErr(err error) {
+	m := s.metrics
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		// The peer went silent past the idle budget: reap the
+		// connection so half-open peers can't pin handlers forever.
+		if m != nil {
+			m.IdleReaps.Inc()
+		}
+		return
+	}
+	if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+		// Truncated stream on teardown is routine; anything else is
+		// a protocol error from this connection — drop the
+		// connection either way, monitoring must keep running.
+		if m != nil {
+			m.ConnErrors.Inc()
+		}
+	}
+}
+
+// stampRecv stamps (or samples) the receive boundary on one decoded
+// synopsis.
+func (s *Server) stampRecv(syn *synopsis.Synopsis) {
+	if sp := syn.Trace; sp != nil {
+		sp.Recv = time.Now().UnixNano()
+	} else if s.sampler.Sample() {
+		syn.Trace = &trace.Span{
+			Stage:  uint16(syn.Stage),
+			Host:   syn.Host,
+			TaskID: syn.TaskID,
+			Recv:   time.Now().UnixNano(),
+		}
+	}
+}
+
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
 	m := s.metrics
@@ -463,6 +761,7 @@ func (s *Server) handle(conn net.Conn) {
 		_ = conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
+		delete(s.connVers, conn)
 		s.ended++
 		s.mu.Unlock()
 		if m != nil {
@@ -473,50 +772,203 @@ func (s *Server) handle(conn net.Conn) {
 	if m != nil {
 		r = countingReader{r: conn, c: m.BytesReceived}
 	}
-	dec := synopsis.NewDecoder(r)
-	for {
+	br := bufio.NewReaderSize(r, 64<<10)
+
+	ver := synopsis.ProtocolV1
+	if s.protoMax >= synopsis.ProtocolV2 {
 		if s.readIdle > 0 {
 			_ = conn.SetReadDeadline(time.Now().Add(s.readIdle))
 		}
-		var syn synopsis.Synopsis
-		if err := dec.Decode(&syn); err != nil {
-			var ne net.Error
-			if errors.As(err, &ne) && ne.Timeout() {
-				// The peer went silent past the idle budget: reap the
-				// connection so half-open peers can't pin handlers forever.
-				if m != nil {
-					m.IdleReaps.Inc()
-				}
-				return
+		maxVer, isHello, err := synopsis.PeekHello(br)
+		if err != nil {
+			s.classifyReadErr(err)
+			return
+		}
+		if isHello {
+			if maxVer > s.protoMax {
+				maxVer = s.protoMax
 			}
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				// Truncated stream on teardown is routine; anything else is
-				// a protocol error from this connection — drop the
-				// connection either way, monitoring must keep running.
+			ver = maxVer
+			_ = conn.SetWriteDeadline(time.Now().Add(DefaultWriteTimeout))
+			var ab [16]byte
+			if _, err := conn.Write(synopsis.AppendHelloAck(ab[:0], ver)); err != nil {
 				if m != nil {
 					m.ConnErrors.Inc()
 				}
 				return
 			}
+			// The ack is the server's only write, ever: v2 stays strictly
+			// one-way after the handshake, so the client death probe keeps
+			// working (any later inbound byte still means "server gone").
+		}
+		// No hello: a v1 client; the peeked bytes stay buffered for the
+		// legacy decoder, and the server never writes — exactly the old
+		// wire contract.
+	}
+	s.mu.Lock()
+	s.connVers[conn] = ver
+	s.verCounts[ver]++
+	s.mu.Unlock()
+	if m != nil {
+		m.ProtocolConnections.With(strconv.Itoa(ver)).Inc()
+	}
+	if ver >= synopsis.ProtocolV2 {
+		s.serveV2(conn, br)
+		return
+	}
+	s.serveV1(conn, br)
+}
+
+// connRefill is the per-connection free-list chunk size: the receive loop
+// takes one shared-pool lock per this many records.
+const connRefill = 256
+
+// connPool is a per-connection free list layered over the shared synopsis
+// pool: get pops locally and refills in connRefill-sized chunks, so shared
+// pool synchronization amortizes across the chunk. Not safe for concurrent
+// use — each connection handler owns exactly one.
+type connPool struct {
+	shared *synopsis.Pool
+	local  []*synopsis.Synopsis
+	next   int
+}
+
+func newConnPool(shared *synopsis.Pool) *connPool {
+	return &connPool{shared: shared}
+}
+
+func (c *connPool) get() *synopsis.Synopsis {
+	if c.shared == nil {
+		return &synopsis.Synopsis{}
+	}
+	if c.next == len(c.local) {
+		if c.local == nil {
+			c.local = make([]*synopsis.Synopsis, connRefill)
+		}
+		c.shared.GetN(c.local)
+		c.next = 0
+	}
+	s := c.local[c.next]
+	c.local[c.next] = nil
+	c.next++
+	return s
+}
+
+// release returns the unconsumed remainder of the current chunk to the
+// shared pool when the connection ends.
+func (c *connPool) release() {
+	if c.shared == nil || c.local == nil {
+		return
+	}
+	c.shared.PutN(c.local[c.next:])
+	c.local = nil
+}
+
+// serveV1 is the legacy per-record receive loop.
+func (s *Server) serveV1(conn net.Conn, br *bufio.Reader) {
+	m := s.metrics
+	dec := synopsis.NewDecoder(br)
+	free := newConnPool(s.pool)
+	defer free.release()
+	for {
+		if s.readIdle > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.readIdle))
+		}
+		syn := free.get()
+		if err := dec.Decode(syn); err != nil {
+			s.classifyReadErr(err)
 			return
 		}
 		if m != nil {
 			m.FramesReceived.Inc()
 		}
-		if sp := syn.Trace; sp != nil {
-			sp.Recv = time.Now().UnixNano()
-		} else if s.sampler.Sample() {
-			syn.Trace = &trace.Span{
-				Stage:  uint16(syn.Stage),
-				Host:   syn.Host,
-				TaskID: syn.TaskID,
-				Recv:   time.Now().UnixNano(),
-			}
-		}
+		s.stampRecv(syn)
 		if s.sink != nil {
-			s.sink.Emit(syn.Clone())
+			s.sink.Emit(syn)
 		}
 	}
+}
+
+// serveV2 is the batched receive loop: records decode into pool-drawn
+// synopses and whole frames are handed to the sink's batch entry point
+// when it has one, so queue synchronization amortizes across the batch.
+func (s *Server) serveV2(conn net.Conn, br *bufio.Reader) {
+	m := s.metrics
+	dec := synopsis.NewBatchDecoder(br)
+	if m != nil {
+		dec.SetFrameHook(func(records int) {
+			m.BatchRecords.Observe(float64(records))
+		})
+	}
+	var batch []*synopsis.Synopsis
+	var lastInterned uint64
+	free := newConnPool(s.pool)
+	defer free.release()
+	for {
+		// Re-arm the idle deadline only at frame boundaries: mid-frame the
+		// bytes are already in flight (usually buffered), and per-record
+		// deadline syscalls are a large fraction of the old loop's cost. A
+		// peer stalling mid-frame still trips the deadline armed at its
+		// frame's start.
+		if s.readIdle > 0 && dec.Remaining() == 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.readIdle))
+		}
+		syn := free.get()
+		if err := dec.Decode(syn); err != nil {
+			s.classifyReadErr(err)
+			return
+		}
+		s.stampRecv(syn)
+		if s.sink == nil {
+			if m != nil {
+				m.FramesReceived.Inc()
+			}
+			continue
+		}
+		if s.batchSink == nil {
+			if m != nil {
+				m.FramesReceived.Inc()
+			}
+			s.sink.Emit(syn)
+			continue
+		}
+		batch = append(batch, syn)
+		if dec.Remaining() == 0 {
+			// Record counters update once per frame, not per record.
+			if m != nil {
+				m.FramesReceived.Add(uint64(len(batch)))
+			}
+			s.batchSink.EmitBatch(batch)
+			batch = nil // ownership passed to the sink
+			if m != nil {
+				if refs := dec.InternedRefs(); refs > lastInterned {
+					m.InternedHeaders.Add(refs - lastInterned)
+					lastInterned = refs
+				}
+			}
+		}
+	}
+}
+
+// ConnProtocol is one live connection's negotiated protocol, for /statusz.
+type ConnProtocol struct {
+	Remote  string `json:"remote"`
+	Version int    `json:"version"`
+}
+
+// ProtocolStats snapshots the negotiated protocol version of every live
+// connection (sorted by remote address) plus cumulative per-version
+// connection counts indexed by version (index 0 unused).
+func (s *Server) ProtocolStats() ([]ConnProtocol, []uint64) {
+	s.mu.Lock()
+	out := make([]ConnProtocol, 0, len(s.connVers))
+	for conn, ver := range s.connVers {
+		out = append(out, ConnProtocol{Remote: conn.RemoteAddr().String(), Version: ver})
+	}
+	counts := append([]uint64(nil), s.verCounts[:]...)
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Remote < out[j].Remote })
+	return out, counts
 }
 
 // Close stops accepting, closes live connections and waits for handlers.

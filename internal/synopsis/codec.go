@@ -38,43 +38,91 @@ const maxRecordSize = 1 << 20
 // ErrRecordTooLarge is returned when a length prefix exceeds maxRecordSize.
 var ErrRecordTooLarge = errors.New("synopsis: record exceeds size limit")
 
-// AppendRecord appends the canonical binary encoding of s to dst and returns
-// the extended slice. The synopsis should be normalized.
+// uvarintLen returns the number of bytes binary.PutUvarint emits for v.
 //
 //saad:hotpath
-func AppendRecord(dst []byte, s *Synopsis) []byte {
-	size := 16 + 6*len(s.Points)
-	if s.Trace != nil {
-		size += 2 + 2*binary.MaxVarintLen64
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
 	}
-	bodyBuf := make([]byte, 0, size)
-	bodyBuf = binary.AppendUvarint(bodyBuf, uint64(s.Stage))
-	bodyBuf = binary.AppendUvarint(bodyBuf, uint64(s.Host))
-	bodyBuf = binary.AppendUvarint(bodyBuf, s.TaskID)
-	bodyBuf = binary.AppendUvarint(bodyBuf, uint64(s.Start.UnixMicro()))
-	bodyBuf = binary.AppendUvarint(bodyBuf, uint64(s.Duration.Microseconds()))
-	bodyBuf = binary.AppendUvarint(bodyBuf, uint64(len(s.Points)))
+	return n
+}
+
+// tracePayloadSize returns the encoded size of the extTrace payload.
+//
+//saad:hotpath
+func tracePayloadSize(sp *trace.Span) int {
+	return uvarintLen(uint64(sp.Emit)) + uvarintLen(uint64(sp.Send))
+}
+
+// bodySize returns the exact encoded body length of s — the record bytes
+// after the length prefix — computed arithmetically so encoders can reserve
+// or prefix without producing the encoding first.
+//
+//saad:hotpath
+func bodySize(s *Synopsis) int {
+	n := uvarintLen(uint64(s.Stage)) +
+		uvarintLen(uint64(s.Host)) +
+		uvarintLen(s.TaskID) +
+		uvarintLen(uint64(s.Start.UnixMicro())) +
+		uvarintLen(uint64(s.Duration.Microseconds())) +
+		uvarintLen(uint64(len(s.Points)))
 	var prev logpoint.ID
 	for _, pc := range s.Points {
-		bodyBuf = binary.AppendUvarint(bodyBuf, uint64(pc.Point-prev))
-		bodyBuf = binary.AppendUvarint(bodyBuf, uint64(pc.Count))
+		n += uvarintLen(uint64(pc.Point-prev)) + uvarintLen(uint64(pc.Count))
 		prev = pc.Point
 	}
 	if sp := s.Trace; sp != nil {
-		var payload [2 * binary.MaxVarintLen64]byte
-		p := binary.PutUvarint(payload[:], uint64(sp.Emit))
-		p += binary.PutUvarint(payload[p:], uint64(sp.Send))
-		bodyBuf = binary.AppendUvarint(bodyBuf, extTrace)
-		bodyBuf = binary.AppendUvarint(bodyBuf, uint64(p))
-		bodyBuf = append(bodyBuf, payload[:p]...)
+		p := tracePayloadSize(sp)
+		n += uvarintLen(extTrace) + uvarintLen(uint64(p)) + p
 	}
-	dst = binary.AppendUvarint(dst, uint64(len(bodyBuf)))
-	return append(dst, bodyBuf...)
+	return n
 }
 
-// EncodedSize returns the number of bytes AppendRecord would emit for s.
+// appendBody appends the record body of s (no length prefix) to dst.
+//
+//saad:hotpath
+func appendBody(dst []byte, s *Synopsis) []byte {
+	dst = binary.AppendUvarint(dst, uint64(s.Stage))
+	dst = binary.AppendUvarint(dst, uint64(s.Host))
+	dst = binary.AppendUvarint(dst, s.TaskID)
+	dst = binary.AppendUvarint(dst, uint64(s.Start.UnixMicro()))
+	dst = binary.AppendUvarint(dst, uint64(s.Duration.Microseconds()))
+	dst = binary.AppendUvarint(dst, uint64(len(s.Points)))
+	var prev logpoint.ID
+	for _, pc := range s.Points {
+		dst = binary.AppendUvarint(dst, uint64(pc.Point-prev))
+		dst = binary.AppendUvarint(dst, uint64(pc.Count))
+		prev = pc.Point
+	}
+	if sp := s.Trace; sp != nil {
+		dst = binary.AppendUvarint(dst, extTrace)
+		dst = binary.AppendUvarint(dst, uint64(tracePayloadSize(sp)))
+		dst = binary.AppendUvarint(dst, uint64(sp.Emit))
+		dst = binary.AppendUvarint(dst, uint64(sp.Send))
+	}
+	return dst
+}
+
+// AppendRecord appends the canonical binary encoding of s to dst and returns
+// the extended slice. The synopsis should be normalized. It is truly
+// append-only: with sufficient capacity in dst it performs no allocation.
+//
+//saad:hotpath
+func AppendRecord(dst []byte, s *Synopsis) []byte {
+	dst = binary.AppendUvarint(dst, uint64(bodySize(s)))
+	return appendBody(dst, s)
+}
+
+// EncodedSize returns the number of bytes AppendRecord would emit for s,
+// computed arithmetically without producing the encoding.
+//
+//saad:hotpath
 func EncodedSize(s *Synopsis) int {
-	return len(AppendRecord(nil, s))
+	b := bodySize(s)
+	return uvarintLen(uint64(b)) + b
 }
 
 // Encoder writes length-prefixed synopsis records to an io.Writer.
@@ -233,23 +281,34 @@ func decodeBody(buf []byte, s *Synopsis) error {
 		}
 		payload := buf[:extLen]
 		buf = buf[extLen:]
-		if extID == extTrace {
-			emit, n := binary.Uvarint(payload)
-			if n <= 0 {
-				return fmt.Errorf("synopsis: decode trace emit: %w", io.ErrUnexpectedEOF)
-			}
-			send, n2 := binary.Uvarint(payload[n:])
-			if n2 <= 0 {
-				return fmt.Errorf("synopsis: decode trace send: %w", io.ErrUnexpectedEOF)
-			}
-			s.Trace = &trace.Span{
-				Stage:  uint16(s.Stage),
-				Host:   s.Host,
-				TaskID: s.TaskID,
-				Emit:   int64(emit),
-				Send:   int64(send),
-			}
+		if err := applyExtension(s, extID, payload); err != nil {
+			return err
 		}
+	}
+	return nil
+}
+
+// applyExtension interprets one trailing frame extension on s. Unknown
+// extension ids are skipped so newer peers can extend the record without
+// breaking this decoder.
+func applyExtension(s *Synopsis, extID uint64, payload []byte) error {
+	if extID != extTrace {
+		return nil
+	}
+	emit, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return fmt.Errorf("synopsis: decode trace emit: %w", io.ErrUnexpectedEOF)
+	}
+	send, n2 := binary.Uvarint(payload[n:])
+	if n2 <= 0 {
+		return fmt.Errorf("synopsis: decode trace send: %w", io.ErrUnexpectedEOF)
+	}
+	s.Trace = &trace.Span{
+		Stage:  uint16(s.Stage),
+		Host:   s.Host,
+		TaskID: s.TaskID,
+		Emit:   int64(emit),
+		Send:   int64(send),
 	}
 	return nil
 }

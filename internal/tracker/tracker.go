@@ -201,7 +201,7 @@ func (t *Task) End(now time.Time) {
 		TaskID:   t.id,
 		Start:    t.start,
 		Duration: dur,
-		Points:   append([]synopsis.PointCount(nil), t.points...),
+		Points:   append([]synopsis.PointCount(nil), t.points...), //saad:allow hotpathcheck the synopsis owns its points for its whole pipeline life while t.points is recycled with the task; End runs once per task, not per hit
 	}
 	syn.Normalize()
 	if smp := tr.sampler; smp.Sample() {
