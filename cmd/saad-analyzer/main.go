@@ -64,10 +64,28 @@
 // connections whose peer went silent (a half-open link behind an
 // asymmetric partition).
 //
+// Scaling out (detect mode): with -peer-id the analyzer joins a federated
+// fleet. Each peer owns a slice of the (host, stage) group-key space on a
+// consistent-hash ring, discovers the others through UDP gossip
+// (-gossip-addr, seeded by -peers id=gossip-addr,...), forwards records the
+// ring assigns elsewhere over the ordinary synopsis wire protocol, and on
+// every ring change hands the open-window state of moved groups to their
+// new owners over a TCP checkpoint-handoff channel (-handoff-addr) — so
+// per-group detection state survives peers joining, leaving and dying:
+//
+//	saad-analyzer -listen :7077 -model model.json \
+//	    -peer-id a1 -gossip-addr :7946 -peers a2=host2:7946,a3=host3:7946
+//
+// Federation cannot be combined with -model-store: a fleet serves one
+// shared model. /statusz gains a federation view (membership table, owned
+// hash ranges, ring epoch, handoff counters) and the saad_federation_*
+// metric family tracks forwards and handoffs.
+//
 // Flag reference (detect mode): -listen, -model, -dict, -shards, -http,
 // -events, -stats-interval, -trace-sample, -checkpoint,
 // -checkpoint-interval, -model-store, -retrain-every, -shadow, -model-keep,
-// -read-idle-timeout, -drain-grace, -admission-keep, -shard-queue.
+// -read-idle-timeout, -drain-grace, -admission-keep, -shard-queue,
+// -peer-id, -peers, -gossip-addr, -handoff-addr, -ring-vnodes.
 //
 // On SIGINT/SIGTERM the analyzer shuts down gracefully: it flips /readyz
 // to not-ready first (with -drain-grace it keeps serving that long so load
@@ -93,6 +111,7 @@ import (
 	"time"
 
 	"saad/internal/analyzer"
+	"saad/internal/federation"
 	"saad/internal/lifecycle"
 	"saad/internal/logpoint"
 	"saad/internal/metrics"
@@ -151,6 +170,11 @@ func run(args []string) error {
 		drainGrc  = fs.Duration("drain-grace", 0, "on SIGTERM, keep serving with /readyz not-ready for this long before draining, so load balancers stop routing first (detect mode; 0 = drain immediately)")
 		admKeep   = fs.Int("admission-keep", 0, "enable graceful degradation: past sustained shard-queue saturation, shed to 1-in-N sampling instead of blocking readers (detect mode; 0 = off, pure backpressure)")
 		shardQ    = fs.Int("shard-queue", 0, "per-shard synopsis queue capacity (detect mode; 0 = default 1024)")
+		peerID    = fs.String("peer-id", "", "federation: this analyzer's unique fleet id (detect mode; empty = standalone)")
+		peerSeeds = fs.String("peers", "", "federation: comma-separated seed peers as id=gossip-addr (needs -peer-id)")
+		gossipAdr = fs.String("gossip-addr", "127.0.0.1:0", "federation: UDP gossip bind address (needs -peer-id)")
+		handoffAd = fs.String("handoff-addr", "127.0.0.1:0", "federation: TCP checkpoint-handoff bind address (needs -peer-id)")
+		ringVN    = fs.Int("ring-vnodes", 0, "federation: virtual nodes per peer on the consistent-hash ring (0 = 128)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -180,6 +204,25 @@ func run(args []string) error {
 	if *admKeep > 0 {
 		admission = &analyzer.AdmissionConfig{KeepEvery: *admKeep}
 	}
+	var fed *federationOptions
+	if *peerID != "" {
+		if *storeDir != "" {
+			return errors.New("federation (-peer-id) and the model lifecycle (-model-store) cannot be combined yet: a fleet must serve one shared model")
+		}
+		seeds, err := parsePeerSeeds(*peerSeeds)
+		if err != nil {
+			return err
+		}
+		fed = &federationOptions{
+			id:          *peerID,
+			seeds:       seeds,
+			gossipAddr:  *gossipAdr,
+			handoffAddr: *handoffAd,
+			vnodes:      *ringVN,
+		}
+	} else if *peerSeeds != "" {
+		return errors.New("-peers needs -peer-id")
+	}
 	return detectMode(*listen, *modelPath, dict, detectOptions{
 		httpAddr:           *httpAddr,
 		eventsPath:         *events,
@@ -196,7 +239,39 @@ func run(args []string) error {
 		drainGrace:         *drainGrc,
 		admission:          admission,
 		shardQueue:         *shardQ,
+		federation:         fed,
 	})
+}
+
+// federationOptions carries the analyzer-fleet settings of detect mode.
+type federationOptions struct {
+	id          string
+	seeds       []federation.PeerInfo
+	gossipAddr  string
+	handoffAddr string
+	vnodes      int
+}
+
+// parsePeerSeeds parses "-peers id=gossip-addr,id=gossip-addr". Seeds need
+// only a gossip address: the first exchanged table fills in the ingest and
+// handoff addresses.
+func parsePeerSeeds(spec string) ([]federation.PeerInfo, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []federation.PeerInfo
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("bad -peers entry %q, want id=gossip-addr", part)
+		}
+		out = append(out, federation.PeerInfo{ID: id, GossipAddr: addr})
+	}
+	return out, nil
 }
 
 // trainMode collects synopses and writes the trained model — to the model
@@ -279,20 +354,21 @@ type detectOptions struct {
 	httpAddr           string // serve /metrics, /debug/vars, pprof ("" = off)
 	eventsPath         string // append anomalies as JSONL ("" = off)
 	statsInterval      time.Duration
-	checkpointPath     string          // persist/restore detector state ("" = off)
-	checkpointInterval time.Duration   // 0 = only at shutdown
-	shards             int             // engine shard workers (0 = GOMAXPROCS)
-	traceSample        int             // trace 1 in N synopses end to end (0 = off)
-	storeDir           string          // versioned model store ("" = off)
-	retrainEvery       time.Duration   // periodic live retraining (0 = off)
-	shadow             bool            // shadow-evaluate candidates before promotion
-	keepVersions       int             // store versions retained by GC (0 = unbounded)
-	readIdleTimeout    time.Duration   // reap silent synopsis connections (0 = off)
-	drainGrace         time.Duration   // serve not-ready before draining on shutdown (0 = immediate)
+	checkpointPath     string                    // persist/restore detector state ("" = off)
+	checkpointInterval time.Duration             // 0 = only at shutdown
+	shards             int                       // engine shard workers (0 = GOMAXPROCS)
+	traceSample        int                       // trace 1 in N synopses end to end (0 = off)
+	storeDir           string                    // versioned model store ("" = off)
+	retrainEvery       time.Duration             // periodic live retraining (0 = off)
+	shadow             bool                      // shadow-evaluate candidates before promotion
+	keepVersions       int                       // store versions retained by GC (0 = unbounded)
+	readIdleTimeout    time.Duration             // reap silent synopsis connections (0 = off)
+	drainGrace         time.Duration             // serve not-ready before draining on shutdown (0 = immediate)
 	admission          *analyzer.AdmissionConfig // graceful degradation (nil = pure backpressure)
-	shardQueue         int             // per-shard queue capacity (0 = engine default)
-	stop               <-chan struct{} // optional programmatic shutdown (tests)
-	httpBound          func(addr string) // called with the observability server's bound address (tests)
+	shardQueue         int                       // per-shard queue capacity (0 = engine default)
+	federation         *federationOptions        // analyzer fleet membership (nil = standalone)
+	stop               <-chan struct{}           // optional programmatic shutdown (tests)
+	httpBound          func(addr string)         // called with the observability server's bound address (tests)
 }
 
 // statuszInfo feeds the /statusz handler: static identity plus live
@@ -308,6 +384,8 @@ type statuszInfo struct {
 	// protocols snapshots the live connections' negotiated wire protocol
 	// versions and the cumulative per-version connection counts.
 	protocols func() ([]stream.ConnProtocol, []uint64)
+	// federation snapshots the fleet membership view (nil = standalone).
+	federation func() *federation.Status
 }
 
 // statuszHandler serves a one-page JSON operational summary: what this
@@ -341,6 +419,10 @@ func statuszHandler(info statuszInfo) http.Handler {
 			// version (index = version, slot 0 unused).
 			Connections   []stream.ConnProtocol `json:"connections"`
 			ProtocolConns []uint64              `json:"protocol_connections_total"`
+			// Federation is the fleet membership view: peers with state and
+			// heartbeat age, this peer's owned hash arcs, the ring epoch and
+			// the handoff/forward counters. Absent for a standalone analyzer.
+			Federation *federation.Status `json:"federation,omitempty"`
 		}{
 			Mode:           "detecting",
 			Listen:         info.listen,
@@ -360,6 +442,9 @@ func statuszHandler(info statuszInfo) http.Handler {
 		}
 		if info.protocols != nil {
 			doc.Connections, doc.ProtocolConns = info.protocols()
+		}
+		if info.federation != nil {
+			doc.Federation = info.federation()
 		}
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		enc := json.NewEncoder(w)
@@ -403,6 +488,9 @@ func (t *lifecycleTee) EmitBatch(batch []*synopsis.Synopsis) {
 // which fans them out across shard workers by (host, stage). Anomalies are
 // printed (and logged) from the engine's anomaly sink as windows close.
 func detectMode(listen, modelPath string, dict *logpoint.Dictionary, opts detectOptions) error {
+	if opts.federation != nil && opts.storeDir != "" {
+		return errors.New("federation and the model lifecycle cannot be combined")
+	}
 	// The full pipeline family is registered even though the standalone
 	// analyzer tracks no tasks itself: every series exists at zero, so the
 	// scrape schema is identical to an embedded Monitor's.
@@ -536,6 +624,10 @@ func detectMode(listen, modelPath string, dict *logpoint.Dictionary, opts detect
 		}
 		closers = append(closers, sync.OnceValue(ef.Close))
 		events = report.NewEventWriter(ef, dict, model.Config.Window)
+		if opts.federation != nil {
+			// Merged fleet event logs stay attributable to the emitting peer.
+			events.SetPeer(opts.federation.id)
+		}
 		if tracer != nil {
 			// Each anomaly event carries what the pipeline was doing around
 			// emit time: the flight recorder's most recent events.
@@ -576,6 +668,30 @@ func detectMode(listen, modelPath string, dict *logpoint.Dictionary, opts detect
 	if mgr != nil {
 		sink = &lifecycleTee{eng: eng, mgr: mgr}
 	}
+	// In a fleet the peer fronts the engine instead: records whose group the
+	// consistent-hash ring assigns to this peer feed the engine, the rest are
+	// forwarded to their owners, and ring changes move open-window state over
+	// the checkpoint-handoff channel.
+	var peer *federation.Peer
+	var gossiper *federation.Gossiper
+	if fed := opts.federation; fed != nil {
+		p, err := federation.NewPeer(federation.PeerConfig{
+			Self:       federation.PeerInfo{ID: fed.id, HandoffAddr: fed.handoffAddr},
+			Engine:     eng,
+			Membership: federation.MembershipConfig{VNodes: fed.vnodes},
+			Metrics:    metrics.NewFederationMetrics(pipe.Registry),
+			Release:    pool.Put,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "saad-analyzer: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			return fail(err)
+		}
+		peer = p
+		closers = append(closers, sync.OnceValue(peer.Close))
+		sink = peer
+	}
 	srvMetrics := metrics.NewTCPServerMetrics(pipe.Registry)
 	srvOpts := []stream.ServerOption{
 		stream.WithServerMetrics(srvMetrics),
@@ -595,6 +711,26 @@ func detectMode(listen, modelPath string, dict *logpoint.Dictionary, opts detect
 	}
 	fmt.Printf("detecting: listening on %s (model trained on %d synopses, %d shards)\n",
 		srv.Addr(), model.TrainedOn, eng.Shards())
+	if fed := opts.federation; fed != nil {
+		// The ingest address resolves only now (a "-listen :0" binds late);
+		// publish it so peers can open forward links, then start gossiping
+		// and seed the fleet view.
+		peer.Membership().SetSelfIngestAddr(srv.Addr())
+		g, err := federation.StartGossiper(peer.Membership(), fed.gossipAddr, 0)
+		if err != nil {
+			_ = srv.Close()
+			return fail(err)
+		}
+		gossiper = g
+		for _, seed := range fed.seeds {
+			if seed.ID == fed.id {
+				continue // self in a shared seed list
+			}
+			peer.Membership().AddPeer(seed)
+		}
+		fmt.Printf("federation: peer %s gossiping on %s, handoff on %s (%d seeds)\n",
+			fed.id, gossiper.Addr(), peer.Self().HandoffAddr, len(fed.seeds))
+	}
 	var ready atomic.Bool
 	ready.Store(true)
 
@@ -630,6 +766,13 @@ func detectMode(listen, modelPath string, dict *logpoint.Dictionary, opts detect
 				return anomalies
 			},
 			protocols: srv.ProtocolStats,
+			federation: func() *federation.Status {
+				if peer == nil {
+					return nil
+				}
+				st := peer.Status()
+				return &st
+			},
 		}))
 		msrv, err := metrics.ServeMux(opts.httpAddr, mux)
 		if err != nil {
@@ -682,6 +825,23 @@ func detectMode(listen, modelPath string, dict *logpoint.Dictionary, opts detect
 			time.Sleep(opts.drainGrace)
 		}
 		err := srv.Close()
+		if peer != nil {
+			// Graceful fleet exit: hand every open group to the survivors
+			// (Leave's rebalance runs synchronously), push out anything still
+			// buffered on the forward links, then stop gossiping and release
+			// the sockets. The engine flush below then closes only windows
+			// this peer still owns — for a clean leave, none.
+			peer.Leave()
+			peer.Flush()
+			if gossiper != nil {
+				if gErr := gossiper.Close(); err == nil {
+					err = gErr
+				}
+			}
+			if pErr := peer.Close(); err == nil {
+				err = pErr
+			}
+		}
 		eng.Flush()
 		if opts.checkpointPath != "" {
 			if ckErr := eng.WriteCheckpointFile(opts.checkpointPath); err == nil {

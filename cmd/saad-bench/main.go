@@ -6,12 +6,15 @@
 //	saad-bench compare -baseline <file> -current <file>
 //
 // Experiments: fig6 fig7 fig8 sec533 table1 table2 table3 fig9a fig9b
-// fig9c fig9d fig10 fig11 scenarios wirepath all
+// fig9c fig9d fig10 fig11 scenarios wirepath fleet all
 //
 // "wirepath" benchmarks this repo's own synopsis wire path (protocol v1 vs
-// v2 over a TCP loopback into the engine); "compare" diffs the
-// synopses-per-second series of two -json record files and fails on a >20%
-// regression (CI's perf gate).
+// v2 over a TCP loopback into the engine, plus a multi-link saturation leg
+// recorded as "wirepath-saturation"); "fleet" plays a faulted trace through
+// a 3-peer federated analyzer tier with a graceful mid-stream leave and
+// verifies the merged anomaly union against a single engine; "compare"
+// diffs the synopses-per-second series of two -json record files and fails
+// on a >20% regression (CI's perf gate).
 //
 // "scenarios" runs the gray-failure taxonomy matrix (not a paper artifact):
 // each cell pairs one gray fault with a taxonomy class and is scored for
@@ -64,7 +67,7 @@ func run(args []string) error {
 	}
 	if fs.NArg() != 1 {
 		fs.Usage()
-		return fmt.Errorf("need exactly one experiment, got %d args (fig6 fig7 fig8 sec533 table1 table2 table3 fig9a fig9b fig9c fig9d fig10 fig11 scenarios wirepath model all)", fs.NArg())
+		return fmt.Errorf("need exactly one experiment, got %d args (fig6 fig7 fig8 sec533 table1 table2 table3 fig9a fig9b fig9c fig9d fig10 fig11 scenarios wirepath fleet model all)", fs.NArg())
 	}
 	cfg := experiments.Config{
 		MinuteScale: *scale,
@@ -76,7 +79,7 @@ func run(args []string) error {
 
 	name := fs.Arg(0)
 	if name == "all" {
-		for _, exp := range []string{"fig6", "fig7", "fig8", "sec533", "table1", "fig9a", "fig9b", "fig9c", "fig9d", "fig10", "fig11", "wirepath"} {
+		for _, exp := range []string{"fig6", "fig7", "fig8", "sec533", "table1", "fig9a", "fig9b", "fig9c", "fig9d", "fig10", "fig11", "wirepath", "fleet"} {
 			if err := runOne(cfg, exp, *csvDir, *jsonOut); err != nil {
 				return fmt.Errorf("%s: %w", exp, err)
 			}
@@ -171,6 +174,11 @@ func runOne(cfg experiments.Config, name, csvDir, jsonOut string) error {
 		// Not a paper artifact: this repo's own wire-protocol throughput
 		// trajectory (v1 vs v2), gated in CI via `saad-bench compare`.
 		out, err = experiments.Wirepath(cfg)
+	case "fleet":
+		// Not a paper artifact: the federated analyzer tier end to end —
+		// ring routing, graceful leave with checkpoint handoff, and the
+		// anomaly-union equivalence verdict against a single engine.
+		out, err = experiments.Fleet(cfg)
 	case "model":
 		// Not a paper artifact: train on a fault-free Cassandra run and
 		// print the learned per-stage signature tables for inspection.
@@ -199,6 +207,19 @@ func runOne(cfg experiments.Config, name, csvDir, jsonOut string) error {
 		}
 		if err := writeJSONRecord(jsonOut, rec); err != nil {
 			return fmt.Errorf("write -json record: %w", err)
+		}
+		// The saturation leg is its own gated series: the aggregate
+		// multi-link rate can regress independently of the single-link one.
+		if wr, ok := result.(experiments.WirepathResult); ok && wr.Saturation.Links > 0 {
+			sat := benchRecord{
+				Experiment: "wirepath-saturation",
+				Seed:       cfg.Seed,
+				ElapsedMS:  rec.ElapsedMS,
+				Result:     wr.Saturation,
+			}
+			if err := writeJSONRecord(jsonOut, sat); err != nil {
+				return fmt.Errorf("write -json record: %w", err)
+			}
 		}
 	}
 	return nil

@@ -103,43 +103,48 @@ func (d *Detector) windowsJSON() []windowJSON {
 	sortGroupKeys(keys)
 	out := make([]windowJSON, 0, len(keys))
 	for _, k := range keys {
-		ws := d.open[k]
-		wj := windowJSON{
-			Host:         k.host,
-			Stage:        k.stage,
-			StartUnixNs:  ws.start.UnixNano(),
-			Tasks:        ws.tasks,
-			FlowOutliers: ws.flowOutliers,
-			FlowExamples: encodeSynopses(ws.flowExamples),
-		}
-		for _, sig := range sortedSignatures(ws.newSigs) {
-			ev := ws.newSigs[sig]
-			wj.NewSigs = append(wj.NewSigs, sigEvidenceJSON{
-				SignatureHex: hex.EncodeToString([]byte(sig)),
-				Count:        ev.count,
-				Examples:     encodeSynopses(ev.examples),
-			})
-		}
-		// Interned ids sort like their signatures, so iterating ids in
-		// numeric order keeps the serialized order lexicographic.
-		sm := d.model.Stage(k.stage)
-		ids := make([]int32, 0, len(ws.perSig))
-		for id := range ws.perSig {
-			ids = append(ids, id)
-		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		for _, id := range ids {
-			sw := ws.perSig[id]
-			wj.PerSig = append(wj.PerSig, sigWindowJSON{
-				SignatureHex: hex.EncodeToString([]byte(sm.sigByID[id].Signature)),
-				Tasks:        sw.tasks,
-				PerfOutliers: sw.perfOutliers,
-				Examples:     encodeSynopses(sw.examples),
-			})
-		}
-		out = append(out, wj)
+		out = append(out, windowToJSON(d.model, k, d.open[k]))
 	}
 	return out
+}
+
+// windowToJSON serializes one open window in the checkpoint wire form
+// (shared by whole-detector checkpoints and per-group federation handoff).
+func windowToJSON(model *Model, k groupKey, ws *windowState) windowJSON {
+	wj := windowJSON{
+		Host:         k.host,
+		Stage:        k.stage,
+		StartUnixNs:  ws.start.UnixNano(),
+		Tasks:        ws.tasks,
+		FlowOutliers: ws.flowOutliers,
+		FlowExamples: encodeSynopses(ws.flowExamples),
+	}
+	for _, sig := range sortedSignatures(ws.newSigs) {
+		ev := ws.newSigs[sig]
+		wj.NewSigs = append(wj.NewSigs, sigEvidenceJSON{
+			SignatureHex: hex.EncodeToString([]byte(sig)),
+			Count:        ev.count,
+			Examples:     encodeSynopses(ev.examples),
+		})
+	}
+	// Interned ids sort like their signatures, so iterating ids in
+	// numeric order keeps the serialized order lexicographic.
+	sm := model.Stage(k.stage)
+	ids := make([]int32, 0, len(ws.perSig))
+	for id := range ws.perSig {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		sw := ws.perSig[id]
+		wj.PerSig = append(wj.PerSig, sigWindowJSON{
+			SignatureHex: hex.EncodeToString([]byte(sm.sigByID[id].Signature)),
+			Tasks:        sw.tasks,
+			PerfOutliers: sw.perfOutliers,
+			Examples:     encodeSynopses(sw.examples),
+		})
+	}
+	return wj
 }
 
 // historyJSON snapshots the closed-window history in close order.
@@ -198,42 +203,9 @@ func ReadCheckpoint(r io.Reader) (*Detector, error) {
 	}
 	d := NewDetector(model)
 	for _, wj := range raw.Windows {
-		ws := &windowState{
-			start:        time.Unix(0, wj.StartUnixNs).UTC(),
-			tasks:        wj.Tasks,
-			flowOutliers: wj.FlowOutliers,
-			newSigs:      make(map[synopsis.Signature]*sigEvidence, len(wj.NewSigs)),
-			perSig:       make(map[int32]*sigWindow, len(wj.PerSig)),
-		}
-		if ws.flowExamples, err = decodeSynopses(wj.FlowExamples); err != nil {
-			return nil, fmt.Errorf("analyzer: checkpoint window host=%d stage=%d: %w", wj.Host, wj.Stage, err)
-		}
-		for _, ej := range wj.NewSigs {
-			sig, examples, err := decodeSigEntry(ej.SignatureHex, ej.Examples)
-			if err != nil {
-				return nil, fmt.Errorf("analyzer: checkpoint window host=%d stage=%d: %w", wj.Host, wj.Stage, err)
-			}
-			ws.newSigs[sig] = &sigEvidence{count: ej.Count, examples: examples}
-		}
-		sm := model.Stage(wj.Stage)
-		for _, sj := range wj.PerSig {
-			sig, examples, err := decodeSigEntry(sj.SignatureHex, sj.Examples)
-			if err != nil {
-				return nil, fmt.Errorf("analyzer: checkpoint window host=%d stage=%d: %w", wj.Host, wj.Stage, err)
-			}
-			// perSig entries only ever hold model-known signatures, so a
-			// miss means the checkpoint does not match its own model.
-			var (
-				id int32
-				ok bool
-			)
-			if sm != nil {
-				id, ok = sm.sigIDs[string(sig)]
-			}
-			if !ok {
-				return nil, fmt.Errorf("analyzer: checkpoint window host=%d stage=%d: signature %s not in model", wj.Host, wj.Stage, sig)
-			}
-			ws.perSig[id] = &sigWindow{tasks: sj.Tasks, perfOutliers: sj.PerfOutliers, examples: examples}
+		ws, err := windowFromJSON(model, wj)
+		if err != nil {
+			return nil, err
 		}
 		d.open[groupKey{host: wj.Host, stage: wj.Stage}] = ws
 	}
@@ -249,6 +221,51 @@ func ReadCheckpoint(r io.Reader) (*Detector, error) {
 	}
 	d.late = raw.Late
 	return d, nil
+}
+
+// windowFromJSON rebuilds one open window from its checkpoint wire form.
+// The model must be the one the window was serialized against: perSig
+// entries reference model-known signatures by content.
+func windowFromJSON(model *Model, wj windowJSON) (*windowState, error) {
+	ws := &windowState{
+		start:        time.Unix(0, wj.StartUnixNs).UTC(),
+		tasks:        wj.Tasks,
+		flowOutliers: wj.FlowOutliers,
+		newSigs:      make(map[synopsis.Signature]*sigEvidence, len(wj.NewSigs)),
+		perSig:       make(map[int32]*sigWindow, len(wj.PerSig)),
+	}
+	var err error
+	if ws.flowExamples, err = decodeSynopses(wj.FlowExamples); err != nil {
+		return nil, fmt.Errorf("analyzer: checkpoint window host=%d stage=%d: %w", wj.Host, wj.Stage, err)
+	}
+	for _, ej := range wj.NewSigs {
+		sig, examples, err := decodeSigEntry(ej.SignatureHex, ej.Examples)
+		if err != nil {
+			return nil, fmt.Errorf("analyzer: checkpoint window host=%d stage=%d: %w", wj.Host, wj.Stage, err)
+		}
+		ws.newSigs[sig] = &sigEvidence{count: ej.Count, examples: examples}
+	}
+	sm := model.Stage(wj.Stage)
+	for _, sj := range wj.PerSig {
+		sig, examples, err := decodeSigEntry(sj.SignatureHex, sj.Examples)
+		if err != nil {
+			return nil, fmt.Errorf("analyzer: checkpoint window host=%d stage=%d: %w", wj.Host, wj.Stage, err)
+		}
+		// perSig entries only ever hold model-known signatures, so a
+		// miss means the checkpoint does not match its own model.
+		var (
+			id int32
+			ok bool
+		)
+		if sm != nil {
+			id, ok = sm.sigIDs[string(sig)]
+		}
+		if !ok {
+			return nil, fmt.Errorf("analyzer: checkpoint window host=%d stage=%d: signature %s not in model", wj.Host, wj.Stage, sig)
+		}
+		ws.perSig[id] = &sigWindow{tasks: sj.Tasks, perfOutliers: sj.PerfOutliers, examples: examples}
+	}
+	return ws, nil
 }
 
 func decodeSigEntry(sigHex string, examples []string) (synopsis.Signature, []*synopsis.Synopsis, error) {

@@ -1,0 +1,181 @@
+package analyzer
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"saad/internal/logpoint"
+)
+
+// Group export/import: the federation handoff currency. When the ring
+// reassigns (host, stage) groups to another analyzer peer, the departing
+// peer EXPORTS exactly those groups — removing their open windows from its
+// shards under quiesce, so the worker FIFO guarantees every synopsis fed
+// before the export is reflected — and the receiving peer IMPORTS the blob
+// into its own shards, re-partitioned by its local shard hash. The wire
+// form is the PR 2 checkpoint window section, so the state that moves is
+// byte-compatible with what checkpoints already persist.
+
+// groupExportJSON is the handoff blob: a versioned subset of checkpointJSON
+// (windows only — closed-window history stays with the peer that closed the
+// windows, and the model travels separately via the model store).
+type groupExportJSON struct {
+	Version int          `json:"version"`
+	Windows []windowJSON `json:"windows,omitempty"`
+}
+
+// ExportGroups removes every open window whose (host, stage) group selects
+// true and returns them serialized for ImportGroups on another engine. The
+// quiesce barrier means the export reflects everything fed before the call;
+// synopses fed concurrently for an exported group land in a fresh window
+// here and must be forwarded by the caller (the federation layer parks and
+// forwards them). Returns the number of groups exported.
+func (e *Engine) ExportGroups(selectGroup func(host uint16, stage logpoint.StageID) bool) ([]byte, int, error) {
+	e.ctl.Lock()
+	defer e.ctl.Unlock()
+	secs := make([][]windowJSON, len(e.shards))
+	e.quiesce(func(i int, sh *shard) {
+		d := sh.core
+		var keys []groupKey
+		for k := range d.open {
+			if selectGroup(k.host, k.stage) {
+				keys = append(keys, k)
+			}
+		}
+		sortGroupKeys(keys)
+		for _, k := range keys {
+			secs[i] = append(secs[i], windowToJSON(d.model, k, d.open[k]))
+			delete(d.open, k)
+		}
+	})
+	out := groupExportJSON{Version: checkpointVersion}
+	for _, sec := range secs {
+		out.Windows = append(out.Windows, sec...)
+	}
+	sort.Slice(out.Windows, func(i, j int) bool {
+		a, b := out.Windows[i], out.Windows[j]
+		if a.Host != b.Host {
+			return a.Host < b.Host
+		}
+		return a.Stage < b.Stage
+	})
+	data, err := json.Marshal(out)
+	if err != nil {
+		return nil, 0, fmt.Errorf("analyzer: encode group export: %w", err)
+	}
+	return data, len(out.Windows), nil
+}
+
+// ImportGroups adopts a blob produced by ExportGroups on a peer engine:
+// each group's open window is inserted into the shard that owns it here
+// (the local shard hash re-partitions freely — shard counts need not
+// match). The engines must serve the same trained model, since per-
+// signature state references model signatures. A group that already has an
+// open window locally is an ownership violation and fails the whole import
+// before any state is adopted. Returns the number of groups imported.
+func (e *Engine) ImportGroups(data []byte) (int, error) {
+	imported, _, err := e.importGroups(data, false)
+	return imported, err
+}
+
+// ImportGroupsDropConflicts is ImportGroups for racing topology
+// transitions: groups whose window is already open locally (a record
+// overtook its state transfer) are dropped instead of failing the whole
+// import. Returns how many groups were adopted and how many dropped.
+func (e *Engine) ImportGroupsDropConflicts(data []byte) (imported, dropped int, err error) {
+	return e.importGroups(data, true)
+}
+
+func (e *Engine) importGroups(data []byte, dropConflicts bool) (int, int, error) {
+	var raw groupExportJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return 0, 0, fmt.Errorf("analyzer: decode group export: %w", err)
+	}
+	if raw.Version != checkpointVersion {
+		return 0, 0, fmt.Errorf("analyzer: group export version %d, want %d", raw.Version, checkpointVersion)
+	}
+	e.ctl.Lock()
+	defer e.ctl.Unlock()
+	parts := make([]map[groupKey]*windowState, len(e.shards))
+	for _, wj := range raw.Windows {
+		ws, err := windowFromJSON(e.model, wj)
+		if err != nil {
+			return 0, 0, err
+		}
+		i := e.shardIndex(wj.Host, wj.Stage)
+		if parts[i] == nil {
+			parts[i] = make(map[groupKey]*windowState)
+		}
+		parts[i][groupKey{host: wj.Host, stage: wj.Stage}] = ws
+	}
+	// Two quiesce passes: find conflicts everywhere, then adopt — so in
+	// strict mode a conflict on one shard cannot leave a partial import.
+	conflicts := make([][]groupKey, len(e.shards))
+	e.quiesce(func(i int, sh *shard) {
+		for k := range parts[i] {
+			if _, exists := sh.core.open[k]; exists {
+				conflicts[i] = append(conflicts[i], k)
+			}
+		}
+	})
+	dropped := 0
+	for i, ks := range conflicts {
+		if len(ks) == 0 {
+			continue
+		}
+		if !dropConflicts {
+			return 0, 0, fmt.Errorf("analyzer: import group host=%d stage=%d: window already open here", ks[0].host, ks[0].stage)
+		}
+		for _, k := range ks {
+			delete(parts[i], k)
+			dropped++
+		}
+	}
+	e.quiesce(func(i int, sh *shard) {
+		for k, ws := range parts[i] {
+			sh.core.open[k] = ws
+		}
+	})
+	return len(raw.Windows) - dropped, dropped, nil
+}
+
+// OpenGroups lists the (host, stage) groups with an open window, sorted by
+// host then stage. The federation layer uses it to plan a rebalance; it is
+// a control-plane call, not a hot path.
+func (e *Engine) OpenGroups() []GroupKey {
+	e.ctl.Lock()
+	defer e.ctl.Unlock()
+	secs := make([][]GroupKey, len(e.shards))
+	e.quiesce(func(i int, sh *shard) {
+		for k := range sh.core.open {
+			secs[i] = append(secs[i], GroupKey{Host: k.host, Stage: k.stage})
+		}
+	})
+	var out []GroupKey
+	for _, sec := range secs {
+		out = append(out, sec...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Host != b.Host {
+			return a.Host < b.Host
+		}
+		return a.Stage < b.Stage
+	})
+	return out
+}
+
+// GroupKey is one (host, stage) group identity, exported for the
+// federation layer.
+type GroupKey struct {
+	Host  uint16
+	Stage logpoint.StageID
+}
+
+// SortAnomalies orders a merged anomaly slice into the engine's canonical
+// order (host, stage, window, emission layer, signature). Exported so the
+// federation layer — and anything else merging anomaly streams from
+// several engines — reproduces exactly the ordering a single engine's
+// Drain/Flush would have returned.
+func SortAnomalies(out []Anomaly) { sortAnomalies(out) }

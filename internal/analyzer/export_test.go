@@ -1,0 +1,151 @@
+package analyzer
+
+import (
+	"reflect"
+	"testing"
+
+	"saad/internal/logpoint"
+)
+
+// TestExportImportEquivalence is the single-process version of the
+// federation handoff proof: a stream split across two engines — with half
+// the groups MOVED from one engine to the other mid-stream via
+// ExportGroups/ImportGroups — must produce exactly the anomalies of one
+// engine fed the whole stream, after the canonical merge sort.
+func TestExportImportEquivalence(t *testing.T) {
+	model := trainedModel(t)
+	stream := multiGroupStream(4)
+
+	ref := NewEngine(model, WithShards(4))
+	for _, s := range stream {
+		ref.Feed(s)
+	}
+	want := ref.Flush()
+	if err := ref.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("reference run produced no anomalies; the stream should trip detections")
+	}
+
+	// Phase 1: engine A owns everything and sees 60% of the stream.
+	a := NewEngine(model, WithShards(3))
+	b := NewEngine(model, WithShards(2)) // shard counts deliberately differ
+	cut := len(stream) * 6 / 10
+	for _, s := range stream[:cut] {
+		a.Feed(s)
+	}
+	// Barrier: everything fed is observed before the export. Drain returns
+	// (and clears) phase-1 anomalies, so they join the merged output.
+	got := a.Drain()
+
+	// Handoff: odd hosts move to engine B with their open-window state.
+	moved := func(host uint16, stage logpoint.StageID) bool { return host%2 == 1 }
+	blob, n, err := a.ExportGroups(moved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no groups exported; odd hosts must have open windows at the cut")
+	}
+	imported, err := b.ImportGroups(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imported != n {
+		t.Fatalf("imported %d groups, exported %d", imported, n)
+	}
+
+	// Phase 2: the remainder routes by the new ownership.
+	for _, s := range stream[cut:] {
+		if moved(s.Host, s.Stage) {
+			b.Feed(s)
+		} else {
+			a.Feed(s)
+		}
+	}
+	got = append(got, a.Flush()...)
+	got = append(got, b.Flush()...)
+	SortAnomalies(got)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if g, w := summarize(got), summarize(want); !reflect.DeepEqual(g, w) {
+		t.Fatalf("split run (%d anomalies) diverges from reference (%d):\n got %v\nwant %v", len(g), len(w), g, w)
+	}
+}
+
+// TestImportGroupsConflict pins the ownership invariant: importing a group
+// that already has an open window locally must fail without adopting any
+// state.
+func TestImportGroupsConflict(t *testing.T) {
+	model := trainedModel(t)
+	stream := multiGroupStream(2)
+	cut := len(stream) / 2
+
+	a := NewEngine(model, WithShards(2))
+	defer a.Close()
+	b := NewEngine(model, WithShards(2))
+	defer b.Close()
+	for _, s := range stream[:cut] {
+		a.Feed(s)
+		b.Feed(s) // b opens the same groups
+	}
+	a.Drain()
+	b.Drain()
+
+	blob, n, err := a.ExportGroups(func(uint16, logpoint.StageID) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("nothing exported")
+	}
+	if _, err := b.ImportGroups(blob); err == nil {
+		t.Fatal("conflicting import succeeded")
+	}
+	// A's windows are gone (moved out), so a re-import into a fresh engine
+	// still works: the failed import must not have consumed the blob.
+	c := NewEngine(model, WithShards(1))
+	defer c.Close()
+	if m, err := c.ImportGroups(blob); err != nil || m != n {
+		t.Fatalf("import into fresh engine: n=%d err=%v", m, err)
+	}
+	if groups := c.OpenGroups(); len(groups) != n {
+		t.Fatalf("fresh engine has %d open groups, want %d", len(groups), n)
+	}
+}
+
+// TestExportGroupsSelective checks only selected groups move and the rest
+// keep detecting in place.
+func TestExportGroupsSelective(t *testing.T) {
+	model := trainedModel(t)
+	e := NewEngine(model, WithShards(2))
+	defer e.Close()
+	stream := multiGroupStream(3)
+	for _, s := range stream[:len(stream)/2] {
+		e.Feed(s)
+	}
+	e.Drain()
+	before := e.OpenGroups()
+	if len(before) == 0 {
+		t.Fatal("no open groups")
+	}
+	_, n, err := e.ExportGroups(func(host uint16, _ logpoint.StageID) bool { return host == 2 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := e.OpenGroups()
+	if len(after) != len(before)-n {
+		t.Fatalf("open groups %d -> %d after exporting %d", len(before), len(after), n)
+	}
+	for _, g := range after {
+		if g.Host == 2 {
+			t.Fatalf("host 2 group %v still open after export", g)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package federation
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Gossiper drives a Membership over UDP: once per interval it bumps the
+// self heartbeat, runs the timeout state machine, and pushes the full
+// membership table to every live peer (plus dead peers on their
+// exponential-falloff probe schedule); every received table is merged.
+// Full-table push-gossip converges in O(diameter) rounds and the table is
+// tiny for analyzer-fleet sizes (tens of peers), so there is no need for
+// the partial-view variants larger systems use.
+//
+// The datagram is JSON: {"from": id, "entries": [...]} — a control-plane
+// message a few times per second, so schema clarity beats compactness.
+type Gossiper struct {
+	ms       *Membership
+	conn     *net.UDPConn
+	interval time.Duration
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	recvDone chan struct{}
+	tickDone chan struct{}
+}
+
+// gossipMsg is the wire form of one gossip exchange.
+type gossipMsg struct {
+	From    string      `json:"from"`
+	Entries []PeerEntry `json:"entries"`
+}
+
+// maxGossipDatagram bounds a received datagram (a full table for a large
+// fleet still fits comfortably).
+const maxGossipDatagram = 64 << 10
+
+// StartGossiper binds bindAddr (UDP, e.g. ":7946" or "127.0.0.1:0") and
+// starts the heartbeat and receive loops. The bound address is returned by
+// Addr — pass ":0" in tests and publish the resolved port via PeerInfo.
+func StartGossiper(ms *Membership, bindAddr string, interval time.Duration) (*Gossiper, error) {
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	laddr, err := net.ResolveUDPAddr("udp", bindAddr)
+	if err != nil {
+		return nil, fmt.Errorf("federation: resolve gossip addr %s: %w", bindAddr, err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("federation: bind gossip addr %s: %w", bindAddr, err)
+	}
+	ms.SetSelfGossipAddr(conn.LocalAddr().String())
+	g := &Gossiper{
+		ms:       ms,
+		conn:     conn,
+		interval: interval,
+		stop:     make(chan struct{}),
+		recvDone: make(chan struct{}),
+		tickDone: make(chan struct{}),
+	}
+	go g.recvLoop()
+	go g.tickLoop()
+	return g, nil
+}
+
+// Addr returns the bound UDP address.
+func (g *Gossiper) Addr() string { return g.conn.LocalAddr().String() }
+
+// recvLoop merges every received table until the socket closes.
+func (g *Gossiper) recvLoop() {
+	defer close(g.recvDone)
+	buf := make([]byte, maxGossipDatagram)
+	for {
+		n, _, err := g.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-g.stop:
+				return
+			default:
+			}
+			// Transient read errors on a UDP socket are rare; yield briefly
+			// so a persistent failure cannot spin the loop.
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		var msg gossipMsg
+		if err := json.Unmarshal(buf[:n], &msg); err != nil {
+			continue // malformed datagram: drop, never crash the detector
+		}
+		g.ms.Merge(msg.Entries)
+	}
+}
+
+// tickLoop beats, ticks the failure detector, and pushes the table.
+func (g *Gossiper) tickLoop() {
+	defer close(g.tickDone)
+	ticker := time.NewTicker(g.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-ticker.C:
+			g.ms.Beat()
+			g.ms.Tick()
+			g.broadcast()
+		}
+	}
+}
+
+// broadcast pushes the full table to this round's targets.
+func (g *Gossiper) broadcast() {
+	payload, err := json.Marshal(gossipMsg{From: g.ms.Self().ID, Entries: g.ms.Table()})
+	if err != nil {
+		return
+	}
+	for _, info := range g.ms.GossipTargets() {
+		if info.GossipAddr == "" {
+			continue
+		}
+		raddr, err := net.ResolveUDPAddr("udp", info.GossipAddr)
+		if err != nil {
+			continue
+		}
+		_, _ = g.conn.WriteToUDP(payload, raddr) // UDP: loss is the protocol's business
+	}
+}
+
+// Close stops both loops and releases the socket.
+func (g *Gossiper) Close() error {
+	g.stopOnce.Do(func() { close(g.stop) })
+	err := g.conn.Close()
+	<-g.recvDone
+	<-g.tickDone
+	return err
+}

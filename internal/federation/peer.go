@@ -1,0 +1,411 @@
+package federation
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"saad/internal/analyzer"
+	"saad/internal/logpoint"
+	"saad/internal/metrics"
+	"saad/internal/stream"
+	"saad/internal/synopsis"
+)
+
+// Peer is one analyzer fleet member: it fronts a local analyzer.Engine
+// with ring-ownership routing. Records for groups this peer owns feed the
+// engine; records the ring assigns elsewhere — trackers with stale routes,
+// records in flight across a topology change — are forwarded peer-to-peer
+// over the ordinary synopsis wire protocol rather than dropped. On every
+// ring change the peer exports the open-window state of groups it no
+// longer owns and hands it to the new owners over the checkpoint-handoff
+// channel, so per-group detection state survives rebalancing.
+//
+// Peer implements tracker.Sink and stream.BatchSink: plug it in as the
+// stream.Server sink where a standalone engine would go.
+type Peer struct {
+	cfg    PeerConfig
+	selfID string
+	ms     *Membership
+	eng    *analyzer.Engine
+	m      *metrics.FederationMetrics
+	logf   func(string, ...any)
+
+	handoffLn   listener
+	handoffDone chan struct{}
+
+	fwdMu  sync.Mutex
+	fwd    map[string]*stream.Client // forward links by peer id
+	closed bool
+
+	// parkMu guards the rebalance parking buffer. While a rebalance is in
+	// flight (parkDepth > 0) arriving records are parked and re-dispatched
+	// once the handoffs complete, preserving per-group FIFO order across
+	// the ownership transfer.
+	parkMu    sync.Mutex
+	parkDepth int
+	parkedBuf []*synopsis.Synopsis
+
+	// rbMu serializes rebalances: ring changes can arrive from gossip and
+	// direct membership calls concurrently.
+	rbMu sync.Mutex
+
+	// statusz counters (mirrored into metrics; kept locally so Status()
+	// works without a registry scrape).
+	forwards    atomic.Uint64
+	fwdDropped  atomic.Uint64
+	parked      atomic.Uint64
+	handoffsOut atomic.Uint64
+	handoffsIn  atomic.Uint64
+	groupsOut   atomic.Uint64
+	groupsIn    atomic.Uint64
+	conflicts   atomic.Uint64
+}
+
+// PeerConfig configures a fleet member.
+type PeerConfig struct {
+	// Self is this peer's identity. ID is required; HandoffAddr is the
+	// bind address for the handoff listener (default "127.0.0.1:0", with
+	// the resolved address published to the fleet via gossip).
+	Self PeerInfo
+	// Engine is the local analyzer engine (required). The peer does not
+	// close it; ownership stays with the caller.
+	Engine *analyzer.Engine
+	// Membership tunes the failure detector.
+	Membership MembershipConfig
+	// Metrics receives federation counters (optional; a private registry
+	// is used when nil so the instrumentation paths stay live).
+	Metrics *metrics.FederationMetrics
+	// FlushEvery is the forward-link flush cadence (default 2ms — forwards
+	// are a correction path, latency matters more than batching).
+	FlushEvery time.Duration
+	// Release recycles a synopsis this peer does not feed to its own
+	// engine (pool hook). When set, forwarded records are cloned before
+	// the link retains them and the original is released immediately.
+	Release func(*synopsis.Synopsis)
+	// Logf logs control-plane events (optional).
+	Logf func(string, ...any)
+}
+
+// NewPeer binds the handoff listener, publishes the resolved address in
+// Self, and starts serving handoffs. The fleet is joined separately:
+// statically via AddPeer on Membership(), or live via StartGossiper.
+func NewPeer(cfg PeerConfig) (*Peer, error) {
+	if cfg.Self.ID == "" {
+		return nil, fmt.Errorf("federation: peer needs a Self.ID")
+	}
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("federation: peer needs an Engine")
+	}
+	if cfg.FlushEvery <= 0 {
+		cfg.FlushEvery = 2 * time.Millisecond
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewFederationMetrics(metrics.NewRegistry())
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	ln, err := listenHandoff(cfg.Self.HandoffAddr)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Self.HandoffAddr = ln.Addr().String()
+	p := &Peer{
+		cfg:         cfg,
+		eng:         cfg.Engine,
+		m:           cfg.Metrics,
+		logf:        cfg.Logf,
+		handoffLn:   ln,
+		handoffDone: make(chan struct{}),
+		fwd:         make(map[string]*stream.Client),
+	}
+	p.selfID = cfg.Self.ID
+	p.ms = NewMembership(cfg.Self, cfg.Membership)
+	p.ms.Subscribe(p.onRingChange)
+	p.m.PeersAlive.Set(1)
+	p.m.RingEpoch.Set(float64(p.ms.Epoch()))
+	go p.acceptHandoffs()
+	return p, nil
+}
+
+// Membership exposes the peer's fleet view (join it to the fleet with
+// AddPeer, drive it with a Gossiper, inspect it for /statusz).
+func (p *Peer) Membership() *Membership { return p.ms }
+
+// Self returns this peer's identity with resolved addresses.
+func (p *Peer) Self() PeerInfo { return p.ms.Self() }
+
+// Emit implements tracker.Sink: feed locally when the ring says this peer
+// owns the record's group, forward to the owner otherwise, park while a
+// rebalance is moving state.
+func (p *Peer) Emit(s *synopsis.Synopsis) {
+	if p.parkIfRebalancing(s) {
+		return
+	}
+	p.dispatch(s)
+}
+
+// EmitBatch implements stream.BatchSink. Records are dispatched
+// individually: a tracker batch spans whatever groups its host produced,
+// which the ring may scatter across peers.
+func (p *Peer) EmitBatch(batch []*synopsis.Synopsis) {
+	for _, s := range batch {
+		p.Emit(s)
+	}
+}
+
+// dispatch routes one record by current ring ownership.
+func (p *Peer) dispatch(s *synopsis.Synopsis) {
+	ring := p.ms.Ring()
+	owner := ring.OwnerOfHash(KeyHash(s.Host, s.Stage))
+	if owner == p.selfID {
+		p.eng.Emit(s)
+		return
+	}
+	p.forward(s, owner, ring.Epoch())
+}
+
+// forward pushes a misrouted record to its owner, stamped with the ring
+// epoch the decision used. With a Release hook in play the record is
+// cloned first: the outbound link retains pointers until its next flush,
+// while the original goes straight back to the receive pool.
+func (p *Peer) forward(s *synopsis.Synopsis, owner string, epoch uint64) {
+	c := p.link(owner)
+	if c == nil {
+		p.fwdDropped.Add(1)
+		if p.cfg.Release != nil {
+			p.cfg.Release(s)
+		}
+		return
+	}
+	rec := s
+	if p.cfg.Release != nil {
+		rec = s.Clone()
+		p.cfg.Release(s)
+	}
+	rec.RingEpoch = epoch
+	c.Emit(rec)
+	p.forwards.Add(1)
+	p.m.Forwards.Inc()
+}
+
+// link returns (dialing on first use) the forward link to a peer.
+func (p *Peer) link(owner string) *stream.Client {
+	p.fwdMu.Lock()
+	c, closed := p.fwd[owner], p.closed
+	p.fwdMu.Unlock()
+	if closed {
+		return nil
+	}
+	if c != nil {
+		return c
+	}
+	info, ok := p.ms.Info(owner)
+	if !ok || info.Addr == "" {
+		return nil
+	}
+	nc, err := stream.Dial(info.Addr, p.cfg.FlushEvery, stream.WithProtocol(2))
+	if err != nil {
+		p.logf("federation: dial forward link to %s (%s): %v", owner, info.Addr, err)
+		return nil
+	}
+	p.fwdMu.Lock()
+	if p.closed {
+		p.fwdMu.Unlock()
+		nc.Close()
+		return nil
+	}
+	if prev := p.fwd[owner]; prev != nil { // raced another dial; keep the first
+		p.fwdMu.Unlock()
+		nc.Close()
+		return prev
+	}
+	p.fwd[owner] = nc
+	p.fwdMu.Unlock()
+	return nc
+}
+
+// parkIfRebalancing buffers s while a rebalance is in flight.
+func (p *Peer) parkIfRebalancing(s *synopsis.Synopsis) bool {
+	p.parkMu.Lock()
+	if p.parkDepth == 0 {
+		p.parkMu.Unlock()
+		return false
+	}
+	p.parkedBuf = append(p.parkedBuf, s)
+	p.parkMu.Unlock()
+	p.parked.Add(1)
+	p.m.ForwardsParked.Inc()
+	return true
+}
+
+// onRingChange is the membership subscriber: park arrivals, move the
+// open-window state of groups the new ring assigns elsewhere, then drain
+// the parked records through the fresh topology.
+func (p *Peer) onRingChange(_, _ *Ring) {
+	p.rbMu.Lock()
+	defer p.rbMu.Unlock()
+	p.parkMu.Lock()
+	p.parkDepth++
+	p.parkMu.Unlock()
+	defer p.drainParked()
+
+	cur := p.ms.Ring() // reload under rbMu: coalesce back-to-back changes
+	p.m.PeersAlive.Set(float64(p.ms.AliveCount()))
+	p.m.RingEpoch.Set(float64(cur.Epoch()))
+	p.rebalance(cur)
+}
+
+// rebalance exports every open group whose owner under cur is not self and
+// hands each batch to its new owner.
+func (p *Peer) rebalance(cur *Ring) {
+	self := p.selfID
+	byOwner := make(map[string][]analyzer.GroupKey)
+	for _, g := range p.eng.OpenGroups() {
+		if o := cur.Owner(g.Host, g.Stage); o != self {
+			byOwner[o] = append(byOwner[o], g)
+		}
+	}
+	owners := make([]string, 0, len(byOwner))
+	for o := range byOwner {
+		owners = append(owners, o)
+	}
+	sort.Strings(owners)
+	for _, owner := range owners {
+		moving := make(map[analyzer.GroupKey]bool, len(byOwner[owner]))
+		for _, g := range byOwner[owner] {
+			moving[g] = true
+		}
+		blob, n, err := p.eng.ExportGroups(func(h uint16, st logpoint.StageID) bool {
+			return moving[analyzer.GroupKey{Host: h, Stage: st}]
+		})
+		if err != nil {
+			p.logf("federation: export %d groups for %s: %v", len(moving), owner, err)
+			continue
+		}
+		if n == 0 {
+			continue
+		}
+		if err := p.sendHandoff(owner, blob); err != nil {
+			p.logf("federation: handoff %d groups to %s failed, re-adopting: %v", n, owner, err)
+			// The new owner is unreachable (likely mid-death churn). Adopt
+			// the state back rather than lose it; the next ring change —
+			// or the group's own window close — resolves it.
+			if _, _, ierr := p.eng.ImportGroupsDropConflicts(blob); ierr != nil {
+				p.logf("federation: re-adopt after failed handoff: %v", ierr)
+			}
+			continue
+		}
+		p.handoffsOut.Add(1)
+		p.groupsOut.Add(uint64(n))
+		p.m.Handoffs.With("export").Inc()
+		p.m.HandoffGroups.With("export").Add(uint64(n))
+		p.logf("federation: handed %d groups to %s (epoch %d)", n, owner, cur.Epoch())
+	}
+}
+
+// drainParked re-dispatches everything parked during the rebalance, in
+// arrival order, through the post-rebalance topology.
+func (p *Peer) drainParked() {
+	p.parkMu.Lock()
+	p.parkDepth--
+	var batch []*synopsis.Synopsis
+	if p.parkDepth == 0 {
+		batch, p.parkedBuf = p.parkedBuf, nil
+	}
+	p.parkMu.Unlock()
+	for _, s := range batch {
+		p.dispatch(s)
+	}
+}
+
+// Leave gracefully exits the fleet: this peer's own view drops self, the
+// derived ring assigns every group elsewhere, and the subscribed rebalance
+// hands all open-window state to the survivors. Close still must be called
+// to release sockets. No-op for a sole fleet member (nowhere to hand off).
+func (p *Peer) Leave() {
+	p.ms.RemovePeer(p.selfID)
+}
+
+// Flush drains the forward links so everything emitted so far is on the
+// wire (test/shutdown barrier; Close also flushes).
+func (p *Peer) Flush() {
+	p.fwdMu.Lock()
+	clients := make([]*stream.Client, 0, len(p.fwd))
+	for _, c := range p.fwd {
+		clients = append(clients, c)
+	}
+	p.fwdMu.Unlock()
+	for _, c := range clients {
+		c.Flush()
+	}
+}
+
+// Close flushes and closes the forward links and stops the handoff
+// listener. The engine stays open — its anomalies are the caller's to
+// collect.
+func (p *Peer) Close() error {
+	p.fwdMu.Lock()
+	clients := p.fwd
+	p.fwd = make(map[string]*stream.Client)
+	p.closed = true
+	p.fwdMu.Unlock()
+	var first error
+	for _, c := range clients {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if err := p.handoffLn.Close(); err != nil && first == nil {
+		first = err
+	}
+	<-p.handoffDone
+	return first
+}
+
+// Status is the /statusz federation view.
+type Status struct {
+	Self        string         `json:"self"`
+	RingEpoch   uint64         `json:"ringEpoch"`
+	RingPeers   []string       `json:"ringPeers"`
+	Members     []MemberStatus `json:"members"`
+	OwnedRanges []string       `json:"ownedRanges"`
+
+	Forwards         uint64 `json:"forwards"`
+	ForwardsDropped  uint64 `json:"forwardsDropped"`
+	Parked           uint64 `json:"parked"`
+	HandoffsOut      uint64 `json:"handoffsOut"`
+	HandoffsIn       uint64 `json:"handoffsIn"`
+	GroupsOut        uint64 `json:"groupsOut"`
+	GroupsIn         uint64 `json:"groupsIn"`
+	HandoffConflicts uint64 `json:"handoffConflicts"`
+}
+
+// Status snapshots the peer for /statusz: membership table, ring epoch,
+// this peer's owned hash arcs, and the handoff/forward counters.
+func (p *Peer) Status() Status {
+	ring := p.ms.Ring()
+	ranges := ring.OwnedRanges(p.selfID)
+	hexRanges := make([]string, len(ranges))
+	for i, r := range ranges {
+		hexRanges[i] = fmt.Sprintf("(%016x, %016x]", r[0], r[1])
+	}
+	return Status{
+		Self:             p.selfID,
+		RingEpoch:        ring.Epoch(),
+		RingPeers:        ring.Peers(),
+		Members:          p.ms.Snapshot(),
+		OwnedRanges:      hexRanges,
+		Forwards:         p.forwards.Load(),
+		ForwardsDropped:  p.fwdDropped.Load(),
+		Parked:           p.parked.Load(),
+		HandoffsOut:      p.handoffsOut.Load(),
+		HandoffsIn:       p.handoffsIn.Load(),
+		GroupsOut:        p.groupsOut.Load(),
+		GroupsIn:         p.groupsIn.Load(),
+		HandoffConflicts: p.conflicts.Load(),
+	}
+}

@@ -276,6 +276,47 @@ func NewLifecycleMetrics(r *Registry) *LifecycleMetrics {
 	}
 }
 
+// FederationMetrics instruments the analyzer fleet's coordination layer:
+// membership, ring topology and checkpoint handoff.
+type FederationMetrics struct {
+	// PeersAlive tracks the local view's non-dead member count (self
+	// included).
+	PeersAlive *Gauge
+	// RingEpoch is the local ring's topology version; fleet-wide
+	// divergence between peers' epochs marks an in-flight transition.
+	RingEpoch *Gauge
+	// Handoffs counts group-state handoffs completed, labeled by
+	// direction ("export" or "import").
+	Handoffs *CounterVec
+	// HandoffGroups counts (host, stage) groups moved in handoffs, same
+	// labels.
+	HandoffGroups *CounterVec
+	// HandoffConflicts counts imports dropped because a group's window
+	// was already open locally (a racing transition; the moved window is
+	// sacrificed and counted here).
+	HandoffConflicts *Counter
+	// Forwards counts synopses forwarded peer-to-peer because this peer
+	// did not own their group.
+	Forwards *Counter
+	// ForwardsParked counts synopses parked during an in-flight rebalance
+	// and drained afterwards (a subset of Forwards plus re-fed own
+	// records).
+	ForwardsParked *Counter
+}
+
+// NewFederationMetrics registers the federation metric family on r.
+func NewFederationMetrics(r *Registry) *FederationMetrics {
+	return &FederationMetrics{
+		PeersAlive:       r.NewGauge("saad_federation_peers_alive", "Fleet members not considered dead in the local view (self included)."),
+		RingEpoch:        r.NewGauge("saad_federation_ring_epoch", "Topology version of the local consistent-hash ring."),
+		Handoffs:         r.NewCounterVec("saad_federation_handoffs_total", "Group-state handoffs completed, by direction.", "direction"),
+		HandoffGroups:    r.NewCounterVec("saad_federation_handoff_groups_total", "(host, stage) groups moved by handoffs, by direction.", "direction"),
+		HandoffConflicts: r.NewCounter("saad_federation_handoff_conflicts_total", "Imports dropped because the group's window was already open locally."),
+		Forwards:         r.NewCounter("saad_federation_forwards_total", "Synopses forwarded peer-to-peer to their ring owner."),
+		ForwardsParked:   r.NewCounter("saad_federation_parked_total", "Synopses parked during a rebalance and drained afterwards."),
+	}
+}
+
 // Pipeline bundles the in-process pipeline metric families sharing one
 // registry — the full set a Monitor (or the standalone analyzer) exposes.
 // The channel transport registers its scrape-time counters separately

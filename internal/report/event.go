@@ -20,6 +20,11 @@ import (
 type AnomalyEvent struct {
 	// Time is the wall-clock time the event was written (not the window).
 	Time time.Time `json:"time"`
+	// Peer is the id of the analyzer fleet member that emitted the event,
+	// "" for a standalone analyzer. In a federated deployment a group's
+	// events migrate between peers as the ring rebalances; the field keeps
+	// merged event logs attributable.
+	Peer string `json:"peer,omitempty"`
 	// Kind is "flow" or "performance".
 	Kind string `json:"kind"`
 	// Host is the reporting node's id.
@@ -146,6 +151,7 @@ type EventWriter struct {
 	window time.Duration
 	now    func() time.Time
 	flight func() []trace.Event
+	peer   string
 }
 
 // NewEventWriter returns a writer emitting one JSON object per anomaly to w.
@@ -169,10 +175,16 @@ func NewEventWriter(w io.Writer, dict *logpoint.Dictionary, window time.Duration
 // by Event.
 func (ew *EventWriter) SetFlightSnapshot(fn func() []trace.Event) { ew.flight = fn }
 
+// SetPeer stamps every subsequent event with the originating fleet member
+// id (federated deployments; "" keeps the field absent). Call before the
+// writer is shared — the field is read without synchronization by Event.
+func (ew *EventWriter) SetPeer(id string) { ew.peer = id }
+
 // Event converts one anomaly to its event form without writing it.
 func (ew *EventWriter) Event(a analyzer.Anomaly) AnomalyEvent {
 	e := AnomalyEvent{
 		Time:         ew.now().UTC(),
+		Peer:         ew.peer,
 		Kind:         a.Kind.String(),
 		Host:         a.Host,
 		StageID:      uint16(a.Stage),

@@ -48,6 +48,7 @@ func TestEventWriterRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	ew := NewEventWriter(&buf, dict, time.Minute)
 	ew.now = func() time.Time { return time.Date(2026, 1, 1, 9, 2, 0, 0, time.UTC) }
+	ew.SetPeer("analyzer-2")
 
 	if err := ew.Write(anomalies[0]); err != nil {
 		t.Fatal(err)
@@ -73,6 +74,12 @@ func TestEventWriterRoundTrip(t *testing.T) {
 	flow := events[0]
 	if flow.Kind != "flow" || !flow.NewSignature {
 		t.Fatalf("flow event = %+v", flow)
+	}
+	// Fleet attribution survives the round trip on every event.
+	for i, e := range events {
+		if e.Peer != "analyzer-2" {
+			t.Fatalf("event %d peer = %q, want analyzer-2", i, e.Peer)
+		}
 	}
 	if flow.Stage != "Checkout" || flow.Host != 3 {
 		t.Fatalf("flow identity = stage %q host %d", flow.Stage, flow.Host)

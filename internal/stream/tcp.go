@@ -435,6 +435,29 @@ func (c *Client) flushPendingLocked() {
 	}
 }
 
+// Flush pushes everything buffered so far onto the wire: the v2 pending
+// batch (direct mode) or the encoder's user-space buffer. A delivery
+// barrier for callers that need bounded handoff latency — the federation
+// forward path uses it before control-plane transitions. In reconnect
+// mode delivery is the supervisor's business and Flush is a no-op.
+func (c *Client) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ring != nil || c.closed || c.err != nil {
+		return c.err
+	}
+	if c.benc != nil {
+		c.flushPendingLocked()
+		return c.err
+	}
+	c.armWriteDeadline()
+	c.err = c.enc.Flush()
+	if m := c.metrics; m != nil && c.err != nil {
+		m.Errors.Inc()
+	}
+	return c.err
+}
+
 // Err returns the latched transport error (direct mode) or the most recent
 // transport error observed by the reconnect supervisor, if any.
 func (c *Client) Err() error {

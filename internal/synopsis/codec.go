@@ -31,6 +31,11 @@ import (
 // Emit then uvarint Send, both unix nanoseconds (0 = not stamped).
 const extTrace = 1
 
+// extRingEpoch carries the sender's federation ring epoch as one uvarint.
+// Only emitted when nonzero, so non-federated streams stay byte-identical
+// to their pre-extension encodings.
+const extRingEpoch = 2
+
 // maxRecordSize bounds a single encoded record to keep a corrupt or
 // malicious length prefix from allocating unbounded memory.
 const maxRecordSize = 1 << 20
@@ -78,6 +83,10 @@ func bodySize(s *Synopsis) int {
 		p := tracePayloadSize(sp)
 		n += uvarintLen(extTrace) + uvarintLen(uint64(p)) + p
 	}
+	if s.RingEpoch != 0 {
+		p := uvarintLen(s.RingEpoch)
+		n += uvarintLen(extRingEpoch) + uvarintLen(uint64(p)) + p
+	}
 	return n
 }
 
@@ -102,6 +111,11 @@ func appendBody(dst []byte, s *Synopsis) []byte {
 		dst = binary.AppendUvarint(dst, uint64(tracePayloadSize(sp)))
 		dst = binary.AppendUvarint(dst, uint64(sp.Emit))
 		dst = binary.AppendUvarint(dst, uint64(sp.Send))
+	}
+	if s.RingEpoch != 0 {
+		dst = binary.AppendUvarint(dst, extRingEpoch)
+		dst = binary.AppendUvarint(dst, uint64(uvarintLen(s.RingEpoch)))
+		dst = binary.AppendUvarint(dst, s.RingEpoch)
 	}
 	return dst
 }
@@ -247,6 +261,7 @@ func decodeBody(buf []byte, s *Synopsis) error {
 	s.Start = time.UnixMicro(int64(startUs)).UTC()
 	s.Duration = time.Duration(durUs) * time.Microsecond
 	s.Trace = nil // decoders reuse s; a prior record's span must not leak
+	s.RingEpoch = 0
 	if cap(s.Points) < int(npts) {
 		s.Points = make([]PointCount, npts)
 	}
@@ -292,6 +307,14 @@ func decodeBody(buf []byte, s *Synopsis) error {
 // extension ids are skipped so newer peers can extend the record without
 // breaking this decoder.
 func applyExtension(s *Synopsis, extID uint64, payload []byte) error {
+	if extID == extRingEpoch {
+		epoch, n := binary.Uvarint(payload)
+		if n <= 0 {
+			return fmt.Errorf("synopsis: decode ring epoch: %w", io.ErrUnexpectedEOF)
+		}
+		s.RingEpoch = epoch
+		return nil
+	}
 	if extID != extTrace {
 		return nil
 	}

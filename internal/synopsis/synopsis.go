@@ -49,6 +49,12 @@ type Synopsis struct {
 	// trailing frame extension old decoders skip, so tracing peers
 	// interoperate with untraced ones.
 	Trace *trace.Span
+	// RingEpoch is the sender's view of the federation ring topology when
+	// it routed this synopsis, 0 when the sender is not federation-aware.
+	// A receiving peer whose ring disagrees forwards the record to the
+	// current owner instead of dropping it. Carried as a trailing frame
+	// extension, so non-federated peers interoperate unchanged.
+	RingEpoch uint64
 }
 
 // Clone returns a deep copy of the synopsis data. The Trace span pointer is

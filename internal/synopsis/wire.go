@@ -241,14 +241,24 @@ func (e *BatchEncoder) appendRecordV2(dst []byte, s *Synopsis) []byte {
 		dst = binary.AppendUvarint(dst, uint64(pc.Count))
 		prev = pc.Point
 	}
+	var extCount uint64
+	if s.Trace != nil {
+		extCount++
+	}
+	if s.RingEpoch != 0 {
+		extCount++
+	}
+	dst = binary.AppendUvarint(dst, extCount)
 	if sp := s.Trace; sp != nil {
-		dst = binary.AppendUvarint(dst, 1) // extCount
 		dst = binary.AppendUvarint(dst, extTrace)
 		dst = binary.AppendUvarint(dst, uint64(tracePayloadSize(sp)))
 		dst = binary.AppendUvarint(dst, uint64(sp.Emit))
 		dst = binary.AppendUvarint(dst, uint64(sp.Send))
-	} else {
-		dst = binary.AppendUvarint(dst, 0)
+	}
+	if s.RingEpoch != 0 {
+		dst = binary.AppendUvarint(dst, extRingEpoch)
+		dst = binary.AppendUvarint(dst, uint64(uvarintLen(s.RingEpoch)))
+		dst = binary.AppendUvarint(dst, s.RingEpoch)
 	}
 	return dst
 }
@@ -465,6 +475,7 @@ func (d *BatchDecoder) decodeRecordV2(s *Synopsis) error {
 	s.Start = time.UnixMicro(int64(startUs)).UTC()
 	s.Duration = time.Duration(durUs) * time.Microsecond
 	s.Trace = nil // decoders reuse s; a prior record's span must not leak
+	s.RingEpoch = 0
 	if cap(s.Points) < int(npts) {
 		s.Points = make([]PointCount, npts)
 	}
